@@ -1,0 +1,116 @@
+"""Ablation benches: query tolerances and RELATIONSHIP scan modes.
+
+* alpha/beta sweep (Eqs. 7-8): tight boxes trade recall of relevant
+  shots for precision; the paper's alpha=beta=1.0 sits in between.
+* RELATIONSHIP diagonal scan vs exhaustive all-pairs: the exhaustive
+  mode can only find *more* related pairs; the bench measures whether
+  the cheap scan changes the produced trees on the movie corpus.
+"""
+
+import pytest
+
+from repro.config import QueryConfig, SceneTreeConfig
+from repro.eval.retrieval_metrics import precision_at_k
+from repro.experiments import figures8_10
+from repro.scenetree.builder import SceneTreeBuilder
+from repro.sbd.detector import CameraTrackingDetector
+
+
+@pytest.fixture(scope="module")
+def retrieval_db():
+    return figures8_10.run().database
+
+
+def bench_ablation_alpha_beta(benchmark, retrieval_db):
+    """Sweep the tolerance box; record match counts and precision@3."""
+    probes = [
+        entry for entry in retrieval_db.index.entries if entry.archetype
+    ][:12]
+
+    def sweep():
+        results = {}
+        for tolerance in (0.25, 0.5, 1.0, 2.0, 4.0):
+            config = QueryConfig(alpha=tolerance, beta=tolerance)
+            n_matches = 0
+            precisions = []
+            for probe in probes:
+                from repro.index.query import VarianceQuery
+
+                query = VarianceQuery.from_features(probe.features)
+                matches = retrieval_db.index.search(
+                    query,
+                    config=config,
+                    exclude_shot=(probe.video_id, probe.shot_number),
+                )
+                n_matches += len(matches)
+                labels = [m.archetype for m in matches[:3]]
+                precisions.append(precision_at_k(probe.archetype, labels, 3))
+            results[tolerance] = {
+                "mean_matches": n_matches / len(probes),
+                "precision_at_3": sum(precisions) / len(precisions),
+            }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Wider boxes never return fewer matches.
+    counts = [results[t]["mean_matches"] for t in (0.25, 0.5, 1.0, 2.0, 4.0)]
+    assert all(a <= b + 1e-9 for a, b in zip(counts, counts[1:]))
+    # The paper's 1.0 keeps precision high while matching enough shots.
+    assert results[1.0]["precision_at_3"] >= 0.6
+    benchmark.extra_info["sweep"] = {
+        str(t): {k: round(v, 3) for k, v in row.items()}
+        for t, row in results.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def movie_detections(movie_corpus, detector):
+    return [detector.detect(clip) for clip, _ in movie_corpus]
+
+
+def bench_ablation_relationship_scan(benchmark, movie_detections):
+    """Diagonal scan vs exhaustive all-pairs RELATIONSHIP."""
+
+    def build_both():
+        outcomes = []
+        for detection in movie_detections:
+            cheap = SceneTreeBuilder(config=SceneTreeConfig()).build_from_detection(
+                detection
+            )
+            thorough = SceneTreeBuilder(
+                exhaustive_relationship=True
+            ).build_from_detection(detection)
+            outcomes.append((cheap, thorough))
+        return outcomes
+
+    outcomes = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    agreements = []
+    for cheap, thorough in outcomes:
+        same = sum(
+            1
+            for a, b in zip(cheap.leaves, thorough.leaves)
+            if (a.parent.node_id if a.parent else None)
+            == (b.parent.node_id if b.parent else None)
+        )
+        agreements.append(same / cheap.n_shots)
+    # The cheap scan reproduces most of the exhaustive grouping.
+    assert sum(agreements) / len(agreements) >= 0.7
+    benchmark.extra_info["leaf_parent_agreement"] = [
+        round(a, 3) for a in agreements
+    ]
+
+
+def bench_ablation_camera_tracking_detector_reuse(benchmark, movie_corpus):
+    """Scene trees from re-detection vs cached features are identical
+    (the 'analyze once' property the VDBMS relies on)."""
+    clip, _ = movie_corpus[1]
+
+    def run_twice():
+        d1 = CameraTrackingDetector().detect(clip)
+        d2 = CameraTrackingDetector().detect(clip)
+        t1 = SceneTreeBuilder().build_from_detection(d1)
+        t2 = SceneTreeBuilder().build_from_detection(d2)
+        return t1, t2
+
+    t1, t2 = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert [n.label for n in t1.nodes()] == [n.label for n in t2.nodes()]

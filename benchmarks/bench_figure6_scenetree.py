@@ -1,0 +1,33 @@
+"""Bench: Figure 6 — scene-tree construction on the ten-shot clip.
+
+Times the tree build (given a cached detection) and asserts the exact
+Figure 6 reproduction: the build trace, the three scene groups, and
+the two-level merge above them.
+"""
+
+import pytest
+
+from repro.experiments import figure6
+from repro.scenetree.builder import SceneTreeBuilder
+
+
+def bench_figure6_walkthrough(benchmark):
+    result = benchmark.pedantic(figure6.run, rounds=1, iterations=1)
+    assert result.matches_paper
+    benchmark.extra_info["trace"] = [
+        (s.shot_index + 1, s.related_to, s.scenario) for s in result.trace
+    ]
+
+
+@pytest.fixture(scope="module")
+def fig5_detection(figure5_clip, detector):
+    clip, _ = figure5_clip
+    return detector.detect(clip)
+
+
+def bench_figure6_tree_build_only(benchmark, fig5_detection):
+    """Isolated tree-construction cost (detection excluded)."""
+    builder = SceneTreeBuilder()
+    tree = benchmark(builder.build_from_detection, fig5_detection)
+    assert tree.n_shots == 10
+    assert tree.height == 3

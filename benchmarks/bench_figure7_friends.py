@@ -1,0 +1,21 @@
+"""Bench: Figure 7 — the Friends restaurant scene tree.
+
+Times the full pipeline on the one-minute segment and asserts the
+story structure is recoverable: detection is exact, the tree groups
+the repeated camera setups, and the storyboard covers every node
+top-down.
+"""
+
+from repro.experiments import figure7
+
+
+def bench_figure7_friends_tree(benchmark):
+    result = benchmark.pedantic(figure7.run, rounds=1, iterations=1)
+    assert result.boundaries_exact
+    assert result.tree.n_shots == 12
+    assert result.tree.height >= 2
+    assert result.quality.pair_agreement > 0.5
+    levels = [int(label.rsplit("^", 1)[1]) for label, _ in result.storyboard]
+    assert levels == sorted(levels, reverse=True)
+    benchmark.extra_info["height"] = result.tree.height
+    benchmark.extra_info["pair_agreement"] = round(result.quality.pair_agreement, 3)

@@ -1,0 +1,68 @@
+"""Bench: Figures 8-10 — query-by-example retrieval.
+
+One end-to-end bench reproduces all three figures (corpus build +
+index + queries) and asserts the paper's qualitative claim as
+precision@3 per archetype.  Three further benches time the pure query
+path per figure against a prebuilt database.
+"""
+
+import pytest
+
+from repro.experiments import figures8_10
+from repro.synth.archetypes import (
+    ARCHETYPE_CLOSEUP,
+    ARCHETYPE_MOVING,
+    ARCHETYPE_TWO_PEOPLE,
+)
+
+
+def bench_figures8_10_end_to_end(benchmark):
+    result = benchmark.pedantic(figures8_10.run, rounds=1, iterations=1)
+    for figure, score in result.scores.items():
+        # The paper shows all-relevant top-3 panels; we require strong
+        # majority relevance on every figure's probe set.
+        assert score.mean_precision >= 0.6, (figure, score)
+    benchmark.extra_info["scores"] = {
+        figure: round(score.mean_precision, 3)
+        for figure, score in result.scores.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def retrieval_db():
+    return figures8_10.run().database
+
+
+def _first_probe(db, archetype):
+    for entry in db.index.entries:
+        if entry.archetype == archetype:
+            return entry
+    raise AssertionError(f"no probe with archetype {archetype}")
+
+
+@pytest.mark.parametrize(
+    "archetype",
+    [ARCHETYPE_CLOSEUP, ARCHETYPE_TWO_PEOPLE, ARCHETYPE_MOVING],
+    ids=["figure8_closeup", "figure9_two_people", "figure10_moving"],
+)
+def bench_single_query(benchmark, retrieval_db, archetype):
+    probe = _first_probe(retrieval_db, archetype)
+
+    def query():
+        return retrieval_db.query_by_shot(probe.video_id, probe.shot_number, limit=3)
+
+    answer = benchmark(query)
+    assert len(answer.matches) <= 3
+
+
+def bench_retrieval_confusion_matrix(benchmark):
+    """Corpus-scale extension of Figs. 8-10: every labeled probe."""
+    from repro.experiments.retrieval_matrix import run as run_matrix
+
+    result = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    assert result.diagonal_fraction >= 0.85
+    benchmark.extra_info["diagonal_fraction"] = round(result.diagonal_fraction, 3)
+    benchmark.extra_info["per_archetype"] = {
+        key.split("-")[0]: round(value, 3)
+        for key, value in result.per_archetype_precision().items()
+    }

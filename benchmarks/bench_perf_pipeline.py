@@ -1,0 +1,70 @@
+"""Perf benches: throughput of the pipeline stages.
+
+Not a paper table — engineering numbers for the reproduction itself:
+frames/second through signature extraction, detection, and the stage-3
+shift matcher, plus the three-stage cascade's work distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sbd.stages import longest_match_run
+from repro.signature.extract import SignatureExtractor
+
+
+@pytest.fixture(scope="module")
+def genre_clip():
+    from repro.synth.genres import GENRE_MODELS, generate_genre_clip
+
+    clip, _ = generate_genre_clip(
+        GENRE_MODELS["drama"], "perf-drama", n_shots=25, seed=17
+    )
+    return clip
+
+
+def bench_signature_extraction(benchmark, genre_clip):
+    """Full-clip feature extraction (the per-ingest fixed cost)."""
+    extractor = SignatureExtractor.for_clip(genre_clip)
+    features = benchmark(extractor.extract_clip, genre_clip)
+    assert len(features) == len(genre_clip)
+    benchmark.extra_info["frames"] = len(genre_clip)
+
+
+def bench_detection_given_features(benchmark, genre_clip, detector):
+    """Boundary classification with extraction amortized away."""
+    extractor = SignatureExtractor.for_clip(genre_clip)
+    features = extractor.extract_clip(genre_clip)
+    result = benchmark(detector.detect_from_features, features, genre_clip.name)
+    assert result.n_shots >= 2
+
+
+def bench_end_to_end_detection(benchmark, genre_clip, detector):
+    result = benchmark(detector.detect, genre_clip)
+    assert result.n_shots >= 2
+    counts = result.stage_counts
+    # The cascade property: the cheap stages absorb most pairs.
+    assert counts.stage1_same + counts.stage2_same > 0.8 * counts.total_pairs
+    benchmark.extra_info["stage_counts"] = {
+        "stage1_same": counts.stage1_same,
+        "stage2_same": counts.stage2_same,
+        "stage3_same": counts.stage3_same,
+        "stage3_boundary": counts.stage3_boundary,
+    }
+
+
+def bench_shift_matcher(benchmark):
+    """One stage-3 invocation at the real signature length (253)."""
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0, 255, size=(253, 3))
+    b = rng.uniform(0, 255, size=(253, 3))
+    run = benchmark(longest_match_run, a, b, 0.10)
+    assert run >= 0
+
+
+def bench_shift_matcher_bounded(benchmark):
+    """Stage 3 with a 32-pixel shift bound (the cheap ablation mode)."""
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0, 255, size=(253, 3))
+    b = rng.uniform(0, 255, size=(253, 3))
+    run = benchmark(longest_match_run, a, b, 0.10, 32)
+    assert run >= 0

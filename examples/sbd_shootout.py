@@ -1,0 +1,90 @@
+"""Shot-boundary-detection shoot-out: camera tracking vs. baselines.
+
+Generates one synthetic clip per Table 5 category and runs four
+detectors on identical frames:
+
+* the paper's camera-tracking detector,
+* color histograms (twin threshold, 3 parameters),
+* edge change ratio (6 parameters),
+* pairwise pixel comparison.
+
+Prints per-clip and pooled recall/precision — the reproduction of the
+paper's Sec. 5.1 accuracy claim — plus a threshold-sensitivity sweep
+for the histogram method (the Sec. 1 reliability complaint: accuracy
+"varies from 20% to 80%" with the thresholds).
+
+Run:  python examples/sbd_shootout.py
+"""
+
+from repro.baselines import EdgeChangeRatioSBD, HistogramSBD, PairwisePixelSBD
+from repro.eval.sbd_metrics import SBDScore, score_boundaries
+from repro.experiments.report import format_table
+from repro.sbd import CameraTrackingDetector
+from repro.workloads import TABLE5_CLIPS, generate_table5_clip
+
+
+def main() -> None:
+    subset = [
+        next(c for c in TABLE5_CLIPS if c.category == category)
+        for category in (
+            "TV Programs", "News", "Movies",
+            "Sports Events", "Documentaries", "Music Videos",
+        )
+    ]
+    print("Generating six clips (one per Table 5 category)...")
+    workload = [(spec, *generate_table5_clip(spec, scale=0.15)) for spec in subset]
+
+    camera = CameraTrackingDetector()
+    baselines = {
+        "histogram": HistogramSBD(),
+        "ecr": EdgeChangeRatioSBD(),
+        "pairwise": PairwisePixelSBD(),
+    }
+
+    rows = []
+    totals: dict[str, SBDScore] = {name: SBDScore(0, 0, 0) for name in
+                                   ("camera", *baselines)}
+    for spec, clip, truth in workload:
+        row = {"clip": spec.name}
+        detection = camera.detect(clip)
+        score = score_boundaries(truth.boundaries, detection.boundaries, 1)
+        totals["camera"] = totals["camera"] + score
+        row["camera_R"], row["camera_P"] = score.recall, score.precision
+        for name, detector in baselines.items():
+            result = detector.detect_boundaries(clip)
+            score = score_boundaries(truth.boundaries, result.boundaries, 1)
+            totals[name] = totals[name] + score
+            row[f"{name}_R"], row[f"{name}_P"] = score.recall, score.precision
+        rows.append(row)
+    total_row = {"clip": "TOTAL"}
+    for name, score in totals.items():
+        total_row[f"{name}_R"] = score.recall
+        total_row[f"{name}_P"] = score.precision
+    rows.append(total_row)
+    print(format_table(rows, title="\nDetector comparison (R=recall, P=precision)"))
+
+    print("\nThreshold sensitivity of the histogram method (pooled):")
+    sweep_rows = []
+    for cut in (0.002, 0.02, 0.30, 0.90, 1.20):
+        pooled = SBDScore(0, 0, 0)
+        detector = HistogramSBD(
+            cut_threshold=cut,
+            low_threshold=cut / 3,
+            accumulation_threshold=max(cut, 0.1),
+        )
+        for _, clip, truth in workload:
+            result = detector.detect_boundaries(clip)
+            pooled = pooled + score_boundaries(truth.boundaries, result.boundaries, 1)
+        sweep_rows.append(
+            {"cut_threshold": cut, "recall": pooled.recall, "precision": pooled.precision}
+        )
+    print(format_table(sweep_rows))
+    print(
+        "\nNote how the histogram detector's accuracy swings with its "
+        "thresholds while the camera-tracking method has none to tune "
+        "per video — the paper's motivating observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

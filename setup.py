@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-use-pep517`` works in offline environments
+whose setuptools lacks the ``wheel`` package needed for PEP 517
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

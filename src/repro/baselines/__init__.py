@@ -1,0 +1,38 @@
+"""Baseline techniques the paper compares against or criticizes.
+
+Shot boundary detection (Sec. 1's reliability complaint):
+
+* :mod:`repro.baselines.histogram` — color-histogram SBD with the
+  twin-threshold scheme; "at least three threshold values" [3-6];
+* :mod:`repro.baselines.ecr` — edge-change-ratio SBD; "at least six
+  different threshold values" [7];
+* :mod:`repro.baselines.pairwise` — naive pairwise pixel comparison.
+
+Browsing (Sec. 1's hierarchy survey):
+
+* :mod:`repro.baselines.timetree` — the time-only equal-segment
+  hierarchy of [18], which "ignores the content of the video".
+
+Retrieval:
+
+* :mod:`repro.baselines.keyframe` — key-frame color-histogram
+  retrieval, the "complex image processing" alternative whose cost the
+  variance model undercuts (Sec. 6).
+"""
+
+from .base import BaselineResult, BoundaryDetector
+from .histogram import HistogramSBD
+from .pairwise import PairwisePixelSBD
+from .ecr import EdgeChangeRatioSBD
+from .timetree import build_time_tree
+from .keyframe import KeyframeHistogramIndex
+
+__all__ = [
+    "BaselineResult",
+    "BoundaryDetector",
+    "HistogramSBD",
+    "PairwisePixelSBD",
+    "EdgeChangeRatioSBD",
+    "build_time_tree",
+    "KeyframeHistogramIndex",
+]

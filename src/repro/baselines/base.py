@@ -1,0 +1,46 @@
+"""Common interface for baseline shot boundary detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..sbd.shots import Shot, shots_from_boundaries
+from ..video.clip import VideoClip
+
+__all__ = ["BaselineResult", "BoundaryDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineResult:
+    """Output of a baseline detector.
+
+    Attributes:
+        clip_name: the processed clip.
+        boundaries: 0-based frame indices that start new shots.
+        detector_name: which baseline produced this.
+    """
+
+    clip_name: str
+    boundaries: tuple[int, ...]
+    detector_name: str
+
+    def shots(self, n_frames: int) -> list[Shot]:
+        """Materialize the shot list implied by the boundaries."""
+        return shots_from_boundaries(n_frames, list(self.boundaries))
+
+
+@runtime_checkable
+class BoundaryDetector(Protocol):
+    """Anything that can segment a clip into shots.
+
+    Both :class:`~repro.sbd.CameraTrackingDetector` (adapted) and every
+    baseline satisfy this, so the evaluation harness treats them
+    uniformly.
+    """
+
+    name: str
+
+    def detect_boundaries(self, clip: VideoClip) -> BaselineResult:
+        """Return the detected shot-start frame indices for ``clip``."""
+        ...

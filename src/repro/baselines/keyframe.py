@@ -1,0 +1,116 @@
+"""Key-frame color-histogram retrieval baseline.
+
+The expensive alternative the paper's conclusions discuss: "indexing
+techniques based on spatio-temporal contents are available.  They,
+however, rely on complex image processing techniques, and therefore
+very expensive."  Each shot is represented by its middle frame's color
+histogram (3 x bins values per shot, vs. the paper's two variance
+numbers); query-by-example ranks shots by L1 histogram distance.
+
+The feature-size and query-cost comparison against the variance index
+is the subject of the cost-effectiveness bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IndexError_, QueryError
+from ..sbd.shots import Shot
+from ..video.clip import VideoClip
+
+__all__ = ["KeyframeEntry", "KeyframeHistogramIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyframeEntry:
+    """One indexed shot: its id, key-frame index and histogram."""
+
+    video_id: str
+    shot_number: int
+    keyframe: int
+    histogram: np.ndarray
+    archetype: str | None = None
+
+
+class KeyframeHistogramIndex:
+    """Color-histogram index over shot key frames.
+
+    Args:
+        bins: histogram bins per channel; the stored feature vector has
+            ``3 * bins`` floats per shot (contrast: the variance index
+            stores 2 floats per shot).
+    """
+
+    def __init__(self, bins: int = 16) -> None:
+        if bins < 2 or bins > 256:
+            raise QueryError(f"bins must be in [2, 256], got {bins}")
+        self.bins = bins
+        self._entries: list[KeyframeEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def floats_per_shot(self) -> int:
+        """Feature-vector size (for the cost comparison bench)."""
+        return 3 * self.bins
+
+    def _histogram(self, frame: np.ndarray) -> np.ndarray:
+        quantized = (frame.astype(np.int64) * self.bins) >> 8
+        hist = np.concatenate(
+            [
+                np.bincount(quantized[..., c].ravel(), minlength=self.bins)
+                for c in range(3)
+            ]
+        ).astype(np.float64)
+        return hist / hist.sum()
+
+    def add_clip(
+        self,
+        clip: VideoClip,
+        shots: list[Shot],
+        archetypes: dict[int, str] | None = None,
+    ) -> list[KeyframeEntry]:
+        """Index every shot of ``clip`` by its middle frame."""
+        added = []
+        for shot in shots:
+            key = shot.start + len(shot) // 2
+            entry = KeyframeEntry(
+                video_id=clip.name,
+                shot_number=shot.number,
+                keyframe=key,
+                histogram=self._histogram(clip.frames[key]),
+                archetype=(archetypes or {}).get(shot.index),
+            )
+            self._entries.append(entry)
+            added.append(entry)
+        return added
+
+    def lookup(self, video_id: str, shot_number: int) -> KeyframeEntry:
+        """Fetch one entry by clip name and 1-based shot number."""
+        for entry in self._entries:
+            if entry.video_id == video_id and entry.shot_number == shot_number:
+                return entry
+        raise IndexError_(f"no key-frame entry for #{shot_number} of {video_id!r}")
+
+    def search(
+        self,
+        query: KeyframeEntry | np.ndarray,
+        limit: int | None = None,
+        exclude_shot: tuple[str, int] | None = None,
+    ) -> list[KeyframeEntry]:
+        """Rank shots by L1 histogram distance to the query."""
+        if not self._entries:
+            raise IndexError_("key-frame index is empty")
+        histogram = query.histogram if isinstance(query, KeyframeEntry) else query
+        scored = [
+            (float(np.abs(entry.histogram - histogram).sum()), entry)
+            for entry in self._entries
+            if (entry.video_id, entry.shot_number) != exclude_shot
+        ]
+        scored.sort(key=lambda pair: pair[0])
+        ranked = [entry for _, entry in scored]
+        return ranked if limit is None else ranked[:limit]

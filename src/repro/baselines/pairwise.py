@@ -1,0 +1,68 @@
+"""Pairwise pixel-comparison shot boundary detection.
+
+The oldest SBD approach: count the pixels that changed "significantly"
+between consecutive frames and declare a boundary when too many did.
+Two thresholds (per-pixel and per-frame).  Very sensitive to camera
+and object motion — the paper's camera-tracking scheme is
+"fundamentally different from traditional methods based on pixel
+comparison" (Sec. 6), and this baseline is the comparison point that
+shows why.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QueryError
+from ..video.clip import VideoClip
+from .base import BaselineResult
+
+__all__ = ["PairwisePixelSBD", "changed_pixel_fractions"]
+
+
+def changed_pixel_fractions(
+    frames: np.ndarray, pixel_threshold: float
+) -> np.ndarray:
+    """Fraction of changed pixels between consecutive frames.
+
+    A pixel counts as changed when its maximum per-channel absolute
+    difference exceeds ``pixel_threshold`` (0-255 units).
+    """
+    a = frames[:-1].astype(np.int16)
+    b = frames[1:].astype(np.int16)
+    changed = (np.abs(b - a).max(axis=-1) > pixel_threshold)
+    return changed.reshape(changed.shape[0], -1).mean(axis=1)
+
+
+class PairwisePixelSBD:
+    """Two-threshold pairwise pixel detector.
+
+    Args:
+        pixel_threshold: per-pixel change threshold (0-255 units).
+        frame_threshold: fraction of changed pixels that declares a
+            boundary.
+    """
+
+    name = "pairwise-pixel"
+
+    def __init__(
+        self, pixel_threshold: float = 30.0, frame_threshold: float = 0.40
+    ) -> None:
+        if not 0 < pixel_threshold < 256:
+            raise QueryError(
+                f"pixel_threshold must be in (0, 256), got {pixel_threshold}"
+            )
+        if not 0 < frame_threshold <= 1:
+            raise QueryError(
+                f"frame_threshold must be in (0, 1], got {frame_threshold}"
+            )
+        self.pixel_threshold = pixel_threshold
+        self.frame_threshold = frame_threshold
+
+    def detect_boundaries(self, clip: VideoClip) -> BaselineResult:
+        """Threshold the changed-pixel fraction over ``clip``."""
+        fractions = changed_pixel_fractions(clip.frames, self.pixel_threshold)
+        boundaries = tuple(int(i) + 1 for i in np.flatnonzero(fractions > self.frame_threshold))
+        return BaselineResult(
+            clip_name=clip.name, boundaries=boundaries, detector_name=self.name
+        )

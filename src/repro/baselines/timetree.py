@@ -1,0 +1,70 @@
+"""The time-only browsing hierarchy of Zhang et al. [18].
+
+"This scheme divides a video stream into multiple segments, each
+containing an equal number of consecutive shots.  Each segment is then
+further divided into sub-segments...  A drawback of this approach is
+that only time is considered; and no visual content is used"
+(Sec. 1).  We implement it as the browsing baseline: the tree-quality
+benches compare its grouping agreement against the content-based scene
+tree on labeled workloads.
+"""
+
+from __future__ import annotations
+
+from ..errors import SceneTreeError
+from ..scenetree.nodes import SceneNode, SceneTree
+
+__all__ = ["build_time_tree"]
+
+
+def build_time_tree(
+    n_shots: int, fanout: int = 4, clip_name: str = "<clip>"
+) -> SceneTree:
+    """Build an equal-segment hierarchy over ``n_shots`` shots.
+
+    Every internal node has up to ``fanout`` children; leaves are the
+    shots in temporal order.  Node naming follows the scene-tree
+    convention (named after the earliest descendant shot) so the two
+    hierarchies can be compared by the same metrics, but representative
+    frames are simply each shot's first frame — no content is consulted.
+    """
+    if n_shots < 1:
+        raise SceneTreeError(f"need at least one shot, got {n_shots}")
+    if fanout < 2:
+        raise SceneTreeError(f"fanout must be >= 2, got {fanout}")
+    next_id = 0
+
+    def make_node(shot_index: int | None, level: int) -> SceneNode:
+        nonlocal next_id
+        node = SceneNode(node_id=next_id, shot_index=shot_index, level=level)
+        next_id += 1
+        return node
+
+    leaves = [make_node(i, 0) for i in range(n_shots)]
+    for leaf in leaves:
+        leaf.representative_frame = 0
+    current: list[SceneNode] = list(leaves)
+    level = 0
+    while len(current) > 1:
+        level += 1
+        grouped: list[SceneNode] = []
+        for start in range(0, len(current), fanout):
+            chunk = current[start : start + fanout]
+            if len(chunk) == 1 and len(current) <= fanout:
+                grouped.extend(chunk)
+                continue
+            parent = make_node(chunk[0].shot_index, level)
+            parent.representative_frame = chunk[0].representative_frame
+            for child in chunk:
+                child.attach_to(parent)
+            grouped.append(parent)
+        current = grouped
+    root = current[0]
+    if root.is_leaf and n_shots == 1:
+        wrapper = make_node(0, 1)
+        wrapper.representative_frame = root.representative_frame
+        root.attach_to(wrapper)
+        root = wrapper
+    tree = SceneTree(root=root, leaves=leaves, clip_name=clip_name)
+    tree.validate()
+    return tree

@@ -1,0 +1,379 @@
+"""Command-line interface for the video database.
+
+    python -m repro demo --db ./videodb
+    python -m repro ingest capture.avi --db ./videodb --genre comedy
+    python -m repro info --db ./videodb
+    python -m repro tree figure5 --db ./videodb
+    python -m repro shots figure5 --db ./videodb
+    python -m repro query "background calm, foreground busy, limit 5" --db ./videodb
+    python -m repro storyboard myclip.rvid -o board.ppm
+    python -m repro experiment table5 -- 0.2
+
+`ingest` accepts ``.avi`` (uncompressed 24-bit) and ``.rvid`` files and
+decimates to 3 fps before analysis, like the paper's pipeline.  The
+database directory persists the catalog, the variance index, and every
+scene tree; raw frames are not stored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .errors import ReproError
+from .experiments.report import format_table
+from .scenetree.nodes import SceneNode
+from .vdbms.database import VideoDatabase
+from .vdbms.storage import DatabaseStorage
+from .video.avi import read_avi
+from .video.io import read_rvid
+from .video.sampling import resample_fps
+from .workloads.taxonomy import VideoCategory
+
+__all__ = ["main"]
+
+ANALYSIS_FPS = 3.0
+
+
+def _load_or_create(db_dir: str) -> VideoDatabase:
+    storage = DatabaseStorage(db_dir)
+    if storage.exists():
+        return VideoDatabase.load(db_dir)
+    return VideoDatabase()
+
+
+def _load_existing(db_dir: str) -> VideoDatabase:
+    storage = DatabaseStorage(db_dir)
+    if not storage.exists():
+        raise ReproError(
+            f"no database at {db_dir!r}; run 'ingest' or 'demo' first"
+        )
+    return VideoDatabase.load(db_dir)
+
+
+def _read_clip(path: str):
+    suffix = Path(path).suffix.lower()
+    if suffix == ".avi":
+        return read_avi(path)
+    if suffix == ".rvid":
+        return read_rvid(path)
+    raise ReproError(f"unsupported video format {suffix!r} (use .avi or .rvid)")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    db = _load_or_create(args.db)
+    clip = _read_clip(args.video)
+    if clip.fps > ANALYSIS_FPS:
+        clip = resample_fps(clip, ANALYSIS_FPS)
+    category = None
+    if args.genre:
+        category = VideoCategory(
+            genres=tuple(args.genre), forms=(args.form,)
+        )
+    report = db.ingest(clip, category=category)
+    db.save(args.db)
+    print(
+        f"ingested {report.video_id!r}: {report.n_frames} frames, "
+        f"{report.n_shots} shots, scene tree height {report.tree_height}"
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .workloads.figure5 import make_figure5_clip
+    from .workloads.friends import make_friends_clip
+
+    db = _load_or_create(args.db)
+    for maker in (make_figure5_clip, make_friends_clip):
+        clip, _ = maker()
+        if clip.name in db.catalog:
+            print(f"{clip.name!r} already present; skipping")
+            continue
+        report = db.ingest(clip)
+        print(f"ingested {report.video_id!r} ({report.n_shots} shots)")
+    db.save(args.db)
+    print(f"demo database written to {args.db}")
+    return 0
+
+
+def _cmd_remove(args: argparse.Namespace) -> int:
+    db = _load_existing(args.db)
+    removed = db.remove(args.video)
+    db.save(args.db)
+    print(f"removed {args.video!r} ({removed} index entries)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = _load_existing(args.db)
+    rows = []
+    for entry in db.catalog:
+        rows.append(
+            {
+                "video": entry.video_id,
+                "frames": entry.n_frames,
+                "size": f"{entry.cols}x{entry.rows}",
+                "fps": entry.fps,
+                "shots": entry.n_shots,
+                "category": entry.category.label if entry.category else "-",
+            }
+        )
+    print(format_table(rows, title=f"{len(db.catalog)} videos, {len(db.index)} indexed shots"))
+    return 0
+
+
+def _cmd_shots(args: argparse.Namespace) -> int:
+    db = _load_existing(args.db)
+    rows = [
+        entry.to_row()
+        for entry in sorted(
+            (e for e in db.index.entries if e.video_id == args.video),
+            key=lambda e: e.shot_number,
+        )
+    ]
+    if not rows:
+        raise ReproError(f"unknown video {args.video!r}")
+    print(format_table(rows, title=f"shots of {args.video!r}"))
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    db = _load_existing(args.db)
+    tree = db.scene_tree(args.video)
+
+    def show(node: SceneNode, depth: int) -> None:
+        print(
+            "  " * depth
+            + f"{node.label}  (rep frame {node.representative_frame})"
+        )
+        for child in node.children:
+            show(child, depth + 1)
+
+    print(f"scene tree of {args.video!r} (height {tree.height}):")
+    show(tree.root, 0)
+    return 0
+
+
+_BROWSE_HELP = """\
+commands:
+  ls          list the current node's children
+  cd N        descend into child N (0-based)
+  up          ascend to the parent
+  next / prev step between siblings
+  story       level-by-level storyboard under the current node
+  summary N   budgeted summary of the whole tree (N frames)
+  path        show the path from the root
+  help        this message
+  quit        leave the browser"""
+
+
+def _cmd_browse(args: argparse.Namespace, input_stream=None) -> int:
+    """Interactive non-linear browsing (the paper's Sec. 3 use case)."""
+    from .scenetree.summarize import summarize_tree
+
+    db = _load_existing(args.db)
+    session = db.browse(args.video)
+    stream = input_stream if input_stream is not None else sys.stdin
+    interactive = input_stream is None and sys.stdin.isatty()
+    print(f"browsing {args.video!r} — 'help' for commands")
+    print(f"at {session.current.label}")
+    while True:
+        if interactive:
+            print("> ", end="", flush=True)
+        line = stream.readline()
+        if not line:
+            break
+        parts = line.split()
+        if not parts:
+            continue
+        command, *operands = parts
+        try:
+            if command == "quit":
+                break
+            elif command == "help":
+                print(_BROWSE_HELP)
+            elif command == "ls":
+                for k, child in enumerate(session.current.children):
+                    print(
+                        f"  [{k}] {child.label}  "
+                        f"(rep frame {child.representative_frame})"
+                    )
+                if not session.current.children:
+                    print("  (a shot — no children)")
+            elif command == "cd":
+                node = session.descend(int(operands[0]) if operands else 0)
+                print(f"at {node.label}")
+            elif command == "up":
+                print(f"at {session.ascend().label}")
+            elif command == "next":
+                print(f"at {session.sibling(1).label}")
+            elif command == "prev":
+                print(f"at {session.sibling(-1).label}")
+            elif command == "story":
+                for label, frame in session.storyboard():
+                    print(f"  {label}: frame {frame}")
+            elif command == "summary":
+                budget = int(operands[0]) if operands else 5
+                for label, frame in summarize_tree(session.tree, budget):
+                    print(f"  {label}: frame {frame}")
+            elif command == "path":
+                print("  " + " -> ".join(session.path_from_root()))
+            else:
+                print(f"unknown command {command!r} — 'help' for commands")
+        except (ReproError, ValueError, IndexError) as exc:
+            print(f"error: {exc}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _load_existing(args.db)
+    answer = db.ask(args.text)
+    if not answer.matches:
+        print("no matching shots")
+        return 0
+    for route in answer.routes:
+        entry = route.entry
+        print(
+            f"{entry.shot_id:28s} D^v={entry.d_v:7.2f} "
+            f"sqrt(Var^BA)={entry.sqrt_var_ba:6.2f} -> "
+            f"{route.node.label if route.node else '-'}"
+        )
+    return 0
+
+
+def _cmd_storyboard(args: argparse.Namespace) -> int:
+    """Analyze a video file and write its scene-tree contact sheet."""
+    from .scenetree.builder import SceneTreeBuilder
+    from .sbd.detector import CameraTrackingDetector
+    from .video.ppm import write_storyboard
+
+    clip = _read_clip(args.video)
+    if clip.fps > ANALYSIS_FPS:
+        clip = resample_fps(clip, ANALYSIS_FPS)
+    detection = CameraTrackingDetector().detect(clip)
+    tree = SceneTreeBuilder().build_from_detection(detection)
+    out = Path(args.output) if args.output else Path(args.video).with_suffix(".ppm")
+    write_storyboard(tree, clip, out)
+    print(
+        f"storyboard for {clip.name!r}: {detection.n_shots} shots, "
+        f"tree height {tree.height} -> {out}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    known = (
+        "table1", "table2", "table3", "table4", "table5",
+        "figure6", "figure7", "figures8_10", "sensitivity",
+        "retrieval_matrix",
+    )
+    if args.name not in known:
+        raise ReproError(
+            f"unknown experiment {args.name!r}; choose from {', '.join(known)}"
+        )
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    old_argv = sys.argv
+    try:
+        sys.argv = [f"repro.experiments.{args.name}", *args.extra]
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Camera-tracking video database (Oh & Hua, SIGMOD 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ingest", help="analyze a video file into the database")
+    p.add_argument("video", help="path to an .avi or .rvid file")
+    p.add_argument("--db", required=True, help="database directory")
+    p.add_argument("--genre", action="append", default=[], help="genre label (repeatable)")
+    p.add_argument("--form", default="feature", help="form label (default: feature)")
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser("demo", help="build a demo database from the paper's clips")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("info", help="show the catalog")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("remove", help="drop a video from the database")
+    p.add_argument("video")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_remove)
+
+    p = sub.add_parser("shots", help="list one video's indexed shots")
+    p.add_argument("video")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_shots)
+
+    p = sub.add_parser("tree", help="print one video's scene tree")
+    p.add_argument("video")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_tree)
+
+    p = sub.add_parser("browse", help="interactively browse a video's scene tree")
+    p.add_argument("video")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_browse)
+
+    p = sub.add_parser("query", help="run an impression-language query")
+    p.add_argument("text", help='e.g. "background calm, foreground busy, limit 5"')
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "storyboard", help="write a scene-tree contact sheet (PPM) for a video file"
+    )
+    p.add_argument("video", help="path to an .avi or .rvid file")
+    p.add_argument("-o", "--output", help="output .ppm path (default: alongside input)")
+    p.set_defaults(func=_cmd_storyboard)
+
+    p = sub.add_parser("experiment", help="run a paper experiment driver")
+    p.add_argument("name", help="table1..table5, figure6, figure7, figures8_10, sensitivity, retrieval_matrix")
+    p.add_argument("extra", nargs="*", help="arguments passed to the driver")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped to a consumer that stopped reading (head);
+        # exit quietly like a well-behaved Unix tool.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

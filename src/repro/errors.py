@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause while still being able to distinguish the specific
+failure modes that matter to them (bad frames, malformed containers,
+query mistakes, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FrameError",
+    "DimensionError",
+    "VideoFormatError",
+    "EmptyClipError",
+    "ShotError",
+    "SceneTreeError",
+    "IndexError_",
+    "QueryError",
+    "CatalogError",
+    "StorageError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class FrameError(ReproError):
+    """A video frame is malformed (wrong dtype, shape, or value range)."""
+
+
+class DimensionError(ReproError):
+    """A geometric dimension is invalid for the requested operation.
+
+    Raised, for example, when a frame is too small to carve out a
+    background area, or when a length is not a member of the Gaussian
+    Pyramid size set but the caller required one.
+    """
+
+
+class VideoFormatError(ReproError):
+    """A serialized video container is corrupt or has the wrong magic."""
+
+
+class EmptyClipError(ReproError):
+    """An operation that needs at least one frame received an empty clip."""
+
+
+class ShotError(ReproError):
+    """A shot record is inconsistent (empty range, reversed bounds, ...)."""
+
+
+class SceneTreeError(ReproError):
+    """Scene-tree construction or navigation failed."""
+
+
+class IndexError_(ReproError):
+    """The similarity index is in an invalid state.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """A similarity query is malformed (negative variances, bad ranges)."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation referenced an unknown or duplicate video."""
+
+
+class StorageError(ReproError):
+    """The on-disk database layout is missing or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is invalid."""

@@ -1,0 +1,45 @@
+"""Evaluation metrics for the three experiment families.
+
+* :mod:`repro.eval.sbd_metrics` — recall/precision for shot boundary
+  detection, using the Sec. 5.1 definitions with tolerance-window
+  matching;
+* :mod:`repro.eval.tree_metrics` — scene-tree quality against the
+  synthetic generator's related-shot labels (replacing the paper's
+  human inspection, Sec. 5.2);
+* :mod:`repro.eval.retrieval_metrics` — precision@k over archetype
+  labels for the Figs. 8-10 retrieval experiments.
+"""
+
+from .sbd_metrics import SBDScore, match_boundaries, score_boundaries
+from .tree_metrics import (
+    TreeQuality,
+    pairwise_grouping_agreement,
+    scene_purity,
+    tree_quality,
+)
+from .retrieval_metrics import RetrievalScore, precision_at_k, score_retrieval
+from .pr_curve import (
+    OperatingCurve,
+    OperatingPoint,
+    camera_tracking_curve,
+    histogram_curve,
+    sweep_detector,
+)
+
+__all__ = [
+    "SBDScore",
+    "match_boundaries",
+    "score_boundaries",
+    "TreeQuality",
+    "pairwise_grouping_agreement",
+    "scene_purity",
+    "tree_quality",
+    "RetrievalScore",
+    "precision_at_k",
+    "score_retrieval",
+    "OperatingCurve",
+    "OperatingPoint",
+    "camera_tracking_curve",
+    "histogram_curve",
+    "sweep_detector",
+]

@@ -1,0 +1,125 @@
+"""Precision/recall operating curves for shot boundary detectors.
+
+Table 5 reports each detector at one operating point; this module
+traces the whole curve by sweeping a detector's principal sensitivity
+parameter over a fixed workload.  For the camera-tracking detector the
+natural knob is the stage-3 acceptance fraction (higher = stricter
+same-shot evidence = more boundaries declared); for the histogram
+baseline, the cut threshold.
+
+The curves feed the ablation analysis: how gracefully each method
+trades recall for precision, and how wide its sweet spot is (the
+operational meaning of the paper's "reliability" argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..baselines.histogram import HistogramSBD
+from ..config import SBDConfig
+from ..sbd.detector import CameraTrackingDetector
+from ..video.clip import VideoClip
+from .sbd_metrics import SBDScore, score_boundaries
+
+__all__ = [
+    "OperatingPoint",
+    "OperatingCurve",
+    "sweep_detector",
+    "camera_tracking_curve",
+    "histogram_curve",
+]
+
+Workload = Sequence[tuple[VideoClip, Sequence[int]]]
+
+
+@dataclass(frozen=True, slots=True)
+class OperatingPoint:
+    """One parameter setting's pooled detection score."""
+
+    parameter: float
+    score: SBDScore
+
+    @property
+    def f1(self) -> float:
+        r, p = self.score.recall, self.score.precision
+        return 0.0 if r + p == 0 else 2 * r * p / (r + p)
+
+
+@dataclass(frozen=True, slots=True)
+class OperatingCurve:
+    """A swept detector's precision/recall trajectory."""
+
+    detector_name: str
+    points: tuple[OperatingPoint, ...]
+
+    @property
+    def best(self) -> OperatingPoint:
+        """The F1-optimal operating point."""
+        return max(self.points, key=lambda point: point.f1)
+
+    @property
+    def f1_spread(self) -> float:
+        """Best minus worst F1 over the sweep (threshold sensitivity)."""
+        values = [point.f1 for point in self.points]
+        return max(values) - min(values)
+
+    def sweet_spot_width(self, slack: float = 0.05) -> int:
+        """How many settings land within ``slack`` of the best F1.
+
+        A wide sweet spot means the parameter is forgiving; a narrow
+        one is the paper's reliability complaint in one number.
+        """
+        best = self.best.f1
+        return sum(1 for point in self.points if point.f1 >= best - slack)
+
+
+def sweep_detector(
+    name: str,
+    workload: Workload,
+    parameters: Iterable[float],
+    detect_factory: Callable[[float], Callable[[VideoClip], Sequence[int]]],
+    tolerance: int = 1,
+) -> OperatingCurve:
+    """Generic sweep: build a detector per parameter, pool its scores."""
+    points = []
+    for parameter in parameters:
+        detect = detect_factory(parameter)
+        total = SBDScore(0, 0, 0)
+        for clip, truth in workload:
+            total = total + score_boundaries(truth, detect(clip), tolerance)
+        points.append(OperatingPoint(parameter=parameter, score=total))
+    return OperatingCurve(detector_name=name, points=tuple(points))
+
+
+def camera_tracking_curve(
+    workload: Workload,
+    fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 0.95),
+) -> OperatingCurve:
+    """Sweep the stage-3 acceptance fraction of the camera tracker."""
+
+    def factory(fraction: float):
+        detector = CameraTrackingDetector(
+            config=SBDConfig(min_match_run_fraction=fraction)
+        )
+        return lambda clip: detector.detect(clip).boundaries
+
+    return sweep_detector("camera-tracking", workload, fractions, factory)
+
+
+def histogram_curve(
+    workload: Workload,
+    cuts: Sequence[float] = (0.01, 0.03, 0.08, 0.15, 0.3, 0.5, 0.8),
+) -> OperatingCurve:
+    """Sweep the histogram detector's cut threshold."""
+
+    def factory(cut: float):
+        detector = HistogramSBD(
+            cut_threshold=cut,
+            low_threshold=cut / 3,
+            accumulation_threshold=max(cut, 0.1),
+        )
+        return lambda clip: detector.detect_boundaries(clip).boundaries
+
+    return sweep_detector("histogram", workload, cuts, factory)

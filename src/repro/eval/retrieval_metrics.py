@@ -1,0 +1,64 @@
+"""Retrieval metrics for the Figs. 8-10 experiments.
+
+The paper shows the three most similar shots per query and argues they
+"resemble some characteristics of the shot used to do the retrieval".
+Our synthetic corpus labels every shot with its archetype, so the
+claim becomes *precision@k*: the fraction of the top-k results sharing
+the query's archetype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import QueryError
+
+__all__ = ["RetrievalScore", "precision_at_k", "score_retrieval"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetrievalScore:
+    """Aggregated retrieval quality over a set of queries."""
+
+    n_queries: int
+    k: int
+    mean_precision: float
+    perfect_queries: int
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"P@{self.k}={self.mean_precision:.2f} over {self.n_queries} "
+            f"queries ({self.perfect_queries} perfect)"
+        )
+
+
+def precision_at_k(
+    query_label: str, result_labels: Sequence[str | None], k: int
+) -> float:
+    """Fraction of the first ``k`` results matching the query label.
+
+    Fewer than ``k`` results are scored against ``k`` (missing results
+    count as misses), so an index that returns nothing scores 0.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    hits = sum(1 for label in result_labels[:k] if label == query_label)
+    return hits / k
+
+
+def score_retrieval(
+    per_query: Sequence[tuple[str, Sequence[str | None]]], k: int = 3
+) -> RetrievalScore:
+    """Aggregate precision@k over ``(query_label, result_labels)`` pairs."""
+    if not per_query:
+        raise QueryError("no queries to score")
+    precisions = [
+        precision_at_k(label, results, k) for label, results in per_query
+    ]
+    return RetrievalScore(
+        n_queries=len(per_query),
+        k=k,
+        mean_precision=sum(precisions) / len(precisions),
+        perfect_queries=sum(1 for p in precisions if p == 1.0),
+    )

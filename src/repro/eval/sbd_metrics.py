@@ -1,0 +1,96 @@
+"""Recall/precision for shot boundary detection (Sec. 5.1).
+
+The paper's definitions:
+
+* *Recall* — shot changes detected correctly / actual shot changes;
+* *Precision* — shot changes detected correctly / total detected.
+
+"Correctly" requires a matching rule: we use greedy one-to-one
+matching inside a tolerance window (default ±1 frame at 3 fps), so a
+detection a frame off a dissolve's labeled boundary still counts, but
+two detections can never both claim one ground-truth change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["SBDScore", "match_boundaries", "score_boundaries"]
+
+
+@dataclass(frozen=True, slots=True)
+class SBDScore:
+    """Detection quality of one clip (one row of Table 5).
+
+    Attributes:
+        actual: number of true shot changes.
+        detected: number of detected shot changes.
+        correct: matched pairs (true positives).
+    """
+
+    actual: int
+    detected: int
+    correct: int
+
+    @property
+    def recall(self) -> float:
+        """Correct / actual; 1.0 for a clip without shot changes."""
+        return self.correct / self.actual if self.actual else 1.0
+
+    @property
+    def precision(self) -> float:
+        """Correct / detected; 1.0 when nothing was detected and
+        nothing should have been."""
+        if self.detected:
+            return self.correct / self.detected
+        return 1.0 if self.actual == 0 else 0.0
+
+    def __add__(self, other: "SBDScore") -> "SBDScore":
+        """Pool counts (the Table 5 "Total" row is count-pooled)."""
+        return SBDScore(
+            actual=self.actual + other.actual,
+            detected=self.detected + other.detected,
+            correct=self.correct + other.correct,
+        )
+
+
+def match_boundaries(
+    truth: Sequence[int], detected: Sequence[int], tolerance: int = 1
+) -> list[tuple[int, int]]:
+    """Greedy one-to-one matching of detections to true boundaries.
+
+    Both sequences are frame indices.  Pairs are formed in order of
+    increasing distance; each truth/detection participates at most
+    once; only pairs within ``tolerance`` frames match.
+
+    Returns the matched ``(true_boundary, detected_boundary)`` pairs.
+    """
+    candidates = sorted(
+        (abs(t - d), ti, di)
+        for ti, t in enumerate(truth)
+        for di, d in enumerate(detected)
+        if abs(t - d) <= tolerance
+    )
+    used_truth: set[int] = set()
+    used_detected: set[int] = set()
+    pairs: list[tuple[int, int]] = []
+    for _, ti, di in candidates:
+        if ti in used_truth or di in used_detected:
+            continue
+        used_truth.add(ti)
+        used_detected.add(di)
+        pairs.append((truth[ti], detected[di]))
+    return pairs
+
+
+def score_boundaries(
+    truth: Iterable[int], detected: Iterable[int], tolerance: int = 1
+) -> SBDScore:
+    """Compute an :class:`SBDScore` from boundary lists."""
+    truth_list = list(truth)
+    detected_list = list(detected)
+    pairs = match_boundaries(truth_list, detected_list, tolerance)
+    return SBDScore(
+        actual=len(truth_list), detected=len(detected_list), correct=len(pairs)
+    )

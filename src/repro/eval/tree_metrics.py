@@ -1,0 +1,107 @@
+"""Scene-tree quality metrics.
+
+The paper assessed its trees by inspection ("it is difficult to
+quantify the quality of these scene trees", Sec. 5.2).  The synthetic
+workloads carry related-shot labels, so we can quantify after all:
+
+* **scene purity** — for each lowest-level scene (a leaf's parent),
+  the fraction of its shots that share the majority group label,
+  weighted by scene size;
+* **pairwise grouping agreement** — over all shot pairs, how often
+  "same lowest-level scene" agrees with "same ground-truth group"
+  (Rand-index style, balanced between togetherness and separation).
+
+Both metrics apply to any :class:`~repro.scenetree.nodes.SceneTree`,
+including the time-only baseline hierarchy, making the content-vs-time
+comparison a single function call.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SceneTreeError
+from ..scenetree.nodes import SceneTree
+
+__all__ = [
+    "TreeQuality",
+    "scene_assignment",
+    "scene_purity",
+    "pairwise_grouping_agreement",
+    "tree_quality",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeQuality:
+    """Summary of one tree's agreement with ground-truth groups."""
+
+    purity: float
+    pair_agreement: float
+    n_scenes: int
+    height: int
+
+
+def scene_assignment(tree: SceneTree) -> list[int]:
+    """Scene id per shot: which lowest-level scene each leaf belongs to.
+
+    The scene of a shot is its leaf's parent node (the paper's level-1
+    scenes); leaves directly under the root in degenerate trees form
+    their own scenes.
+    """
+    ids: dict[int, int] = {}
+    assignment: list[int] = []
+    for leaf in tree.leaves:
+        parent = leaf.parent
+        if parent is None:
+            raise SceneTreeError(f"leaf {leaf.label} has no parent")
+        assignment.append(ids.setdefault(parent.node_id, len(ids)))
+    return assignment
+
+
+def scene_purity(tree: SceneTree, groups: Sequence[str]) -> float:
+    """Size-weighted majority-label purity of the lowest-level scenes."""
+    if len(groups) != tree.n_shots:
+        raise SceneTreeError(
+            f"{len(groups)} labels for {tree.n_shots} shots"
+        )
+    assignment = scene_assignment(tree)
+    members: dict[int, list[str]] = {}
+    for scene_id, group in zip(assignment, groups):
+        members.setdefault(scene_id, []).append(group)
+    total = sum(
+        Counter(labels).most_common(1)[0][1] for labels in members.values()
+    )
+    return total / len(groups)
+
+
+def pairwise_grouping_agreement(tree: SceneTree, groups: Sequence[str]) -> float:
+    """Rand-style agreement between tree scenes and label groups."""
+    if len(groups) != tree.n_shots:
+        raise SceneTreeError(f"{len(groups)} labels for {tree.n_shots} shots")
+    n = tree.n_shots
+    if n < 2:
+        return 1.0
+    assignment = scene_assignment(tree)
+    agree = 0
+    total = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            same_scene = assignment[i] == assignment[j]
+            same_group = groups[i] == groups[j]
+            agree += same_scene == same_group
+            total += 1
+    return agree / total
+
+
+def tree_quality(tree: SceneTree, groups: Sequence[str]) -> TreeQuality:
+    """Bundle purity + agreement + shape statistics for one tree."""
+    assignment = scene_assignment(tree)
+    return TreeQuality(
+        purity=scene_purity(tree, groups),
+        pair_agreement=pairwise_grouping_agreement(tree, groups),
+        n_scenes=len(set(assignment)),
+        height=tree.height,
+    )

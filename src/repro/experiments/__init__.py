@@ -1,0 +1,16 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a structured
+result object with the same rows/series the paper reports, plus a
+``main()`` that prints the paper-vs-measured comparison.  The bench
+suite under ``benchmarks/`` times and regression-checks these drivers;
+EXPERIMENTS.md records their output.
+
+    python -m repro.experiments.table5      # the headline SBD table
+    python -m repro.experiments.figures8_10 # the retrieval figures
+    python -m repro.experiments.sensitivity # the Sec. 1 threshold claim
+"""
+
+from . import report
+
+__all__ = ["report"]

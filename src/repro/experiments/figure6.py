@@ -1,0 +1,113 @@
+"""Figure 6 — step-by-step scene-tree construction on the Fig. 5 clip.
+
+Replays the construction and checks the build trace and final tree
+against the paper's walkthrough:
+
+* 6(a) shot#3 relates to shot#1 → scenario 1 (EN1 over shots 1-3,
+  shot#2 included);
+* 6(b) shot#4 relates to shot#2 → scenario 2 (joins EN1);
+* 6(c) shot#5 relates to nothing → new EN2;
+* 6(d) shot#6 relates to shot#3 → scenario 3 (joins EN2; EN1+EN2 under
+  new EN3);
+* 6(e) shot#7 relates to shot#5 → scenario 2 (joins EN2);
+* 6(f) shot#8 relates to nothing → new EN4;
+* 6(g) shots #9/#10 relate to their immediate predecessors → both join
+  EN4; root over EN3+EN4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..scenetree.builder import BuildStep, SceneTreeBuilder
+from ..scenetree.nodes import SceneTree
+from ..sbd.detector import CameraTrackingDetector
+from ..workloads.figure5 import make_figure5_clip
+
+__all__ = ["EXPECTED_TRACE", "EXPECTED_SHAPE", "Figure6Result", "run", "main"]
+
+#: (1-based shot, 1-based related shot or None, scenario) per Fig. 6.
+EXPECTED_TRACE: tuple[tuple[int, int | None, int], ...] = (
+    (3, 1, 1),
+    (4, 2, 2),
+    (5, None, 0),
+    (6, 3, 3),
+    (7, 5, 2),
+    (8, None, 0),
+    (9, 8, 2),
+    (10, 8, 2),
+)
+
+#: Leaf groups under each lowest-level scene node, per Fig. 6(g).
+EXPECTED_SHAPE: tuple[tuple[int, ...], ...] = ((1, 2, 3, 4), (5, 6, 7), (8, 9, 10))
+
+
+def _shot_groups(tree: SceneTree) -> tuple[tuple[int, ...], ...]:
+    """Leaf shot numbers grouped by their (lowest-level) parent node."""
+    groups: dict[int, list[int]] = {}
+    for leaf in tree.leaves:
+        assert leaf.parent is not None
+        groups.setdefault(leaf.parent.node_id, []).append(leaf.shot_index + 1)
+    return tuple(tuple(shots) for shots in groups.values())
+
+
+@dataclass(frozen=True, slots=True)
+class Figure6Result:
+    """Measured trace/shape and their agreement with the paper."""
+
+    trace: list[BuildStep]
+    tree: SceneTree
+    trace_matches: bool
+    shape_matches: bool
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.trace_matches and self.shape_matches
+
+
+def run() -> Figure6Result:
+    """Detect shots on the Fig. 5 clip and rebuild the Fig. 6 tree."""
+    clip, _ = make_figure5_clip()
+    detection = CameraTrackingDetector().detect(clip)
+    builder = SceneTreeBuilder()
+    tree = builder.build_from_detection(detection)
+    measured = tuple(
+        (
+            step.shot_index + 1,
+            None if step.related_to is None else step.related_to + 1,
+            step.scenario,
+        )
+        for step in builder.trace
+    )
+    return Figure6Result(
+        trace=builder.trace,
+        tree=tree,
+        trace_matches=measured == EXPECTED_TRACE,
+        shape_matches=_shot_groups(tree) == EXPECTED_SHAPE,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Print the paper-vs-measured comparison for this experiment."""
+    result = run()
+    print("Figure 6 — scene-tree construction walkthrough")
+    for step in result.trace:
+        related = "-" if step.related_to is None else f"shot#{step.related_to + 1}"
+        print(
+            f"  shot#{step.shot_index + 1}: related to {related} "
+            f"(scenario {step.scenario}"
+            + (", via i-1 fallback)" if step.via_fallback else ")")
+        )
+
+    def show(node, depth=0):
+        print("    " * depth + node.label)
+        for child in node.children:
+            show(child, depth + 1)
+
+    show(result.tree.root)
+    print(f"trace matches paper: {result.trace_matches}")
+    print(f"tree shape matches paper: {result.shape_matches}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats to two decimals, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Format dict rows as an aligned plain-text table.
+
+    Args:
+        rows: the data; each row is a column → value mapping.
+        columns: column order (defaults to the first row's key order).
+        title: optional heading line.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[format_value(row.get(col)) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(line[k]) for line in rendered))
+        for k, col in enumerate(cols)
+    ]
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    header = "  ".join(col.ljust(widths[k]) for k, col in enumerate(cols))
+    parts.append(header)
+    parts.append("  ".join("-" * w for w in widths))
+    for line in rendered:
+        parts.append("  ".join(cell.ljust(widths[k]) for k, cell in enumerate(line)))
+    return "\n".join(parts)

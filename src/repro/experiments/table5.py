@@ -1,0 +1,157 @@
+"""Table 5 — SBD recall/precision over the 22-clip suite.
+
+The headline experiment.  For every clip of the suite: generate its
+synthetic stand-in, run the camera-tracking detector, score against
+the generator's exact ground truth, and print the paper's reported
+numbers next to the measured ones.  The "Total" row pools counts, as
+the paper's does.
+
+Optionally the baselines (color histogram, ECR, pairwise pixels) run
+on the same clips, reproducing the paper's claim that camera tracking
+"is significantly more accurate" than both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.ecr import EdgeChangeRatioSBD
+from ..baselines.histogram import HistogramSBD
+from ..baselines.pairwise import PairwisePixelSBD
+from ..eval.sbd_metrics import SBDScore, score_boundaries
+from ..sbd.detector import CameraTrackingDetector
+from ..workloads.table5 import TABLE5_CLIPS, Table5Clip, generate_table5_clip
+
+__all__ = ["ClipOutcome", "Table5Result", "run", "main"]
+
+#: Paper totals for the bottom row.
+PAPER_TOTAL_RECALL = 0.90
+PAPER_TOTAL_PRECISION = 0.85
+
+
+@dataclass(frozen=True, slots=True)
+class ClipOutcome:
+    """Measured vs. paper numbers for one clip."""
+
+    clip: Table5Clip
+    duration: str
+    score: SBDScore
+    baseline_scores: dict[str, SBDScore] = field(default_factory=dict)
+
+    def to_row(self) -> dict[str, object]:
+        """Render this clip's measured-vs-paper numbers as one row."""
+        row: dict[str, object] = {
+            "type": self.clip.category,
+            "name": self.clip.name,
+            "duration": self.duration,
+            "shot_changes": self.score.actual,
+            "recall": self.score.recall,
+            "precision": self.score.precision,
+            "paper_recall": self.clip.paper_recall,
+            "paper_precision": self.clip.paper_precision,
+        }
+        for name, score in self.baseline_scores.items():
+            row[f"{name}_recall"] = score.recall
+            row[f"{name}_precision"] = score.precision
+        return row
+
+
+@dataclass(frozen=True, slots=True)
+class Table5Result:
+    """All clip outcomes plus pooled totals."""
+
+    outcomes: list[ClipOutcome]
+    total: SBDScore
+    baseline_totals: dict[str, SBDScore]
+
+    def rows(self) -> list[dict[str, object]]:
+        """All clip rows plus the pooled Total row (Table 5 layout)."""
+        rows = [outcome.to_row() for outcome in self.outcomes]
+        total_row: dict[str, object] = {
+            "type": "",
+            "name": "Total",
+            "duration": "",
+            "shot_changes": self.total.actual,
+            "recall": self.total.recall,
+            "precision": self.total.precision,
+            "paper_recall": PAPER_TOTAL_RECALL,
+            "paper_precision": PAPER_TOTAL_PRECISION,
+        }
+        for name, score in self.baseline_totals.items():
+            total_row[f"{name}_recall"] = score.recall
+            total_row[f"{name}_precision"] = score.precision
+        rows.append(total_row)
+        return rows
+
+
+def run(
+    scale: float = 0.2,
+    tolerance: int = 1,
+    include_baselines: bool = False,
+    clips: tuple[Table5Clip, ...] = TABLE5_CLIPS,
+) -> Table5Result:
+    """Run the Table 5 experiment.
+
+    Args:
+        scale: shot-count scale per clip (0.2 ≈ a fifth of the paper's
+            clip sizes; 1.0 for the full-scale run).
+        tolerance: boundary matching tolerance in frames.
+        include_baselines: also run the three baseline detectors.
+        clips: the clip suite (exposed so tests can run a subset).
+    """
+    detector = CameraTrackingDetector()
+    baselines = (
+        {
+            "histogram": HistogramSBD(),
+            "ecr": EdgeChangeRatioSBD(),
+            "pairwise": PairwisePixelSBD(),
+        }
+        if include_baselines
+        else {}
+    )
+    outcomes: list[ClipOutcome] = []
+    total = SBDScore(0, 0, 0)
+    baseline_totals = {name: SBDScore(0, 0, 0) for name in baselines}
+    for clip_spec in clips:
+        clip, truth = generate_table5_clip(clip_spec, scale=scale)
+        detection = detector.detect(clip)
+        score = score_boundaries(truth.boundaries, detection.boundaries, tolerance)
+        total = total + score
+        baseline_scores: dict[str, SBDScore] = {}
+        for name, baseline in baselines.items():
+            result = baseline.detect_boundaries(clip)
+            b_score = score_boundaries(truth.boundaries, result.boundaries, tolerance)
+            baseline_scores[name] = b_score
+            baseline_totals[name] = baseline_totals[name] + b_score
+        outcomes.append(
+            ClipOutcome(
+                clip=clip_spec,
+                duration=clip.duration_label,
+                score=score,
+                baseline_scores=baseline_scores,
+            )
+        )
+    return Table5Result(
+        outcomes=outcomes, total=total, baseline_totals=baseline_totals
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Print the paper-vs-measured comparison for this experiment."""
+    import sys
+
+    from .report import format_table
+
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    include_baselines = "--baselines" in sys.argv
+    result = run(scale=scale, include_baselines=include_baselines)
+    print(
+        format_table(
+            result.rows(),
+            title=f"Table 5 — shot boundary detection (scale={scale})",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

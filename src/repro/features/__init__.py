@@ -1,0 +1,21 @@
+"""The variance feature vector (Sec. 4.1).
+
+Each shot is characterized by two numbers: ``Var^BA`` and ``Var^OA``,
+the statistical variances of its background/object-area sign streams
+(Eqs. 3-6).  They "capture the spatio-temporal semantics of the video
+shot, much like average color ... are used to characterize images".
+"""
+
+from .variance import shot_variance, sign_stream_mean, sign_stream_variance
+from .vector import FeatureVector, extract_shot_features
+from .extended import ExtendedFeatureVector, extract_extended_features
+
+__all__ = [
+    "shot_variance",
+    "sign_stream_mean",
+    "sign_stream_variance",
+    "FeatureVector",
+    "extract_shot_features",
+    "ExtendedFeatureVector",
+    "extract_extended_features",
+]

@@ -1,0 +1,53 @@
+"""Sign-stream statistics: Eqs. 3-6.
+
+For shot ``i`` spanning frames ``k .. l`` the paper defines
+
+    mean_i = sum(Sign_j) / (l - k + 1)                    (Eqs. 4, 6)
+    Var_i  = sum((Sign_j - mean_i)^2) / (l - k)           (Eqs. 3, 5)
+
+i.e. the *sample* variance (denominator ``n - 1``).  Signs are RGB
+triples; per interpretation 4 of DESIGN.md the scalar ``Var`` is the
+mean of the three per-channel sample variances.  A one-frame shot has
+zero variance by definition (nothing changes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShotError
+
+__all__ = ["sign_stream_mean", "sign_stream_variance", "shot_variance"]
+
+
+def _validate(signs: np.ndarray) -> np.ndarray:
+    arr = np.asarray(signs, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ShotError(f"sign stream must have shape (n, 3), got {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ShotError("sign stream is empty")
+    return arr
+
+
+def sign_stream_mean(signs: np.ndarray) -> np.ndarray:
+    """Per-channel mean of a sign stream (Eqs. 4, 6); shape ``(3,)``."""
+    return _validate(signs).mean(axis=0)
+
+
+def sign_stream_variance(signs: np.ndarray) -> np.ndarray:
+    """Per-channel sample variance (Eqs. 3, 5); shape ``(3,)``.
+
+    Uses the paper's ``l - k`` denominator (``n - 1``); a single-frame
+    stream returns zeros.
+    """
+    arr = _validate(signs)
+    n = arr.shape[0]
+    if n == 1:
+        return np.zeros(3)
+    mean = arr.mean(axis=0)
+    return ((arr - mean) ** 2).sum(axis=0) / (n - 1)
+
+
+def shot_variance(signs: np.ndarray) -> float:
+    """Scalar shot variance: mean of the per-channel sample variances."""
+    return float(sign_stream_variance(signs).mean())

@@ -1,0 +1,84 @@
+"""The per-shot feature vector ``(Var^BA, Var^OA)`` and ``D^v``.
+
+Sec. 4.2 derives the discriminator ``D^v = sqrt(Var^BA) - sqrt(Var^OA)``
+(the last column of Table 4); queries match on ``D^v`` and
+``sqrt(Var^BA)`` with tolerances alpha/beta (Eqs. 7-8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ShotError
+from ..sbd.detector import DetectionResult
+from ..sbd.shots import Shot
+from .variance import shot_variance
+
+__all__ = ["FeatureVector", "extract_shot_features"]
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureVector:
+    """The variance feature vector of one shot.
+
+    Attributes:
+        var_ba: background-area variance ``Var^BA``.
+        var_oa: object-area variance ``Var^OA``.
+    """
+
+    var_ba: float
+    var_oa: float
+
+    def __post_init__(self) -> None:
+        if self.var_ba < 0 or self.var_oa < 0:
+            raise ShotError(
+                f"variances must be non-negative, got ({self.var_ba}, {self.var_oa})"
+            )
+
+    @property
+    def sqrt_var_ba(self) -> float:
+        """``sqrt(Var^BA)`` — the Eq. 8 matching coordinate."""
+        return math.sqrt(self.var_ba)
+
+    @property
+    def sqrt_var_oa(self) -> float:
+        """``sqrt(Var^OA)``."""
+        return math.sqrt(self.var_oa)
+
+    @property
+    def d_v(self) -> float:
+        """``D^v = sqrt(Var^BA) - sqrt(Var^OA)`` (Table 4's last column)."""
+        return self.sqrt_var_ba - self.sqrt_var_oa
+
+    def distance(self, other: "FeatureVector") -> float:
+        """Euclidean distance in the ``(D^v, sqrt(Var^BA))`` plane.
+
+        Used only to *rank* matches for presentation (the paper shows
+        "the three most similar shots"); membership in the result set is
+        decided by Eqs. 7-8, not by this distance.
+        """
+        return math.hypot(self.d_v - other.d_v, self.sqrt_var_ba - other.sqrt_var_ba)
+
+
+def extract_shot_features(
+    result: DetectionResult, shot: Shot | None = None
+) -> list[FeatureVector] | FeatureVector:
+    """Compute feature vectors for one shot or every shot of a clip.
+
+    With ``shot`` given, returns that shot's :class:`FeatureVector`;
+    otherwise a list covering ``result.shots`` in order (the 6th/7th
+    columns of Table 3).
+    """
+    if shot is not None:
+        return FeatureVector(
+            var_ba=shot_variance(result.shot_signs_ba(shot)),
+            var_oa=shot_variance(result.shot_signs_oa(shot)),
+        )
+    return [
+        FeatureVector(
+            var_ba=shot_variance(result.shot_signs_ba(s)),
+            var_oa=shot_variance(result.shot_signs_oa(s)),
+        )
+        for s in result.shots
+    ]

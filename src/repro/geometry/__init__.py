@@ -1,0 +1,51 @@
+"""Region geometry for camera-tracking shot boundary detection.
+
+This package implements Sec. 2 of the paper:
+
+* :mod:`repro.geometry.sizeset` — the Gaussian Pyramid *size set*
+  ``{1, 5, 13, 29, 61, 125, ...}`` (Eq. 1) and the nearest-value
+  snapping rule of Table 1.
+* :mod:`repro.geometry.regions` — the ⊓-shaped fixed background area
+  (FBA) and the central fixed object area (FOA) of Figure 1, including
+  the dimension-estimation procedure of Sec. 2.2.
+* :mod:`repro.geometry.transform` — the FBA → TBA unfolding of
+  Figure 2 and resampling of arbitrary regions to size-set dimensions.
+"""
+
+from .sizeset import (
+    SIZE_SET_PREFIX,
+    is_size_set_member,
+    nearest_size,
+    size_index_for_estimate,
+    size_set,
+    size_set_element,
+)
+from .regions import (
+    FrameGeometry,
+    Rect,
+    compute_frame_geometry,
+    extract_foa,
+    fba_rects,
+)
+from .transform import (
+    extract_tba,
+    resample_region,
+    unfold_fba,
+)
+
+__all__ = [
+    "SIZE_SET_PREFIX",
+    "is_size_set_member",
+    "nearest_size",
+    "size_index_for_estimate",
+    "size_set",
+    "size_set_element",
+    "FrameGeometry",
+    "Rect",
+    "compute_frame_geometry",
+    "extract_foa",
+    "fba_rects",
+    "extract_tba",
+    "resample_region",
+    "unfold_fba",
+]

@@ -1,0 +1,182 @@
+"""Fixed background/object areas of a video frame (Fig. 1, Sec. 2.2).
+
+A frame of ``r`` rows by ``c`` columns is divided into:
+
+* the ⊓-shaped **fixed background area** (FBA): a top bar of height
+  ``w`` spanning the full width, plus left and right columns of width
+  ``w`` running from the bottom of the top bar to the bottom of the
+  frame; and
+* the **fixed object area** (FOA): the central ``h x b`` rectangle
+  beneath the top bar and between the two columns, where the primary
+  objects appear.
+
+Dimension estimation follows Sec. 2.2 exactly: ``w' = floor(c/10)``,
+``b' = c - 2w'``, ``h' = r - w'``, ``L' = c + 2h'``; each estimate is
+then snapped to the Gaussian Pyramid size set with Table 1's
+nearest-value rule (see :mod:`repro.geometry.sizeset`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import RegionConfig
+from ..errors import DimensionError, FrameError
+from .sizeset import nearest_size
+
+__all__ = ["Rect", "FrameGeometry", "compute_frame_geometry", "fba_rects", "extract_foa"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle in (row, column) pixel coordinates.
+
+    ``top``/``left`` are inclusive, ``bottom``/``right`` exclusive, so a
+    rect slices an array as ``frame[top:bottom, left:right]``.
+    """
+
+    top: int
+    left: int
+    bottom: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.bottom < self.top or self.right < self.left:
+            raise DimensionError(f"degenerate rectangle: {self}")
+
+    @property
+    def height(self) -> int:
+        return self.bottom - self.top
+
+    @property
+    def width(self) -> int:
+        return self.right - self.left
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    def slice_from(self, frame: np.ndarray) -> np.ndarray:
+        """Return a view of ``frame`` restricted to this rectangle."""
+        return frame[self.top : self.bottom, self.left : self.right]
+
+
+@dataclass(frozen=True, slots=True)
+class FrameGeometry:
+    """Derived region dimensions for one frame size (Sec. 2.2).
+
+    Attributes:
+        rows, cols: the frame dimensions ``r`` and ``c``.
+        w_est, h_est, b_est, l_est: the raw estimates ``w', h', b', L'``.
+        w, h, b, l: the size-set-snapped dimensions used by the pyramid.
+    """
+
+    rows: int
+    cols: int
+    w_est: int
+    h_est: int
+    b_est: int
+    l_est: int
+    w: int
+    h: int
+    b: int
+    l: int
+
+    @property
+    def tba_shape(self) -> tuple[int, int]:
+        """Shape ``(w, L)`` of the transformed background area."""
+        return (self.w, self.l)
+
+    @property
+    def foa_shape(self) -> tuple[int, int]:
+        """Shape ``(h, b)`` of the fixed object area after snapping."""
+        return (self.h, self.b)
+
+
+def compute_frame_geometry(
+    rows: int, cols: int, config: RegionConfig | None = None
+) -> FrameGeometry:
+    """Derive FBA/FOA/TBA dimensions for an ``rows x cols`` frame.
+
+    Follows Sec. 2.2: estimate ``w'`` as a fraction of the frame width
+    (10 % by default), derive ``b'``, ``h'`` and ``L'``, then snap each
+    to the size set (unless ``config.snap_to_size_set`` is False, an
+    ablation mode in which the raw estimates are used directly).
+
+    Raises:
+        DimensionError: when the frame is too small to host the ⊓ shape.
+    """
+    config = config or RegionConfig()
+    if rows < 4 or cols < 4:
+        raise DimensionError(
+            f"frame too small for background-area geometry: {rows}x{cols}"
+        )
+    w_est = config.estimated_strip_width(cols)
+    if 2 * w_est >= cols or w_est >= rows:
+        raise DimensionError(
+            f"strip width {w_est} does not fit a {rows}x{cols} frame"
+        )
+    b_est = cols - 2 * w_est
+    h_est = rows - w_est
+    l_est = cols + 2 * h_est
+    if config.snap_to_size_set:
+        w, h, b, l = (nearest_size(v) for v in (w_est, h_est, b_est, l_est))
+    else:
+        w, h, b, l = w_est, h_est, b_est, l_est
+    return FrameGeometry(
+        rows=rows,
+        cols=cols,
+        w_est=w_est,
+        h_est=h_est,
+        b_est=b_est,
+        l_est=l_est,
+        w=w,
+        h=h,
+        b=b,
+        l=l,
+    )
+
+
+def _validate_frame(frame: np.ndarray) -> None:
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise FrameError(
+            f"expected an RGB frame of shape (rows, cols, 3), got {frame.shape}"
+        )
+
+
+def fba_rects(geometry: FrameGeometry) -> tuple[Rect, Rect, Rect]:
+    """Return the three rectangles composing the ⊓-shaped FBA.
+
+    Returns ``(left_column, top_bar, right_column)`` in frame
+    coordinates, using the raw estimate ``w'`` for the strip width (the
+    snapped dimensions apply to the *resampled* TBA, not to where pixels
+    are read from).
+    """
+    w = geometry.w_est
+    top_bar = Rect(top=0, left=0, bottom=w, right=geometry.cols)
+    left_col = Rect(top=w, left=0, bottom=geometry.rows, right=w)
+    right_col = Rect(
+        top=w, left=geometry.cols - w, bottom=geometry.rows, right=geometry.cols
+    )
+    return left_col, top_bar, right_col
+
+
+def extract_foa(frame: np.ndarray, geometry: FrameGeometry) -> np.ndarray:
+    """Return the fixed object area of ``frame`` as an array view.
+
+    The FOA is the central region beneath the top bar and between the
+    two side columns (the darkly shaded area of Fig. 1).  The returned
+    view has the *estimated* dimensions ``h' x b'``; snapping to the
+    size set happens during resampling (see
+    :func:`repro.geometry.transform.resample_region`).
+    """
+    _validate_frame(frame)
+    if frame.shape[0] != geometry.rows or frame.shape[1] != geometry.cols:
+        raise FrameError(
+            f"frame shape {frame.shape[:2]} does not match geometry "
+            f"({geometry.rows}, {geometry.cols})"
+        )
+    w = geometry.w_est
+    return frame[w : geometry.rows, w : geometry.cols - w]

@@ -1,0 +1,114 @@
+"""The Gaussian Pyramid *size set* (Eq. 1) and Table 1's snapping rule.
+
+The modified Gaussian Pyramid used by the paper reduces five pixels to
+one, 13 to five, 29 to 13, and so on.  A length can therefore be
+reduced all the way down to a single pixel only when it belongs to the
+*size set*::
+
+    s_1 = 1,   s_j = 1 + sum_{i=2}^{j} 2^i   for j >= 2
+
+which yields ``{1, 5, 13, 29, 61, 125, 253, ...}`` — equivalently
+``s_j = 2^(j+1) - 3`` for ``j >= 2``.
+
+Estimated region dimensions (``w'``, ``h'``, ``b'``, ``L'``) are snapped
+to the *nearest* member of this set.  The paper gives the closed form
+
+    j = 2 + floor(log2((w' + 3) / 6))
+
+which reproduces Table 1 exactly (verified in the test suite for every
+estimate from 1 to 10_000).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..errors import DimensionError
+
+__all__ = [
+    "SIZE_SET_PREFIX",
+    "size_set_element",
+    "size_set",
+    "is_size_set_member",
+    "size_index_for_estimate",
+    "nearest_size",
+]
+
+#: The first eight members of the size set, as printed in the paper.
+SIZE_SET_PREFIX: tuple[int, ...] = (1, 5, 13, 29, 61, 125, 253, 509)
+
+
+def size_set_element(j: int) -> int:
+    """Return ``s_j``, the *j*-th element of the size set (1-indexed).
+
+    Implements Eq. 1: ``s_1 = 1`` and ``s_j = 1 + sum_{i=2}^{j} 2^i``,
+    i.e. ``s_j = 2**(j + 1) - 3`` for ``j >= 2``.
+
+    Raises:
+        DimensionError: if ``j < 1``.
+    """
+    if j < 1:
+        raise DimensionError(f"size-set index must be >= 1, got {j}")
+    if j == 1:
+        return 1
+    return (1 << (j + 1)) - 3
+
+
+def size_set(limit: int) -> Iterator[int]:
+    """Yield size-set members not exceeding ``limit``, in ascending order.
+
+    Example:
+        >>> list(size_set(61))
+        [1, 5, 13, 29, 61]
+    """
+    j = 1
+    while True:
+        s = size_set_element(j)
+        if s > limit:
+            return
+        yield s
+        j += 1
+
+
+def is_size_set_member(n: int) -> bool:
+    """Return True when ``n`` is a member of the size set.
+
+    Members satisfy ``n == 1`` or ``n + 3`` being a power of two with
+    ``n >= 5``.
+    """
+    if n == 1:
+        return True
+    if n < 5:
+        return False
+    m = n + 3
+    return m & (m - 1) == 0
+
+
+def size_index_for_estimate(estimate: int) -> int:
+    """Return the index ``j`` whose ``s_j`` is nearest to ``estimate``.
+
+    Implements the paper's closed form ``j = 2 + floor(log2((w'+3)/6))``
+    for estimates of 3 or more; estimates of 1 or 2 snap to ``s_1 = 1``
+    (first row of Table 1).
+
+    Raises:
+        DimensionError: if ``estimate < 1``.
+    """
+    if estimate < 1:
+        raise DimensionError(f"dimension estimate must be >= 1, got {estimate}")
+    if estimate <= 2:
+        return 1
+    return 2 + math.floor(math.log2((estimate + 3) / 6))
+
+
+def nearest_size(estimate: int) -> int:
+    """Snap ``estimate`` to the nearest size-set member (Table 1).
+
+    Example:
+        >>> nearest_size(16)   # w' = floor(160 / 10)
+        13
+        >>> nearest_size(21)
+        29
+    """
+    return size_set_element(size_index_for_estimate(estimate))

@@ -1,0 +1,100 @@
+"""FBA → TBA unfolding (Fig. 2) and size-set resampling.
+
+The ⊓-shaped FBA is awkward to compare directly, so the paper rotates
+its two vertical columns *outward* to form a single horizontal strip —
+the **transformed background area** (TBA) of height ``w`` and length
+``L = c + 2h``:
+
+* the left column (``h x w``) is rotated 90° clockwise so its top row
+  lands next to the top bar's left end, and prepended;
+* the top bar (``w x c``) stays in the middle;
+* the right column is rotated 90° counter-clockwise and appended.
+
+With this layout, camera pans/tilts/diagonals translate into
+approximately one-dimensional shifts of the strip contents, which is
+what the stage-3 shift matcher exploits.
+
+The pyramid requires strip dimensions from the size set, so the raw
+strip (``w' x L'``) is resampled to the snapped ``(w, L)`` with uniform
+index sampling: deterministic, monotone, and exact when the sizes
+already agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError, FrameError
+from .regions import FrameGeometry, fba_rects
+
+__all__ = ["unfold_fba", "resample_region", "extract_tba"]
+
+
+def unfold_fba(frame: np.ndarray, geometry: FrameGeometry) -> np.ndarray:
+    """Unfold the ⊓-shaped FBA of ``frame`` into a raw TBA strip.
+
+    Returns an array of shape ``(w', L')`` where ``w'`` is the estimated
+    strip width and ``L' = c + 2h'``; dtype matches the input frame.
+
+    The rotations keep the pixels that were adjacent across the corner
+    of the ⊓ adjacent in the strip, so background continuity survives
+    the unfolding.
+    """
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise FrameError(
+            f"expected an RGB frame of shape (rows, cols, 3), got {frame.shape}"
+        )
+    left_col, top_bar, right_col = fba_rects(geometry)
+    left = left_col.slice_from(frame)
+    top = top_bar.slice_from(frame)
+    right = right_col.slice_from(frame)
+    # Rotate the left column 90° clockwise: its top row (which touches
+    # the top bar's left end) becomes the rightmost column of the left
+    # segment, keeping corner-adjacent pixels adjacent in the strip.
+    left_strip = np.rot90(left, k=-1)
+    # Rotate the right column 90° counter-clockwise: its top row
+    # (touching the top bar's right end) becomes the segment's leftmost
+    # column.
+    right_strip = np.rot90(right, k=1)
+    return np.concatenate([left_strip, top, right_strip], axis=1)
+
+
+def resample_region(region: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+    """Resample a 2-D RGB region to ``out_shape`` by uniform index sampling.
+
+    For each output coordinate the nearest source row/column under a
+    uniform mapping is taken.  The mapping is deterministic and, when
+    the shapes already match, the output equals the input.  This is the
+    snapping step that brings raw FBA/FOA crops to size-set dimensions
+    so the Gaussian Pyramid can reduce them to a single pixel.
+
+    Raises:
+        DimensionError: when either output dimension is < 1 or the
+            region is empty.
+    """
+    out_rows, out_cols = out_shape
+    in_rows, in_cols = region.shape[:2]
+    if out_rows < 1 or out_cols < 1:
+        raise DimensionError(f"output shape must be positive, got {out_shape}")
+    if in_rows < 1 or in_cols < 1:
+        raise DimensionError(f"cannot resample an empty region {region.shape}")
+    if (in_rows, in_cols) == (out_rows, out_cols):
+        return region
+    row_idx = np.minimum(
+        (np.arange(out_rows) * in_rows // out_rows), in_rows - 1
+    )
+    col_idx = np.minimum(
+        (np.arange(out_cols) * in_cols // out_cols), in_cols - 1
+    )
+    return region[np.ix_(row_idx, col_idx)]
+
+
+def extract_tba(frame: np.ndarray, geometry: FrameGeometry) -> np.ndarray:
+    """Extract the size-set-snapped TBA of ``frame``.
+
+    Combines :func:`unfold_fba` with :func:`resample_region`, producing
+    a strip of shape ``geometry.tba_shape`` = ``(w, L)`` ready for
+    pyramid reduction.
+    """
+    raw = unfold_fba(frame, geometry)
+    return resample_region(raw, geometry.tba_shape)

@@ -1,0 +1,111 @@
+"""The variance-based similarity model (Sec. 4.2, Eqs. 7-8).
+
+A user "expresses the impression of how much things are changing in
+the background and object areas" as a pair ``(Var_q^BA, Var_q^OA)``.
+The system computes ``D_q^v = sqrt(Var_q^BA) - sqrt(Var_q^OA)`` and
+returns every shot ``i`` with
+
+    D_q^v - alpha <= D_i^v <= D_q^v + alpha                    (Eq. 7)
+    sqrt(Var_q^BA) - beta <= sqrt(Var_i^BA) <= sqrt(...) + beta (Eq. 8)
+
+with alpha = beta = 1.0 by default.  Matches are *ranked* (for
+presentation only) by distance in the ``(D^v, sqrt(Var^BA))`` plane,
+reproducing the "three most similar shots" of Figs. 8-10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import QueryConfig
+from ..errors import QueryError
+from ..features.vector import FeatureVector
+from .table import IndexEntry, IndexTable
+
+__all__ = ["VarianceQuery", "entry_matches", "search"]
+
+
+@dataclass(frozen=True, slots=True)
+class VarianceQuery:
+    """A similarity query over the variance index.
+
+    Attributes:
+        var_ba: queried background variance ``Var_q^BA``.
+        var_oa: queried object-area variance ``Var_q^OA``.
+    """
+
+    var_ba: float
+    var_oa: float
+
+    def __post_init__(self) -> None:
+        if self.var_ba < 0 or self.var_oa < 0:
+            raise QueryError(
+                f"query variances must be non-negative, got "
+                f"({self.var_ba}, {self.var_oa})"
+            )
+
+    @classmethod
+    def from_features(cls, features: FeatureVector) -> "VarianceQuery":
+        """Query-by-example: use an indexed shot's vector as the query."""
+        return cls(var_ba=features.var_ba, var_oa=features.var_oa)
+
+    @property
+    def sqrt_var_ba(self) -> float:
+        return math.sqrt(self.var_ba)
+
+    @property
+    def d_v(self) -> float:
+        """``D_q^v = sqrt(Var_q^BA) - sqrt(Var_q^OA)``."""
+        return self.sqrt_var_ba - math.sqrt(self.var_oa)
+
+    def rank_distance(self, entry: IndexEntry) -> float:
+        """Presentation ranking distance to an entry (not a match test)."""
+        return math.hypot(
+            self.d_v - entry.d_v, self.sqrt_var_ba - entry.sqrt_var_ba
+        )
+
+
+def entry_matches(
+    entry: IndexEntry, query: VarianceQuery, config: QueryConfig | None = None
+) -> bool:
+    """Eqs. 7-8: does ``entry`` fall inside the query's tolerance box?"""
+    config = config or QueryConfig()
+    if not (query.d_v - config.alpha <= entry.d_v <= query.d_v + config.alpha):
+        return False
+    return (
+        query.sqrt_var_ba - config.beta
+        <= entry.sqrt_var_ba
+        <= query.sqrt_var_ba + config.beta
+    )
+
+
+def search(
+    table: IndexTable,
+    query: VarianceQuery,
+    config: QueryConfig | None = None,
+    limit: int | None = None,
+    exclude_shot: tuple[str, int] | None = None,
+) -> list[IndexEntry]:
+    """Scan the index table and return matching shots, most similar first.
+
+    Args:
+        table: the index to search.
+        query: the impression query.
+        config: alpha/beta tolerances (paper defaults).
+        limit: return at most this many matches (None = all).
+        exclude_shot: optional ``(video_id, shot_number)`` removed from
+            the results — used in query-by-example so the probe shot
+            does not match itself.
+
+    Returns matches ordered by :meth:`VarianceQuery.rank_distance`.
+    """
+    config = config or QueryConfig()
+    matches = [
+        entry
+        for entry in table
+        if entry_matches(entry, query, config)
+        and (entry.video_id, entry.shot_number) != exclude_shot
+    ]
+    matches.sort(key=query.rank_distance)
+    return matches if limit is None else matches[:limit]

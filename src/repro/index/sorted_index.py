@@ -1,0 +1,160 @@
+"""A sorted index over ``D^v`` with persistence.
+
+"It is uniquely suitable for large video databases" (Sec. 6) — for
+that to hold, queries must not scan every shot.  Eq. 7 is a range
+predicate on ``D^v``, so keeping entries sorted by ``D^v`` lets a query
+locate the ``[D_q - alpha, D_q + alpha]`` band with two binary searches
+and then apply the Eq. 8 filter only to the band, i.e.
+``O(log n + band)`` instead of ``O(n)``.
+
+The index serializes to a JSON document (one array of rows), which the
+VDBMS storage layer writes next to the scene trees.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..config import QueryConfig
+from ..errors import IndexError_
+from ..features.vector import FeatureVector
+from .query import VarianceQuery
+from .table import IndexEntry, IndexTable
+
+__all__ = ["SortedVarianceIndex"]
+
+_FORMAT_VERSION = 1
+
+
+class SortedVarianceIndex:
+    """Entries kept sorted by ``D^v`` for sub-linear range queries."""
+
+    def __init__(self, entries: Iterable[IndexEntry] = ()) -> None:
+        self._entries: list[IndexEntry] = sorted(entries, key=lambda e: e.d_v)
+        self._keys: list[float] = [e.d_v for e in self._entries]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: IndexTable) -> "SortedVarianceIndex":
+        """Build the sorted index from an in-memory index table."""
+        return cls(table)
+
+    def insert(self, entry: IndexEntry) -> None:
+        """Insert one entry, keeping the ``D^v`` order."""
+        position = bisect.bisect_left(self._keys, entry.d_v)
+        self._entries.insert(position, entry)
+        self._keys.insert(position, entry.d_v)
+
+    def remove_video(self, video_id: str) -> int:
+        """Drop every entry of one video; returns how many were removed."""
+        kept = [entry for entry in self._entries if entry.video_id != video_id]
+        removed = len(self._entries) - len(kept)
+        if removed:
+            self._entries = kept
+            self._keys = [entry.d_v for entry in kept]
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[IndexEntry]:
+        """Entries in ``D^v`` order (copy-safe view)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_scan(self, low: float, high: float) -> list[IndexEntry]:
+        """Entries with ``low <= D^v <= high`` (the Eq. 7 band)."""
+        if high < low:
+            raise IndexError_(f"empty range [{low}, {high}]")
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        return self._entries[lo:hi]
+
+    def search(
+        self,
+        query: VarianceQuery,
+        config: QueryConfig | None = None,
+        limit: int | None = None,
+        exclude_shot: tuple[str, int] | None = None,
+    ) -> list[IndexEntry]:
+        """Answer an impression query (same contract as ``query.search``).
+
+        The Eq. 7 band comes from the sorted order; Eq. 8 filters the
+        band; results are ranked most-similar-first.
+        """
+        config = config or QueryConfig()
+        band = self.range_scan(query.d_v - config.alpha, query.d_v + config.alpha)
+        low_ba = query.sqrt_var_ba - config.beta
+        high_ba = query.sqrt_var_ba + config.beta
+        matches = [
+            entry
+            for entry in band
+            if low_ba <= entry.sqrt_var_ba <= high_ba
+            and (entry.video_id, entry.shot_number) != exclude_shot
+        ]
+        matches.sort(key=query.rank_distance)
+        return matches if limit is None else matches[:limit]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a JSON-compatible document."""
+        return {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "video_id": e.video_id,
+                    "shot_number": e.shot_number,
+                    "start_frame": e.start_frame,
+                    "end_frame": e.end_frame,
+                    "var_ba": e.features.var_ba,
+                    "var_oa": e.features.var_oa,
+                    "archetype": e.archetype,
+                }
+                for e in self._entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SortedVarianceIndex":
+        """Rebuild an index from :meth:`to_dict` output."""
+        if payload.get("version") != _FORMAT_VERSION:
+            raise IndexError_(
+                f"unsupported index format version {payload.get('version')!r}"
+            )
+        entries = [
+            IndexEntry(
+                video_id=row["video_id"],
+                shot_number=row["shot_number"],
+                start_frame=row["start_frame"],
+                end_frame=row["end_frame"],
+                features=FeatureVector(var_ba=row["var_ba"], var_oa=row["var_oa"]),
+                archetype=row.get("archetype"),
+            )
+            for row in payload["entries"]
+        ]
+        return cls(entries)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the index to a JSON file; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SortedVarianceIndex":
+        """Load an index written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(payload)

@@ -1,0 +1,28 @@
+"""The modified Gaussian Pyramid of Sec. 2.1.
+
+Burt & Adelson's REDUCE operation with a 5-tap generating kernel is
+applied with stride 2 and *no padding*, so a line of ``s_j`` pixels
+(``s_j`` in the size set ``{1, 5, 13, 29, 61, ...}``) reduces to
+``s_{j-1}`` pixels, and eventually to a single pixel.  A 2-D strip is
+first collapsed along its short axis to a one-pixel-high line — the
+**signature** — which is then reduced to the single-pixel **sign**.
+"""
+
+from .kernel import DEFAULT_A, generating_kernel
+from .reduce import (
+    reduce_line,
+    reduce_strip_to_signature,
+    reduce_to_sign,
+    reduction_schedule,
+    signature_and_sign,
+)
+
+__all__ = [
+    "DEFAULT_A",
+    "generating_kernel",
+    "reduce_line",
+    "reduce_strip_to_signature",
+    "reduce_to_sign",
+    "reduction_schedule",
+    "signature_and_sign",
+]

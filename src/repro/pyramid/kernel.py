@@ -1,0 +1,42 @@
+"""The 5-tap Gaussian Pyramid generating kernel (Burt & Adelson 1983).
+
+The kernel ``[c, b, a, b, c]`` is constrained to be symmetric and
+normalized, with the *equal contribution* property that every input
+pixel contributes the same total weight to the next level:
+
+    a + 2b + 2c = 1,   a + 2c = 2b
+
+which leaves a single free parameter ``a``; ``b = 1/4`` and
+``c = 1/4 - a/2``.  Burt & Adelson's classic choice ``a = 0.4`` gives
+``[0.05, 0.25, 0.4, 0.25, 0.05]``, the default used throughout this
+library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError
+
+__all__ = ["DEFAULT_A", "generating_kernel"]
+
+#: Burt & Adelson's recommended central weight.
+DEFAULT_A: float = 0.4
+
+
+def generating_kernel(a: float = DEFAULT_A) -> np.ndarray:
+    """Return the 5-tap generating kernel for central weight ``a``.
+
+    The result always sums to 1 and satisfies the equal-contribution
+    constraint.  ``a`` must lie in ``(0, 0.5]`` for all taps to stay
+    non-negative.
+
+    Example:
+        >>> generating_kernel(0.4)
+        array([0.05, 0.25, 0.4 , 0.25, 0.05])
+    """
+    if not 0.0 < a <= 0.5:
+        raise DimensionError(f"kernel parameter a must be in (0, 0.5], got {a}")
+    b = 0.25
+    c = 0.25 - a / 2.0
+    return np.array([c, b, a, b, c], dtype=np.float64)

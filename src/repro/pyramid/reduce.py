@@ -1,0 +1,128 @@
+"""Stride-2 REDUCE operations: strip → signature → sign (Fig. 3).
+
+All functions operate on float64 internally and accept any numeric
+input.  Lengths must be members of the size set
+``{1, 5, 13, 29, 61, ...}``: each REDUCE application maps ``s_j`` to
+``s_{j-1}`` pixels by sliding the 5-tap kernel with stride 2 and no
+padding (``(n - 5) // 2 + 1`` outputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError
+from ..geometry.sizeset import is_size_set_member
+from .kernel import DEFAULT_A, generating_kernel
+
+__all__ = [
+    "reduce_line",
+    "reduction_schedule",
+    "reduce_strip_to_signature",
+    "reduce_to_sign",
+    "signature_and_sign",
+]
+
+
+def reduce_line(line: np.ndarray, a: float = DEFAULT_A, axis: int = 0) -> np.ndarray:
+    """Apply one REDUCE step along ``axis`` of ``line``.
+
+    The reduced axis has a size-set length ``n > 1``; the result's
+    extent along that axis is ``(n - 5) // 2 + 1``.  Other axes pass
+    through unchanged, so whole clips can be reduced in one call.
+
+    Raises:
+        DimensionError: when the axis length is not a size-set member
+            or is 1 (already fully reduced).
+    """
+    data = np.asarray(line)
+    if not np.issubdtype(data.dtype, np.floating):
+        data = data.astype(np.float64)
+    n = data.shape[axis]
+    if n == 1:
+        raise DimensionError("line of length 1 is already fully reduced")
+    if not is_size_set_member(n):
+        raise DimensionError(f"length {n} is not in the size set; cannot REDUCE")
+    kernel = generating_kernel(a).astype(data.dtype)
+    out_n = (n - 5) // 2 + 1
+    # Five strided multiply-adds instead of a sliding-window tensordot:
+    # the window view is massively non-contiguous for batched inputs and
+    # tensordot would copy it wholesale.  Slicing along the native axis
+    # (no moveaxis) keeps memory access contiguous.
+    index: list[slice] = [slice(None)] * data.ndim
+    index[axis] = slice(0, 2 * out_n - 1, 2)
+    result = kernel[0] * data[tuple(index)]
+    for tap in range(1, 5):
+        index[axis] = slice(tap, tap + 2 * out_n - 1, 2)
+        result += kernel[tap] * data[tuple(index)]
+    return result
+
+
+def reduction_schedule(n: int) -> list[int]:
+    """Return the sequence of lengths REDUCE passes through, ``n`` → 1.
+
+    Example:
+        >>> reduction_schedule(29)
+        [29, 13, 5, 1]
+    """
+    if not is_size_set_member(n):
+        raise DimensionError(f"length {n} is not in the size set")
+    schedule = [n]
+    while n > 1:
+        n = (n - 5) // 2 + 1
+        schedule.append(n)
+    return schedule
+
+
+def _reduce_axis_to_one(data: np.ndarray, axis: int, a: float) -> np.ndarray:
+    """Repeatedly REDUCE ``data`` along ``axis`` until its extent is 1."""
+    result = np.asarray(data, dtype=np.float64)
+    while result.shape[axis] > 1:
+        result = reduce_line(result, a=a, axis=axis)
+    return result
+
+
+def reduce_strip_to_signature(strip: np.ndarray, a: float = DEFAULT_A) -> np.ndarray:
+    """Collapse a ``(w, L, 3)`` strip to its length-``L`` signature.
+
+    The short (row) axis is reduced to a single pixel row, exactly as in
+    Fig. 3 where each 5-pixel column of the 13x5 TBA becomes one pixel.
+    Returns an array of shape ``(L, 3)`` (float64).
+    """
+    if strip.ndim != 3 or strip.shape[2] != 3:
+        raise DimensionError(
+            f"expected a strip of shape (w, L, 3), got {strip.shape}"
+        )
+    reduced = _reduce_axis_to_one(strip, axis=0, a=a)
+    return reduced[0]
+
+
+def reduce_to_sign(region: np.ndarray, a: float = DEFAULT_A) -> np.ndarray:
+    """Reduce a ``(h, b, 3)`` region all the way to its sign.
+
+    Rows are collapsed first, then the resulting line; the result is a
+    single RGB pixel of shape ``(3,)`` (float64).  Both dimensions must
+    be size-set members.
+    """
+    if region.ndim != 3 or region.shape[2] != 3:
+        raise DimensionError(
+            f"expected a region of shape (h, b, 3), got {region.shape}"
+        )
+    line = reduce_strip_to_signature(region, a=a)
+    reduced = _reduce_axis_to_one(line, axis=0, a=a)
+    return reduced[0]
+
+
+def signature_and_sign(
+    strip: np.ndarray, a: float = DEFAULT_A
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(signature, sign)`` for a ``(w, L, 3)`` strip.
+
+    Convenience wrapper computing the signature once and reducing it
+    further to the sign, avoiding the duplicate row-collapse that
+    calling :func:`reduce_strip_to_signature` and :func:`reduce_to_sign`
+    separately would incur.
+    """
+    signature = reduce_strip_to_signature(strip, a=a)
+    sign = _reduce_axis_to_one(signature, axis=0, a=a)[0]
+    return signature, sign

@@ -1,0 +1,219 @@
+"""The camera-tracking shot boundary detector.
+
+:class:`CameraTrackingDetector` runs the three-stage procedure of
+Fig. 4 over every consecutive frame pair of a clip.  Stages 1 and 2
+are evaluated vectorized over all pairs at once; only the pairs that
+fail both cheap tests reach the O(L^2) shift matcher, which mirrors the
+paper's cost argument ("quick-and-dirty tests used to quickly
+eliminate the easy cases").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RegionConfig, SBDConfig
+from ..errors import ShotError
+from ..signature.extract import ClipFeatures, SignatureExtractor
+from ..video.clip import VideoClip
+from .shots import Shot, shots_from_boundaries
+from .stages import longest_match_run
+
+__all__ = ["StageCounts", "DetectionResult", "CameraTrackingDetector"]
+
+
+@dataclass(slots=True)
+class StageCounts:
+    """How many consecutive-frame pairs each stage resolved.
+
+    ``stage3_boundary`` counts the pairs ultimately declared shot
+    boundaries; the other three count *same-shot* decisions.
+    """
+
+    stage1_same: int = 0
+    stage2_same: int = 0
+    stage3_same: int = 0
+    stage3_boundary: int = 0
+
+    @property
+    def total_pairs(self) -> int:
+        return (
+            self.stage1_same
+            + self.stage2_same
+            + self.stage3_same
+            + self.stage3_boundary
+        )
+
+
+@dataclass(slots=True)
+class DetectionResult:
+    """Everything the detector learned about a clip.
+
+    Attributes:
+        clip_name: the processed clip's name.
+        shots: the detected shots, in temporal order.
+        boundaries: 0-based indices of frames that start a new shot
+            (excludes frame 0).
+        features: per-frame signs/signatures (reused by the scene-tree
+            and indexing stages, so a clip is analyzed exactly once).
+        stage_counts: how the three stages shared the work.
+    """
+
+    clip_name: str
+    shots: list[Shot]
+    boundaries: list[int]
+    features: ClipFeatures
+    stage_counts: StageCounts = field(default_factory=StageCounts)
+
+    @property
+    def n_shots(self) -> int:
+        return len(self.shots)
+
+    def shot_signs_ba(self, shot: Shot) -> np.ndarray:
+        """Background sign stream of ``shot``, shape ``(len(shot), 3)``."""
+        return self.features.signs_ba[shot.frame_slice]
+
+    def shot_signs_oa(self, shot: Shot) -> np.ndarray:
+        """Object-area sign stream of ``shot``, shape ``(len(shot), 3)``."""
+        return self.features.signs_oa[shot.frame_slice]
+
+
+class CameraTrackingDetector:
+    """Three-stage camera-tracking SBD (Sec. 2.1, Fig. 4).
+
+    Args:
+        config: stage thresholds (paper-informed defaults).
+        region_config: background/object area geometry.
+        max_shift: optional bound on the stage-3 alignment search; None
+            (default) searches all shifts like the paper.
+    """
+
+    def __init__(
+        self,
+        config: SBDConfig | None = None,
+        region_config: RegionConfig | None = None,
+        max_shift: int | None = None,
+    ) -> None:
+        self.config = config or SBDConfig()
+        self.region_config = region_config or RegionConfig()
+        self.max_shift = max_shift
+
+    def detect(self, clip: VideoClip) -> DetectionResult:
+        """Segment ``clip`` into shots.
+
+        Extracts per-frame features, classifies each consecutive frame
+        pair, assembles shots, and applies the minimum-shot-length
+        post-filter.
+        """
+        extractor = SignatureExtractor.for_clip(clip, config=self.region_config)
+        features = extractor.extract_clip(clip)
+        return self.detect_from_features(features, clip_name=clip.name)
+
+    def detect_from_features(
+        self, features: ClipFeatures, clip_name: str = "<features>"
+    ) -> DetectionResult:
+        """Segment a clip given its already-extracted features."""
+        n = len(features)
+        counts = StageCounts()
+        if n == 1:
+            return DetectionResult(
+                clip_name=clip_name,
+                shots=[Shot(index=0, start=0, stop=1)],
+                boundaries=[],
+                features=features,
+                stage_counts=counts,
+            )
+        boundaries = self._classify_pairs(features, counts)
+        boundaries = self._enforce_min_shot_length(boundaries, n)
+        shots = shots_from_boundaries(n, boundaries)
+        return DetectionResult(
+            clip_name=clip_name,
+            shots=shots,
+            boundaries=boundaries,
+            features=features,
+            stage_counts=counts,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _classify_pairs(
+        self, features: ClipFeatures, counts: StageCounts
+    ) -> list[int]:
+        """Return the frame indices that start new shots (0-based)."""
+        cfg = self.config
+        signs = features.signs_ba.astype(np.float64)
+        signatures = features.signatures_ba.astype(np.float64)
+        # Stage 1 over all consecutive pairs at once.
+        sign_diff = np.abs(signs[1:] - signs[:-1]).max(axis=-1)
+        stage1_pass = sign_diff < cfg.sign_threshold_255
+        counts.stage1_same = int(stage1_pass.sum())
+        pending = np.flatnonzero(~stage1_pass)  # pair i = frames (i, i+1)
+        if pending.size == 0:
+            return []
+        # Stage 2 over the survivors, still vectorized.
+        sig_a = signatures[pending]
+        sig_b = signatures[pending + 1]
+        mean_diff = np.abs(sig_a - sig_b).max(axis=-1).mean(axis=-1)
+        stage2_pass = mean_diff < cfg.signature_tolerance * 256.0
+        counts.stage2_same = int(stage2_pass.sum())
+        boundaries: list[int] = []
+        min_run = cfg.min_match_run_fraction * signatures.shape[1]
+        for pair in pending[~stage2_pass]:
+            run = longest_match_run(
+                signatures[pair],
+                signatures[pair + 1],
+                cfg.pixel_match_tolerance,
+                max_shift=self.max_shift,
+            )
+            if run >= min_run:
+                counts.stage3_same += 1
+            else:
+                counts.stage3_boundary += 1
+                boundaries.append(int(pair) + 1)
+        return boundaries
+
+    def _enforce_min_shot_length(
+        self, boundaries: list[int], n_frames: int
+    ) -> list[int]:
+        """Drop boundaries that would create shots shorter than the minimum.
+
+        Scanning left to right, a boundary is kept only when the shot it
+        closes has at least ``min_shot_frames`` frames; a final
+        too-short shot is merged backwards by removing its opening
+        boundary.  With ``min_shot_frames == 1`` this is the identity.
+        """
+        min_len = self.config.min_shot_frames
+        if min_len <= 1 or not boundaries:
+            return boundaries
+        kept: list[int] = []
+        previous_start = 0
+        for b in boundaries:
+            if b - previous_start >= min_len:
+                kept.append(b)
+                previous_start = b
+        if kept and n_frames - kept[-1] < min_len:
+            kept.pop()
+        return kept
+
+
+def validate_shots_cover(shots: list[Shot], n_frames: int) -> None:
+    """Assert that ``shots`` tile ``[0, n_frames)`` exactly.
+
+    Used by integration tests and the VDBMS ingest path as an internal
+    consistency check.
+    """
+    if not shots:
+        raise ShotError("no shots")
+    expected = 0
+    for shot in shots:
+        if shot.start != expected:
+            raise ShotError(
+                f"shot {shot.index} starts at {shot.start}, expected {expected}"
+            )
+        expected = shot.stop
+    if expected != n_frames:
+        raise ShotError(f"shots cover {expected} frames, clip has {n_frames}")

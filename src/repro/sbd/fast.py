@@ -1,0 +1,156 @@
+"""Frame-skipping segmentation — the Sec. 6 speed-up direction.
+
+"We are also studying techniques to speed up the video data
+segmentation process."  The classic technique: classify frames ``step``
+apart; a *same-shot* verdict at distance ``step`` vouches for the whole
+window (no boundary inside), while a mismatch triggers a linear
+refinement over the window's consecutive pairs to localize the
+boundary exactly.
+
+On typical material most windows are quiet, so the number of expensive
+pair classifications drops by roughly ``step``x.  The trade-off: a shot
+shorter than ``step`` whose both cuts fall inside one window can be
+stepped over entirely (quantified by the ablation bench).
+
+Feature extraction itself is also reduced: only every ``step``-th frame
+plus the frames of refined windows are extracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RegionConfig, SBDConfig
+from ..signature.extract import SignatureExtractor
+from ..video.clip import VideoClip
+from ..errors import ShotError
+from .detector import StageCounts
+from .shots import Shot, shots_from_boundaries
+from .stages import classify_pair
+
+__all__ = ["FastDetectionResult", "SkippingCameraTrackingDetector"]
+
+
+@dataclass(slots=True)
+class FastDetectionResult:
+    """Outcome of a frame-skipping detection run.
+
+    Attributes:
+        clip_name: the processed clip.
+        shots: detected shots.
+        boundaries: 0-based shot-start indices (excluding 0).
+        stage_counts: cascade statistics over the classified pairs.
+        frames_extracted: how many frames had features computed.
+        windows_refined: skip windows that needed linear refinement.
+        n_frames: total frames in the clip.
+    """
+
+    clip_name: str
+    shots: list[Shot]
+    boundaries: list[int]
+    stage_counts: StageCounts = field(default_factory=StageCounts)
+    frames_extracted: int = 0
+    windows_refined: int = 0
+    n_frames: int = 0
+
+    @property
+    def n_shots(self) -> int:
+        return len(self.shots)
+
+    @property
+    def extraction_fraction(self) -> float:
+        """Fraction of frames whose features were computed."""
+        return self.frames_extracted / self.n_frames if self.n_frames else 0.0
+
+
+class SkippingCameraTrackingDetector:
+    """Camera-tracking SBD with a frame-skip outer loop.
+
+    Args:
+        step: skip distance (1 reduces to the exact detector).
+        config: stage thresholds.
+        region_config: background-area geometry.
+        max_shift: optional stage-3 alignment bound.
+    """
+
+    def __init__(
+        self,
+        step: int = 4,
+        config: SBDConfig | None = None,
+        region_config: RegionConfig | None = None,
+        max_shift: int | None = None,
+    ) -> None:
+        if step < 1:
+            raise ShotError(f"step must be >= 1, got {step}")
+        self.step = step
+        self.config = config or SBDConfig()
+        self.region_config = region_config
+        self.max_shift = max_shift
+
+    def detect(self, clip: VideoClip) -> FastDetectionResult:
+        """Segment ``clip`` with skip windows + refinement."""
+        extractor = SignatureExtractor.for_clip(clip, config=self.region_config)
+        n = len(clip)
+        counts = StageCounts()
+        cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        extracted = 0
+
+        def features_of(index: int) -> tuple[np.ndarray, np.ndarray]:
+            nonlocal extracted
+            if index not in cache:
+                single = extractor.extract_frame(clip.frames[index])
+                cache[index] = (single.sign_ba, single.signature_ba)
+                extracted += 1
+            return cache[index]
+
+        def same(i: int, j: int) -> bool:
+            sign_i, sig_i = features_of(i)
+            sign_j, sig_j = features_of(j)
+            return classify_pair(
+                sign_i, sig_i, sign_j, sig_j, self.config,
+                counts=counts, max_shift=self.max_shift,
+            )
+
+        boundaries: list[int] = []
+        refined = 0
+        anchor = 0
+        while anchor + 1 < n:
+            probe = min(anchor + self.step, n - 1)
+            if probe == anchor + 1 or not same(anchor, probe):
+                if probe > anchor + 1:
+                    refined += 1
+                # Refine: classify every consecutive pair in the window.
+                for k in range(anchor, probe):
+                    if not same(k, k + 1):
+                        boundaries.append(k + 1)
+            anchor = probe
+        boundaries = self._enforce_min_shot_length(boundaries, n)
+        shots = shots_from_boundaries(n, boundaries)
+        return FastDetectionResult(
+            clip_name=clip.name,
+            shots=shots,
+            boundaries=boundaries,
+            stage_counts=counts,
+            frames_extracted=extracted,
+            windows_refined=refined,
+            n_frames=n,
+        )
+
+    def _enforce_min_shot_length(
+        self, boundaries: list[int], n_frames: int
+    ) -> list[int]:
+        """Same post-filter as the exact detector."""
+        min_len = self.config.min_shot_frames
+        if min_len <= 1 or not boundaries:
+            return boundaries
+        kept: list[int] = []
+        previous_start = 0
+        for b in boundaries:
+            if b - previous_start >= min_len:
+                kept.append(b)
+                previous_start = b
+        if kept and n_frames - kept[-1] < min_len:
+            kept.pop()
+        return kept

@@ -1,0 +1,262 @@
+"""Camera-operation classification from signature dynamics.
+
+The companion paper the SBD technique comes from ([23], "A
+content-based scene change detection and classification technique
+using background tracking") also *classifies* what the camera is doing.
+This module recovers that capability from the data the detector already
+computes: the frame-to-frame alignment of background signatures.
+
+Geometry recap (Fig. 2): the TBA is the horizontal concatenation
+``[rotated left column | top bar | rotated right column]``.  Under the
+unfolding,
+
+* a **pan** translates all three segments the same way — one global
+  signature shift per frame;
+* a **tilt** slides the two column segments in *opposite* directions
+  (one column's unfolded strip reads top-to-bottom left-to-right, the
+  other right-to-left) while the top bar stays horizontally fixed;
+* a **zoom** pushes the two *halves* of the top bar in opposite
+  horizontal directions (content flows outward when zooming in);
+* a **static** camera shifts nothing;
+* anything else classifies as OTHER.
+
+Per consecutive frame pair we estimate the best alignment shift of
+each segment (most matching pixels over candidate shifts), then vote
+over the shot.
+
+This is a best-effort heuristic, not a guarantee: the classic aperture
+problem applies — diagonal texture moving vertically is locally
+indistinguishable from horizontal motion, so strongly diagonal content
+can read as the wrong class.  The test battery measures ~80 % accuracy
+over textured synthetic worlds, with STATIC always recognized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import DimensionError
+from ..geometry.regions import FrameGeometry
+from ..sbd.detector import DetectionResult
+from ..sbd.shots import Shot
+
+__all__ = [
+    "CameraMotion",
+    "MotionEstimate",
+    "best_alignment_shift",
+    "segment_shift_profile",
+    "classify_shot_motion",
+]
+
+
+class CameraMotion(Enum):
+    """Recognized camera-operation classes."""
+
+    STATIC = "static"
+    PAN = "pan"
+    TILT = "tilt"
+    ZOOM = "zoom"
+    OTHER = "other"
+
+
+@dataclass(frozen=True, slots=True)
+class MotionEstimate:
+    """Per-shot camera-motion verdict.
+
+    Attributes:
+        motion: the classified operation.
+        mean_global_shift: average per-frame signature shift (pixels;
+            signed, camera-pan direction).
+        mean_column_shift: average per-frame shift of the column
+            segments in *tilt convention* (left and right segments
+            counted with opposite signs, so a tilt accumulates and a
+            pan cancels).
+        mean_zoom_divergence: average opposite-direction shift of the
+            top bar's two halves (positive = content flowing outward,
+            i.e. zooming in).
+        n_pairs: frame pairs examined.
+    """
+
+    motion: CameraMotion
+    mean_global_shift: float
+    mean_column_shift: float
+    mean_zoom_divergence: float
+    n_pairs: int
+
+
+def best_alignment_shift(
+    signature_a: np.ndarray,
+    signature_b: np.ndarray,
+    pixel_tolerance: float = 0.10,
+    max_shift: int = 24,
+) -> int:
+    """Shift of ``signature_b`` (relative to ``a``) with most matches.
+
+    For each candidate shift the overlapping pixels are compared with
+    the usual max-channel tolerance; the score is the *fraction* of the
+    overlap that matches, and ties prefer the smaller |shift|.
+    """
+    a = np.asarray(signature_a, dtype=np.float64)
+    b = np.asarray(signature_b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape != b.shape:
+        raise DimensionError(
+            f"signatures must share shape (L, 3), got {a.shape} vs {b.shape}"
+        )
+    length = a.shape[0]
+    max_shift = min(max_shift, length - 1)
+    threshold = pixel_tolerance * 256.0
+    best_shift = 0
+    best_score = -1.0
+    for shift in sorted(range(-max_shift, max_shift + 1), key=abs):
+        if shift >= 0:
+            overlap_a = a[shift:]
+            overlap_b = b[: length - shift]
+        else:
+            overlap_a = a[: length + shift]
+            overlap_b = b[-shift:]
+        matches = (
+            np.abs(overlap_a - overlap_b).max(axis=-1) < threshold
+        ).mean()
+        if matches > best_score + 1e-12:
+            best_score = matches
+            best_shift = shift
+    return best_shift
+
+
+def _segments(geometry: FrameGeometry) -> tuple[slice, slice, slice, slice]:
+    """Signature slices for (left column, top-left, top-right, right column).
+
+    The raw strip is ``[h' | c | h']`` columns, resampled uniformly to
+    length ``L``; segment boundaries scale accordingly.  The top bar is
+    split at its middle so zoom divergence is observable.
+    """
+    total = geometry.l_est
+    left_end = round(geometry.h_est / total * geometry.l)
+    top_mid = round((geometry.h_est + geometry.cols / 2) / total * geometry.l)
+    top_end = round((geometry.h_est + geometry.cols) / total * geometry.l)
+    return (
+        slice(0, left_end),
+        slice(left_end, top_mid),
+        slice(top_mid, top_end),
+        slice(top_end, geometry.l),
+    )
+
+
+def segment_shift_profile(
+    signatures: np.ndarray,
+    geometry: FrameGeometry,
+    pixel_tolerance: float = 0.05,
+    max_shift: int = 24,
+    stride: int = 4,
+) -> np.ndarray:
+    """Per-frame shift rates of the four segments; shape ``(pairs, 4)``.
+
+    Columns: (left column, top-left half, top-right half, right
+    column).  Shifts are estimated between frames ``stride`` apart and
+    divided by the stride: sub-pixel per-frame motion accumulates into
+    a measurable integer shift over the stride, where single-frame
+    estimates would quantize to zero.  The default tolerance is tighter
+    than the detector's 10 % because small shifts of smooth content
+    otherwise tie with shift 0.
+    """
+    n = signatures.shape[0]
+    stride = max(1, min(stride, n - 1))
+    if n < 2:
+        return np.zeros((0, 4), dtype=np.float64)
+    segments = _segments(geometry)
+    starts = list(range(0, n - stride))
+    shifts = np.zeros((len(starts), 4), dtype=np.float64)
+    for row, k in enumerate(starts):
+        for column, segment in enumerate(segments):
+            shifts[row, column] = (
+                best_alignment_shift(
+                    signatures[k, segment],
+                    signatures[k + stride, segment],
+                    pixel_tolerance,
+                    max_shift,
+                )
+                / stride
+            )
+    return shifts
+
+
+def classify_shot_motion(
+    result: DetectionResult,
+    shot: Shot,
+    shift_tolerance: float = 0.05,
+    static_threshold: float = 0.5,
+    moving_threshold: float = 0.8,
+    max_shift: int = 24,
+) -> MotionEstimate:
+    """Classify one shot's dominant camera operation.
+
+    Args:
+        result: a detection result holding the clip's signatures.
+        shot: the shot to classify.
+        shift_tolerance: per-pixel tolerance for alignment estimation
+            (tighter than detection's 10 % — see segment_shift_profile).
+        static_threshold: mean |shift| below which the camera is static.
+        moving_threshold: mean |shift| above which motion is declared.
+        max_shift: alignment search radius per frame pair.
+    """
+    signatures = result.features.signatures_ba[shot.frame_slice]
+    shifts = segment_shift_profile(
+        signatures,
+        result.features.geometry,
+        pixel_tolerance=shift_tolerance,
+        max_shift=max_shift,
+    )
+    if len(shifts) == 0:
+        return MotionEstimate(CameraMotion.STATIC, 0.0, 0.0, 0.0, 0)
+    left, top_left, top_right, right = (shifts[:, k] for k in range(4))
+    top_series = (top_left + top_right) / 2.0
+    # Tilt convention: a tilt moves the two unfolded columns in
+    # opposite strip directions, so (left - right) / 2 accumulates for
+    # tilts and cancels for pans.
+    column_series = (left - right) / 2.0
+    # Zoom convention: the top halves diverge under zoom and agree
+    # under pan, so (right half - left half) / 2 isolates it.
+    zoom_series = (top_right - top_left) / 2.0
+
+    def gated(series: np.ndarray) -> float:
+        """Mean shift, zeroed unless the per-pair signs are consistent.
+
+        A genuinely translating segment shifts the same way in (almost)
+        every pair; a *morphing* segment (the columns under a pan, the
+        top bar under a tilt) produces spurious shifts of random sign.
+        """
+        mean = float(series.mean())
+        if mean == 0.0:
+            return 0.0
+        agree = float((np.sign(series) == np.sign(mean)).mean())
+        return mean if agree >= 0.7 else 0.0
+
+    top_shift = gated(top_series)
+    column_shift = gated(column_series)
+    zoom_divergence = gated(zoom_series)
+    abs_top = abs(top_shift)
+    abs_column = abs(column_shift)
+    abs_zoom = abs(zoom_divergence)
+    strongest = max(abs_top, abs_column, abs_zoom)
+    if strongest < static_threshold:
+        motion = CameraMotion.STATIC
+    elif strongest < moving_threshold:
+        motion = CameraMotion.OTHER
+    elif abs_zoom == strongest and abs_zoom >= 1.5 * max(abs_top, abs_column):
+        motion = CameraMotion.ZOOM
+    elif abs_top == strongest and abs_top >= 1.5 * abs_column:
+        motion = CameraMotion.PAN
+    elif abs_column == strongest and abs_column >= 1.5 * abs_top:
+        motion = CameraMotion.TILT
+    else:
+        motion = CameraMotion.OTHER
+    return MotionEstimate(
+        motion=motion,
+        mean_global_shift=float(top_series.mean()),
+        mean_column_shift=float(column_series.mean()),
+        mean_zoom_divergence=float(zoom_series.mean()),
+        n_pairs=len(shifts),
+    )

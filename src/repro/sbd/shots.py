@@ -1,0 +1,88 @@
+"""Shot records and assembly from boundary lists.
+
+A *shot* is "a collection of frames recorded from a single camera
+operation" (Sec. 1).  Internally frame indices are 0-based with an
+exclusive stop; the paper-style 1-based inclusive numbering of Table 3
+is available through properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ShotError
+
+__all__ = ["Shot", "shots_from_boundaries"]
+
+
+@dataclass(frozen=True, slots=True)
+class Shot:
+    """A contiguous frame range belonging to one camera operation.
+
+    Attributes:
+        index: 0-based position of the shot within its clip.
+        start: first frame index (0-based, inclusive).
+        stop: one past the last frame index (exclusive).
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ShotError(
+                f"invalid shot range [{self.start}, {self.stop}) for shot {self.index}"
+            )
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, frame_index: int) -> bool:
+        return self.start <= frame_index < self.stop
+
+    @property
+    def number(self) -> int:
+        """1-based shot number, as in the paper's ``shot#i`` notation."""
+        return self.index + 1
+
+    @property
+    def start_frame_number(self) -> int:
+        """1-based first frame number (Table 3's "No. of start frame")."""
+        return self.start + 1
+
+    @property
+    def end_frame_number(self) -> int:
+        """1-based last frame number (Table 3's "No. of end frame")."""
+        return self.stop
+
+    @property
+    def frame_slice(self) -> slice:
+        """Slice selecting this shot's frames from a clip/feature array."""
+        return slice(self.start, self.stop)
+
+
+def shots_from_boundaries(n_frames: int, boundaries: Sequence[int]) -> list[Shot]:
+    """Assemble shots from the frame indices where new shots begin.
+
+    ``boundaries`` lists the 0-based indices of frames that *start* a
+    new shot (frame 0 is implicitly a shot start and need not be
+    listed).  Duplicates are ignored; out-of-range entries raise.
+
+    Example:
+        >>> [(s.start, s.stop) for s in shots_from_boundaries(10, [4, 7])]
+        [(0, 4), (4, 7), (7, 10)]
+    """
+    if n_frames < 1:
+        raise ShotError(f"clip must have at least one frame, got {n_frames}")
+    starts = sorted({0, *boundaries})
+    if starts[0] < 0 or starts[-1] >= n_frames:
+        raise ShotError(
+            f"boundaries {boundaries!r} out of range for {n_frames} frames"
+        )
+    stops = starts[1:] + [n_frames]
+    return [
+        Shot(index=i, start=start, stop=stop)
+        for i, (start, stop) in enumerate(zip(starts, stops))
+    ]

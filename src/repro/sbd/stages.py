@@ -1,0 +1,179 @@
+"""The three stage tests of the detection procedure (Fig. 4).
+
+All three tests answer the same question — do two frames belong to the
+same shot? — at increasing cost:
+
+* stage 1 compares two single pixels,
+* stage 2 compares two length-``L`` lines positionally,
+* stage 3 slides the two lines past each other and finds the longest
+  run of matching pixels over every alignment (the camera-tracking
+  step proper).
+
+Stage 3 is implemented as a dynamic program over the pairwise match
+matrix: ``run[i, j] = (run[i-1, j-1] + 1) * match[i, j]``.  Every
+diagonal of the matrix corresponds to one shift, so the global maximum
+of ``run`` *is* the running maximum over all shifts that the paper
+describes, at O(L^2) total instead of O(L^3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError
+
+__all__ = [
+    "stage1_sign_test",
+    "stage2_signature_test",
+    "longest_match_run",
+    "stage3_shift_match",
+    "classify_pair",
+]
+
+
+def stage1_sign_test(
+    sign_a: np.ndarray, sign_b: np.ndarray, tolerance: float
+) -> bool:
+    """Stage 1: same shot when the signs agree within ``tolerance``.
+
+    ``tolerance`` is a fraction of the 256-value channel range.
+    """
+    diff = np.abs(
+        np.asarray(sign_a, dtype=np.float64) - np.asarray(sign_b, dtype=np.float64)
+    ).max()
+    return bool(diff < tolerance * 256.0)
+
+
+def stage2_signature_test(
+    signature_a: np.ndarray, signature_b: np.ndarray, tolerance: float
+) -> bool:
+    """Stage 2: same shot when the signatures agree positionally.
+
+    The mean (over positions) of the maximum per-channel difference
+    must fall below ``tolerance * 256``.  This passes under tiny camera
+    jitter or object motion that leaves the background strip mostly
+    unchanged, without paying for shift matching.
+    """
+    a = np.asarray(signature_a, dtype=np.float64)
+    b = np.asarray(signature_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise DimensionError(
+            f"signature shapes differ: {a.shape} vs {b.shape}"
+        )
+    mean_diff = np.abs(a - b).max(axis=-1).mean()
+    return bool(mean_diff < tolerance * 256.0)
+
+
+def longest_match_run(
+    signature_a: np.ndarray,
+    signature_b: np.ndarray,
+    pixel_tolerance: float,
+    max_shift: int | None = None,
+) -> int:
+    """Longest run of matching pixels over all relative shifts.
+
+    Two pixels *match* when every channel differs by less than
+    ``pixel_tolerance * 256``.  ``max_shift`` optionally restricts the
+    alignment search to ``|shift| <= max_shift`` (diagonals near the
+    main one), modelling a bound on inter-frame camera motion; None
+    searches every alignment, as in the paper.
+
+    Returns the length of the longest matching run (0 when nothing
+    matches).
+    """
+    a = np.asarray(signature_a, dtype=np.float64)
+    b = np.asarray(signature_b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise DimensionError(
+            f"signatures must be (L, channels) with equal channels, "
+            f"got {a.shape} and {b.shape}"
+        )
+    la, lb = a.shape[0], b.shape[0]
+    # match[i, j] == True when pixel i of a matches pixel j of b.
+    diff = np.abs(a[:, None, :] - b[None, :, :]).max(axis=-1)
+    match = diff < pixel_tolerance * 256.0
+    if max_shift is not None:
+        if max_shift < 0:
+            raise DimensionError(f"max_shift must be >= 0, got {max_shift}")
+        i_idx = np.arange(la)[:, None]
+        j_idx = np.arange(lb)[None, :]
+        match &= np.abs(i_idx - j_idx) <= max_shift
+    # Diagonal run-length DP, one row at a time (vectorized across j).
+    best = 0
+    prev = np.zeros(lb, dtype=np.int64)
+    for i in range(la):
+        current = np.zeros(lb, dtype=np.int64)
+        current[0] = match[i, 0]
+        current[1:] = (prev[:-1] + 1) * match[i, 1:]
+        row_best = int(current.max())
+        if row_best > best:
+            best = row_best
+        prev = current
+    return best
+
+
+def stage3_shift_match(
+    signature_a: np.ndarray,
+    signature_b: np.ndarray,
+    pixel_tolerance: float,
+    min_run_fraction: float,
+    max_shift: int | None = None,
+) -> bool:
+    """Stage 3: same shot when the longest matching run is long enough.
+
+    The threshold is ``min_run_fraction`` of the shorter signature
+    length, so the test is symmetric in its arguments.
+    """
+    run = longest_match_run(
+        signature_a, signature_b, pixel_tolerance, max_shift=max_shift
+    )
+    length = min(np.asarray(signature_a).shape[0], np.asarray(signature_b).shape[0])
+    return run >= min_run_fraction * length
+
+
+def classify_pair(
+    sign_a: np.ndarray,
+    signature_a: np.ndarray,
+    sign_b: np.ndarray,
+    signature_b: np.ndarray,
+    config,
+    counts=None,
+    max_shift: int | None = None,
+) -> bool:
+    """Run the full three-stage cascade on one frame pair.
+
+    Returns True when the frames belong to the same shot.  ``config``
+    is an :class:`~repro.config.SBDConfig`; when ``counts`` (a
+    :class:`~repro.sbd.detector.StageCounts`) is given, the resolving
+    stage's counter is incremented.  This is the single source of truth
+    the batch, streaming, and skipping detectors all agree on.
+    """
+    diff = np.abs(
+        np.asarray(sign_a, dtype=np.float64) - np.asarray(sign_b, dtype=np.float64)
+    ).max()
+    if diff < config.sign_threshold_255:
+        if counts is not None:
+            counts.stage1_same += 1
+        return True
+    mean_diff = (
+        np.abs(
+            np.asarray(signature_a, dtype=np.float64)
+            - np.asarray(signature_b, dtype=np.float64)
+        )
+        .max(axis=-1)
+        .mean()
+    )
+    if mean_diff < config.signature_tolerance * 256.0:
+        if counts is not None:
+            counts.stage2_same += 1
+        return True
+    run = longest_match_run(
+        signature_a, signature_b, config.pixel_match_tolerance, max_shift=max_shift
+    )
+    if run >= config.min_match_run_fraction * np.asarray(signature_a).shape[0]:
+        if counts is not None:
+            counts.stage3_same += 1
+        return True
+    if counts is not None:
+        counts.stage3_boundary += 1
+    return False

@@ -1,0 +1,215 @@
+"""Online shot boundary detection over frame streams.
+
+``VideoDatabase`` ingests whole clips, but "large video databases" are
+fed from tape/capture pipelines that produce frames one at a time.
+:class:`StreamingCameraTrackingDetector` runs the same three-stage
+cascade incrementally: it keeps only the previous frame's features
+(O(1) memory in the stream length), emits each completed
+:class:`~repro.sbd.shots.Shot` as soon as its closing boundary is
+confirmed past the minimum-length filter, and accumulates exactly the
+same per-shot sign statistics the batch path produces.
+
+The streaming result is bit-identical to the batch detector's (tested
+property), so downstream consumers — scene trees, the variance index —
+cannot tell which path produced their input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..config import RegionConfig, SBDConfig
+from ..errors import EmptyClipError, FrameError
+from ..signature.extract import SignatureExtractor
+from .detector import StageCounts
+from .shots import Shot
+from .stages import classify_pair
+
+__all__ = ["StreamedShot", "StreamingCameraTrackingDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamedShot:
+    """A completed shot emitted by the streaming detector.
+
+    Attributes:
+        shot: the frame range.
+        signs_ba: background sign stream of the shot, ``(len, 3)``.
+        signs_oa: object-area sign stream of the shot, ``(len, 3)``.
+    """
+
+    shot: Shot
+    signs_ba: np.ndarray
+    signs_oa: np.ndarray
+
+
+class StreamingCameraTrackingDetector:
+    """Incremental camera-tracking SBD.
+
+    Feed frames with :meth:`process_frames` (an iterator of completed
+    shots) or push one at a time with :meth:`push`; call
+    :meth:`finish` to flush the final shot.
+
+    Args:
+        rows, cols: the stream's frame geometry (fixed per stream).
+        config: stage thresholds (same defaults as the batch detector).
+        region_config: background-area geometry.
+        max_shift: optional stage-3 alignment bound.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        config: SBDConfig | None = None,
+        region_config: RegionConfig | None = None,
+        max_shift: int | None = None,
+    ) -> None:
+        self.config = config or SBDConfig()
+        self.max_shift = max_shift
+        self._extractor = SignatureExtractor(rows, cols, config=region_config)
+        self.stage_counts = StageCounts()
+        self._finished = False
+        # Current *confirmed* shot under construction.
+        self._shot_start = 0
+        self._signs_ba: list[np.ndarray] = []
+        self._signs_oa: list[np.ndarray] = []
+        # A candidate boundary whose following shot is still shorter
+        # than min_shot_frames (mirrors the batch post-filter).
+        self._pending: list[tuple[np.ndarray, np.ndarray]] = []
+        self._previous_sign: np.ndarray | None = None
+        self._previous_signature: np.ndarray | None = None
+        self._frame_index = 0
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    # classification (same maths as the batch path)
+    # ------------------------------------------------------------------
+
+    def _same_shot(
+        self,
+        sign_a: np.ndarray,
+        signature_a: np.ndarray,
+        sign_b: np.ndarray,
+        signature_b: np.ndarray,
+    ) -> bool:
+        return classify_pair(
+            sign_a,
+            signature_a,
+            sign_b,
+            signature_b,
+            self.config,
+            counts=self.stage_counts,
+            max_shift=self.max_shift,
+        )
+
+    # ------------------------------------------------------------------
+    # streaming API
+    # ------------------------------------------------------------------
+
+    def push(self, frame: np.ndarray) -> StreamedShot | None:
+        """Process one frame; returns a completed shot when one closes.
+
+        A shot closes when a boundary is confirmed *and* the material
+        after the boundary has reached ``min_shot_frames`` (shorter
+        tails merge back, exactly like the batch post-filter).
+        """
+        if self._finished:
+            raise FrameError("stream already finished; create a new detector")
+        features = self._extractor.extract_frame(frame)
+        sign_ba = features.sign_ba
+        sign_oa = features.sign_oa
+        signature = features.signature_ba
+        emitted: StreamedShot | None = None
+        if self._previous_signature is None:
+            self._signs_ba.append(sign_ba)
+            self._signs_oa.append(sign_oa)
+        else:
+            same = self._same_shot(
+                self._previous_sign, self._previous_signature, sign_ba, signature
+            )
+            if self._pending:
+                # A candidate shot is open but still below the minimum
+                # length.  Whatever this frame is (same shot or another
+                # boundary — the batch filter drops boundaries that
+                # would close a too-short shot), it extends the
+                # candidate.
+                self._pending.append((sign_ba, sign_oa))
+                if len(self._pending) >= self.config.min_shot_frames:
+                    emitted = self._emit_and_start_pending()
+            elif same:
+                self._signs_ba.append(sign_ba)
+                self._signs_oa.append(sign_oa)
+            elif len(self._signs_ba) >= self.config.min_shot_frames:
+                # Confirmed boundary: open a candidate for the new shot.
+                self._pending = [(sign_ba, sign_oa)]
+                if len(self._pending) >= self.config.min_shot_frames:
+                    emitted = self._emit_and_start_pending()
+            else:
+                # The boundary would close a too-short shot: dropped,
+                # exactly like the batch post-filter.
+                self._signs_ba.append(sign_ba)
+                self._signs_oa.append(sign_oa)
+        self._previous_sign = sign_ba
+        self._previous_signature = signature
+        self._frame_index += 1
+        return emitted
+
+    def _emit_and_start_pending(self) -> StreamedShot:
+        """Close the confirmed shot; the pending frames begin the next."""
+        closed = StreamedShot(
+            shot=Shot(
+                index=self._emitted,
+                start=self._shot_start,
+                stop=self._shot_start + len(self._signs_ba),
+            ),
+            signs_ba=np.stack(self._signs_ba),
+            signs_oa=np.stack(self._signs_oa),
+        )
+        self._emitted += 1
+        self._shot_start = closed.shot.stop
+        self._signs_ba = [ba for ba, _ in self._pending]
+        self._signs_oa = [oa for _, oa in self._pending]
+        self._pending = []
+        return closed
+
+    def finish(self) -> StreamedShot | None:
+        """Flush the final shot (None if no frames were pushed)."""
+        if self._finished:
+            raise FrameError("stream already finished")
+        self._finished = True
+        for pending_ba, pending_oa in self._pending:
+            # A final candidate shorter than the minimum merges back.
+            self._signs_ba.append(pending_ba)
+            self._signs_oa.append(pending_oa)
+        self._pending = []
+        if not self._signs_ba:
+            return None
+        return StreamedShot(
+            shot=Shot(
+                index=self._emitted,
+                start=self._shot_start,
+                stop=self._shot_start + len(self._signs_ba),
+            ),
+            signs_ba=np.stack(self._signs_ba),
+            signs_oa=np.stack(self._signs_oa),
+        )
+
+    def process_frames(
+        self, frames: Iterable[np.ndarray]
+    ) -> Iterator[StreamedShot]:
+        """Consume a frame iterable, yielding shots as they complete."""
+        count = 0
+        for frame in frames:
+            count += 1
+            closed = self.push(frame)
+            if closed is not None:
+                yield closed
+        if count == 0:
+            raise EmptyClipError("frame stream was empty")
+        final = self.finish()
+        if final is not None:
+            yield final

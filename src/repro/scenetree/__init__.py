@@ -1,0 +1,48 @@
+"""Scene trees for non-linear browsing (Sec. 3).
+
+The browsing hierarchy is built bottom-up from the detected shots:
+
+* :mod:`repro.scenetree.relationship` — algorithm *RELATIONSHIP*
+  deciding whether two shots share similar backgrounds (Eq. 2);
+* :mod:`repro.scenetree.nodes` — :class:`SceneNode` and
+  :class:`SceneTree`;
+* :mod:`repro.scenetree.representative` — representative-frame
+  selection (the Table 2 rule) and longest-constant-sign runs;
+* :mod:`repro.scenetree.builder` — the tree-construction procedure of
+  Sec. 3.1 with its three parent-linking scenarios, plus the
+  empty-node naming pass (step 6);
+* :mod:`repro.scenetree.browse` — non-linear navigation over a built
+  tree;
+* :mod:`repro.scenetree.serialize` — JSON-able round-tripping.
+"""
+
+from .nodes import SceneNode, SceneTree
+from .relationship import RelationshipResult, related_shots, relationship
+from .representative import (
+    longest_constant_run,
+    most_frequent_sign_frame,
+    representative_frames,
+)
+from .builder import SceneTreeBuilder, build_scene_tree
+from .browse import BrowsingSession
+from .serialize import scene_tree_from_dict, scene_tree_to_dict
+from .summarize import default_g, scene_representatives, summarize_tree
+
+__all__ = [
+    "SceneNode",
+    "SceneTree",
+    "RelationshipResult",
+    "related_shots",
+    "relationship",
+    "longest_constant_run",
+    "most_frequent_sign_frame",
+    "representative_frames",
+    "SceneTreeBuilder",
+    "build_scene_tree",
+    "BrowsingSession",
+    "scene_tree_from_dict",
+    "scene_tree_to_dict",
+    "default_g",
+    "scene_representatives",
+    "summarize_tree",
+]

@@ -1,0 +1,110 @@
+"""Non-linear browsing over a scene tree (Sec. 3, Sec. 5.2).
+
+:class:`BrowsingSession` is a cursor over a :class:`SceneTree`
+supporting the navigation the paper motivates: descend into a scene for
+more detail, ascend for more context, and step between sibling scenes
+at the same level — instead of tediously fast-forwarding (the VCR-style
+browsing the paper contrasts against).
+
+``storyboard`` reproduces the Figure 7 reading: walking the tree level
+by level yields representative frames that "serve well as a summary of
+important events in the underlying video".
+"""
+
+from __future__ import annotations
+
+from ..errors import SceneTreeError
+from .nodes import SceneNode, SceneTree
+
+__all__ = ["BrowsingSession"]
+
+
+class BrowsingSession:
+    """A stateful cursor for navigating one scene tree."""
+
+    def __init__(self, tree: SceneTree) -> None:
+        self.tree = tree
+        self.current: SceneNode = tree.root
+        self._history: list[SceneNode] = []
+
+    # ------------------------------------------------------------------
+    # movement
+    # ------------------------------------------------------------------
+
+    def _move(self, node: SceneNode) -> SceneNode:
+        self._history.append(self.current)
+        self.current = node
+        return node
+
+    def descend(self, child_position: int = 0) -> SceneNode:
+        """Move to a child of the current node (more specific scene)."""
+        children = self.current.children
+        if not children:
+            raise SceneTreeError(f"{self.current.label} is a leaf; cannot descend")
+        if not 0 <= child_position < len(children):
+            raise SceneTreeError(
+                f"{self.current.label} has {len(children)} children; "
+                f"position {child_position} is invalid"
+            )
+        return self._move(children[child_position])
+
+    def ascend(self) -> SceneNode:
+        """Move to the parent (wider scene)."""
+        if self.current.parent is None:
+            raise SceneTreeError("already at the root")
+        return self._move(self.current.parent)
+
+    def sibling(self, offset: int = 1) -> SceneNode:
+        """Move to a sibling ``offset`` positions away (default: next)."""
+        parent = self.current.parent
+        if parent is None:
+            raise SceneTreeError("the root has no siblings")
+        position = parent.children.index(self.current) + offset
+        if not 0 <= position < len(parent.children):
+            raise SceneTreeError(
+                f"no sibling at offset {offset} from {self.current.label}"
+            )
+        return self._move(parent.children[position])
+
+    def jump_to(self, label: str) -> SceneNode:
+        """Jump directly to a node by its ``SN_m^c`` label.
+
+        This is how the variance index hands off to browsing: the query
+        engine suggests scene nodes and the user starts from them
+        (Sec. 4.2).
+        """
+        return self._move(self.tree.find(label))
+
+    def back(self) -> SceneNode:
+        """Undo the last movement."""
+        if not self._history:
+            raise SceneTreeError("no browsing history to go back to")
+        self.current = self._history.pop()
+        return self.current
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+
+    def storyboard(self, max_level: int | None = None) -> list[tuple[str, int]]:
+        """Representative frames level by level under the current node.
+
+        Returns ``(label, representative_frame)`` pairs ordered from the
+        highest level down to level ``max_level`` (default: all the way
+        to the shots) and temporally within each level — the Figure 7
+        "travel the scene tree from level 3 to level 1" reading.
+        """
+        lowest = 0 if max_level is None else max_level
+        entries: list[tuple[str, int]] = []
+        for level in range(self.current.level, lowest - 1, -1):
+            for node in self.current.iter_subtree():
+                if node.level == level and node.representative_frame is not None:
+                    entries.append((node.label, node.representative_frame))
+        return entries
+
+    def path_from_root(self) -> list[str]:
+        """Labels from the root down to the current node."""
+        chain = [self.current.label]
+        for ancestor in self.current.ancestors():
+            chain.append(ancestor.label)
+        return list(reversed(chain))

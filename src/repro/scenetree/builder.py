@@ -1,0 +1,274 @@
+"""Scene-tree construction (Sec. 3.1) with the Figure 6 semantics.
+
+The procedure walks the shots in temporal order.  For each shot ``i``
+(paper numbering starts this loop at shot #3) it scans shots
+``i-2 .. 1`` in descending order for a related shot ``j`` (algorithm
+*RELATIONSHIP*), then links the new level-0 node into the forest under
+one of three scenarios:
+
+1. neither ``SN_{i-1}`` nor ``SN_j`` has a parent → all of
+   ``SN_j .. SN_i`` go under a new empty node;
+2. they share an ancestor → ``SN_i`` joins that (nearest shared)
+   ancestor;
+3. otherwise → ``SN_i`` joins the oldest ancestor of ``SN_{i-1}``, and
+   the two subtree roots are joined under a new empty node.
+
+The published text never compares a shot with its immediate
+predecessor, yet Figure 6(g) groups shot #9 with shot #8; we therefore
+fall back to comparing with ``i-1`` when the descending scan finds
+nothing (``SceneTreeConfig.compare_with_previous_fallback``, on by
+default — see DESIGN.md, interpretation 3).
+
+A final pass names every empty node after the descendant shot with the
+longest run of constant ``Sign^BA`` and propagates representative
+frames (step 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SceneTreeConfig
+from ..errors import SceneTreeError
+from ..sbd.detector import DetectionResult
+from .nodes import SceneNode, SceneTree
+from .relationship import related_shots
+from .representative import longest_constant_run, most_frequent_sign_frame
+
+__all__ = ["BuildStep", "SceneTreeBuilder", "build_scene_tree"]
+
+
+@dataclass(frozen=True, slots=True)
+class BuildStep:
+    """Trace record for one shot's linking decision.
+
+    Attributes:
+        shot_index: the 0-based shot being linked.
+        related_to: the 0-based shot it was found related to, or None.
+        via_fallback: True when the match came from the ``i-1`` fallback.
+        scenario: 1, 2 or 3 per the paper's step 4, or 0 when no related
+            shot was found (fresh empty parent).
+    """
+
+    shot_index: int
+    related_to: int | None
+    via_fallback: bool
+    scenario: int
+
+
+class SceneTreeBuilder:
+    """Builds scene trees from detected shots and their sign streams.
+
+    Args:
+        config: RELATIONSHIP tolerance and fallback behaviour.
+        exhaustive_relationship: use the all-pairs RELATIONSHIP variant
+            instead of the paper's diagonal scan (ablation mode).
+
+    After :meth:`build` returns, :attr:`trace` holds one
+    :class:`BuildStep` per linked shot for inspection/testing.
+    """
+
+    def __init__(
+        self,
+        config: SceneTreeConfig | None = None,
+        exhaustive_relationship: bool = False,
+    ) -> None:
+        self.config = config or SceneTreeConfig()
+        self.exhaustive = exhaustive_relationship
+        self.trace: list[BuildStep] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def build(
+        self, shot_signs: list[np.ndarray], clip_name: str = "<clip>"
+    ) -> SceneTree:
+        """Build a scene tree from per-shot background sign streams.
+
+        ``shot_signs[k]`` is the ``(len(shot_k), 3)`` stream of
+        ``Sign^BA`` values of shot ``k``.
+        """
+        n = len(shot_signs)
+        if n == 0:
+            raise SceneTreeError("cannot build a scene tree from zero shots")
+        self.trace = []
+        leaves = [
+            SceneNode(node_id=k, shot_index=k, level=0) for k in range(n)
+        ]
+        self._next_id = n
+        for i in range(2, n):
+            self._link_shot(i, leaves, shot_signs)
+        root = self._finalize_root(leaves)
+        self._name_nodes(root, leaves, shot_signs)
+        tree = SceneTree(root=root, leaves=leaves, clip_name=clip_name)
+        tree.validate()
+        return tree
+
+    def build_from_detection(self, result: DetectionResult) -> SceneTree:
+        """Build a scene tree straight from a detector result.
+
+        Representative frames come out in *clip* coordinates (the
+        leaf's frame index is offset by its shot's start).
+        """
+        shot_signs = [result.shot_signs_ba(shot) for shot in result.shots]
+        tree = self.build(shot_signs, clip_name=result.clip_name)
+        for leaf, shot in zip(tree.leaves, result.shots):
+            if leaf.representative_frame is not None:
+                offset = leaf.representative_frame + shot.start
+                self._shift_representative(tree, leaf.representative_frame, shot.index, offset)
+        return tree
+
+    # ------------------------------------------------------------------
+    # linking
+    # ------------------------------------------------------------------
+
+    def _new_empty(self) -> SceneNode:
+        node = SceneNode(node_id=self._next_id)
+        self._next_id += 1
+        return node
+
+    def _find_related(
+        self, i: int, shot_signs: list[np.ndarray]
+    ) -> tuple[int | None, bool]:
+        """Scan shots ``i-2 .. 0`` descending; fall back to ``i-1``."""
+        for j in range(i - 2, -1, -1):
+            if related_shots(
+                shot_signs[i], shot_signs[j], self.config, exhaustive=self.exhaustive
+            ):
+                return j, False
+        if self.config.compare_with_previous_fallback and related_shots(
+            shot_signs[i], shot_signs[i - 1], self.config, exhaustive=self.exhaustive
+        ):
+            return i - 1, True
+        return None, False
+
+    def _link_shot(
+        self, i: int, leaves: list[SceneNode], shot_signs: list[np.ndarray]
+    ) -> None:
+        j, via_fallback = self._find_related(i, shot_signs)
+        if j is None:
+            parent = self._new_empty()
+            leaves[i].attach_to(parent)
+            self.trace.append(BuildStep(i, None, False, 0))
+            return
+        prev, rel = leaves[i - 1], leaves[j]
+        if prev.parent is None and rel.parent is None:
+            # Scenario 1: everything from SN_j to SN_i under a new node.
+            parent = self._new_empty()
+            attached: list[SceneNode] = []
+            for k in range(j, i + 1):
+                subtree_root = leaves[k].oldest_ancestor()
+                if subtree_root not in attached:
+                    attached.append(subtree_root)
+            for subtree_root in attached:
+                subtree_root.attach_to(parent)
+            self.trace.append(BuildStep(i, j, via_fallback, 1))
+            return
+        shared = self._nearest_shared_ancestor(prev, rel)
+        if shared is not None:
+            # Scenario 2: SN_i joins the shared ancestor.
+            leaves[i].attach_to(shared)
+            self.trace.append(BuildStep(i, j, via_fallback, 2))
+            return
+        # Scenario 3: SN_i joins SN_{i-1}'s subtree; the two subtree
+        # roots are grouped under a new empty node (earlier one first,
+        # keeping children in temporal order).
+        oldest_prev = prev.oldest_ancestor()
+        leaves[i].attach_to(oldest_prev)
+        oldest_rel = rel.oldest_ancestor()
+        parent = self._new_empty()
+        oldest_rel.attach_to(parent)
+        oldest_prev.attach_to(parent)
+        self.trace.append(BuildStep(i, j, via_fallback, 3))
+
+    @staticmethod
+    def _nearest_shared_ancestor(
+        a: SceneNode, b: SceneNode
+    ) -> SceneNode | None:
+        """Nearest *proper* ancestor common to ``a`` and ``b``.
+
+        For ``a is b`` this is the node's parent (the Fig. 6(g)
+        fallback case: shot #9's SN_8 pairs with itself and SN_9 joins
+        SN_8's parent EN4).
+        """
+        ancestors_a = list(a.ancestors())
+        if a is b:
+            return ancestors_a[0] if ancestors_a else None
+        seen = set(id(n) for n in ancestors_a)
+        for candidate in b.ancestors():
+            if id(candidate) in seen:
+                return candidate
+        return None
+
+    def _finalize_root(self, leaves: list[SceneNode]) -> SceneNode:
+        """Step 5: gather parentless subtree roots under one root node."""
+        roots: list[SceneNode] = []
+        for leaf in leaves:
+            subtree_root = leaf.oldest_ancestor()
+            if subtree_root not in roots:
+                roots.append(subtree_root)
+        if len(roots) == 1 and not roots[0].is_leaf:
+            return roots[0]
+        root = self._new_empty()
+        for subtree_root in roots:
+            subtree_root.attach_to(root)
+        return root
+
+    # ------------------------------------------------------------------
+    # naming (step 6)
+    # ------------------------------------------------------------------
+
+    def _name_nodes(
+        self,
+        root: SceneNode,
+        leaves: list[SceneNode],
+        shot_signs: list[np.ndarray],
+    ) -> None:
+        runs = [longest_constant_run(signs) for signs in shot_signs]
+        for leaf, signs in zip(leaves, shot_signs):
+            leaf.representative_frame = most_frequent_sign_frame(signs)
+        # Name internal nodes bottom-up (children before parents).
+        for node in self._post_order(root):
+            if node.is_leaf:
+                continue
+            chosen = min(
+                node.children,
+                key=lambda child: (-runs[child.shot_index], child.shot_index),
+            )
+            node.shot_index = chosen.shot_index
+            node.level = max(child.level for child in node.children) + 1
+            node.representative_frame = chosen.representative_frame
+
+    @staticmethod
+    def _post_order(root: SceneNode) -> list[SceneNode]:
+        order: list[SceneNode] = []
+
+        def visit(node: SceneNode) -> None:
+            for child in node.children:
+                visit(child)
+            order.append(node)
+
+        visit(root)
+        return order
+
+    @staticmethod
+    def _shift_representative(
+        tree: SceneTree, local_frame: int, shot_index: int, clip_frame: int
+    ) -> None:
+        """Rewrite one leaf's rep frame (and its propagated copies) to clip coords."""
+        for node in tree.nodes():
+            if (
+                node.shot_index == shot_index
+                and node.representative_frame == local_frame
+            ):
+                node.representative_frame = clip_frame
+
+
+def build_scene_tree(
+    result: DetectionResult, config: SceneTreeConfig | None = None
+) -> SceneTree:
+    """One-call construction of a scene tree from a detection result."""
+    return SceneTreeBuilder(config=config).build_from_detection(result)

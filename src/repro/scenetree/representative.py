@@ -1,0 +1,85 @@
+"""Representative-frame selection (Sec. 3.1 step 6, Table 2).
+
+Two closely related statistics over a shot's background sign stream:
+
+* the **most frequent** sign value selects a leaf's representative
+  frame — the earliest frame carrying the winning value (Table 2's
+  tie-break: frame 1 beats frame 15);
+* the **longest consecutive run** of one sign value ranks children
+  during the empty-node naming pass.
+
+Both treat signs as *exact* quantized RGB triples — "this frame shares
+the same sign with the most number of frames in the shot".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShotError
+
+__all__ = [
+    "most_frequent_sign_frame",
+    "longest_constant_run",
+    "representative_frames",
+]
+
+
+def _validate_stream(signs: np.ndarray) -> np.ndarray:
+    arr = np.asarray(signs)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ShotError(f"sign stream must have shape (n, 3), got {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ShotError("sign stream is empty")
+    return arr
+
+
+def most_frequent_sign_frame(signs: np.ndarray) -> int:
+    """Index (within the shot) of the representative frame.
+
+    Picks the sign value shared by the most frames; on ties, the value
+    whose *earliest* occurrence comes first wins, and that earliest
+    frame is returned (Table 2: frames 1-6 and 15-20 both have six
+    frames; frame 1 is selected).
+    """
+    arr = _validate_stream(signs)
+    values, first_seen, counts = np.unique(
+        arr, axis=0, return_index=True, return_counts=True
+    )
+    max_count = counts.max()
+    winners = first_seen[counts == max_count]
+    return int(winners.min())
+
+
+def longest_constant_run(signs: np.ndarray) -> int:
+    """Length of the longest run of consecutive equal signs in a shot."""
+    arr = _validate_stream(signs)
+    n = arr.shape[0]
+    if n == 1:
+        return 1
+    changes = np.any(arr[1:] != arr[:-1], axis=1)
+    # Runs are delimited by change points; compute the largest gap.
+    change_idx = np.flatnonzero(changes)
+    starts = np.concatenate(([0], change_idx + 1))
+    stops = np.concatenate((change_idx + 1, [n]))
+    return int((stops - starts).max())
+
+
+def representative_frames(signs: np.ndarray, count: int) -> list[int]:
+    """Return up to ``count`` representative frame indices for a scene.
+
+    Implements the paper's extension: "we can also use g(s) most
+    repetitive representative frames for scenes with s shots to better
+    convey their larger content".  Sign values are ranked by frequency
+    (earliest-first on ties) and the earliest frame of each of the top
+    ``count`` values is returned, in rank order.
+    """
+    if count < 1:
+        raise ShotError(f"count must be >= 1, got {count}")
+    arr = _validate_stream(signs)
+    values, first_seen, counts = np.unique(
+        arr, axis=0, return_index=True, return_counts=True
+    )
+    # Sort by (-count, first_seen): most repetitive first, earliest on ties.
+    order = np.lexsort((first_seen, -counts))
+    return [int(first_seen[k]) for k in order[:count]]

@@ -1,0 +1,72 @@
+"""Scene-tree (de)serialization.
+
+Trees round-trip through plain dicts (JSON-compatible) so the VDBMS
+storage layer can persist them next to the index tables.  The format
+stores nodes in pre-order with parent references by position, which
+keeps deserialization a single linear pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SceneTreeError
+from .nodes import SceneNode, SceneTree
+
+__all__ = ["scene_tree_to_dict", "scene_tree_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def scene_tree_to_dict(tree: SceneTree) -> dict[str, Any]:
+    """Serialize ``tree`` to a JSON-compatible dict."""
+    order = tree.nodes()  # pre-order from root
+    position = {id(node): k for k, node in enumerate(order)}
+    nodes = [
+        {
+            "node_id": node.node_id,
+            "shot_index": node.shot_index,
+            "level": node.level,
+            "representative_frame": node.representative_frame,
+            "parent": position[id(node.parent)] if node.parent is not None else None,
+        }
+        for node in order
+    ]
+    return {
+        "version": _FORMAT_VERSION,
+        "clip_name": tree.clip_name,
+        "nodes": nodes,
+        "leaves": [position[id(leaf)] for leaf in tree.leaves],
+    }
+
+
+def scene_tree_from_dict(payload: dict[str, Any]) -> SceneTree:
+    """Rebuild a :class:`SceneTree` from :func:`scene_tree_to_dict` output."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SceneTreeError(
+            f"unsupported scene-tree format version {payload.get('version')!r}"
+        )
+    records = payload["nodes"]
+    nodes: list[SceneNode] = []
+    for record in records:
+        nodes.append(
+            SceneNode(
+                node_id=record["node_id"],
+                shot_index=record["shot_index"],
+                level=record["level"],
+                representative_frame=record["representative_frame"],
+            )
+        )
+    for record, node in zip(records, nodes):
+        parent_pos = record["parent"]
+        if parent_pos is not None:
+            if not 0 <= parent_pos < len(nodes):
+                raise SceneTreeError(f"bad parent position {parent_pos}")
+            node.attach_to(nodes[parent_pos])
+    roots = [node for node in nodes if node.parent is None]
+    if len(roots) != 1:
+        raise SceneTreeError(f"expected exactly one root, found {len(roots)}")
+    leaves = [nodes[pos] for pos in payload["leaves"]]
+    tree = SceneTree(root=roots[0], leaves=leaves, clip_name=payload["clip_name"])
+    tree.validate()
+    return tree

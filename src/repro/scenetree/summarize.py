@@ -1,0 +1,97 @@
+"""Video summaries from scene trees.
+
+Two summary forms the paper's browsing model implies:
+
+* :func:`summarize_tree` — a *budgeted* summary: walk the hierarchy
+  top-down (most important scenes first, the Figure 7 reading order)
+  collecting distinct representative frames until the budget is spent.
+  The result is what a browsing UI would show as the video's contact
+  sheet.
+* :func:`scene_representatives` — the paper's g(s) extension made
+  concrete: "we can also use g(s) most repetitive representative
+  frames for scenes with s shots to better convey their larger
+  content" (Sec. 3.1).  For a scene node covering ``s`` shots, the
+  ``g(s)`` most repetitive sign values across all covered frames each
+  contribute their earliest frame.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import SceneTreeError
+from ..sbd.detector import DetectionResult
+from .nodes import SceneNode, SceneTree
+from .representative import representative_frames
+
+__all__ = ["default_g", "scene_representatives", "summarize_tree"]
+
+
+def default_g(n_shots: int) -> int:
+    """The default representative count: ``ceil(sqrt(s))``.
+
+    One frame for small scenes, growing sublinearly so a 16-shot scene
+    gets 4 frames — enough to convey "larger content" without flooding
+    the summary.
+    """
+    return max(1, math.ceil(math.sqrt(n_shots)))
+
+
+def scene_representatives(
+    node: SceneNode,
+    detection: DetectionResult,
+    g: Callable[[int], int] = default_g,
+) -> list[int]:
+    """g(s) representative frames for one scene node (clip coordinates).
+
+    The node's leaf descendants define the scene's shots; their
+    ``Sign^BA`` streams are pooled, the ``g(s)`` most repetitive sign
+    values selected, and each value's earliest frame returned in rank
+    order (most repetitive first).
+    """
+    leaves = node.leaf_descendants()
+    if not leaves:
+        raise SceneTreeError(f"{node.label} has no leaf descendants")
+    shot_indices = [leaf.shot_index for leaf in leaves]
+    if any(index is None for index in shot_indices):
+        raise SceneTreeError("scene node with unnamed leaves")
+    shots = [detection.shots[index] for index in shot_indices]
+    signs = np.concatenate([detection.shot_signs_ba(shot) for shot in shots])
+    offsets = np.concatenate(
+        [np.arange(shot.start, shot.stop) for shot in shots]
+    )
+    count = g(len(shots))
+    local_frames = representative_frames(signs, count=count)
+    return [int(offsets[frame]) for frame in local_frames]
+
+
+def summarize_tree(
+    tree: SceneTree, budget: int
+) -> list[tuple[str, int]]:
+    """A budgeted ``(node label, frame index)`` summary of the video.
+
+    Nodes are visited level by level from the root (the non-linear
+    browsing order); a node contributes its representative frame only
+    if that exact frame is not already in the summary, so deeper levels
+    add *new* imagery rather than repeating their ancestors'.  At most
+    ``budget`` entries are returned.
+    """
+    if budget < 1:
+        raise SceneTreeError(f"budget must be >= 1, got {budget}")
+    summary: list[tuple[str, int]] = []
+    seen_frames: set[int] = set()
+    for level in range(tree.height, -1, -1):
+        for node in tree.nodes():
+            if node.level != level or node.representative_frame is None:
+                continue
+            frame = node.representative_frame
+            if frame in seen_frames:
+                continue
+            seen_frames.add(frame)
+            summary.append((node.label, frame))
+            if len(summary) >= budget:
+                return summary
+    return summary

@@ -1,0 +1,35 @@
+"""Per-frame sign/signature extraction (Sec. 2.1-2.2).
+
+Each frame yields three features:
+
+* ``signature_ba`` — the one-pixel-high reduction of the transformed
+  background area (length ``L``), used by the stage-2/3 detector tests;
+* ``sign_ba`` — the background sign, a single RGB pixel;
+* ``sign_oa`` — the object-area sign, a single RGB pixel, the extension
+  of Sec. 2.2 that powers the variance index.
+
+Signs and signatures are quantized to uint8 (the paper's Table 2 shows
+integer signs, and the scene-tree algorithms count *exact* sign
+repetitions), while distances are computed in float to avoid wrap-
+around.
+"""
+
+from .sign import (
+    Sign,
+    max_channel_difference,
+    sign_difference_percent,
+    signs_equal,
+    signs_match,
+)
+from .extract import ClipFeatures, FrameFeatures, SignatureExtractor
+
+__all__ = [
+    "Sign",
+    "max_channel_difference",
+    "sign_difference_percent",
+    "signs_equal",
+    "signs_match",
+    "ClipFeatures",
+    "FrameFeatures",
+    "SignatureExtractor",
+]

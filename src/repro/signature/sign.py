@@ -1,0 +1,94 @@
+"""Sign values and their comparison rules.
+
+A *sign* is a single RGB pixel summarizing a whole region of a frame
+(Fig. 3).  The paper compares signs with the maximum per-channel
+difference, normalized by the 256-value channel range (Eq. 2):
+
+    D_s = (max difference in Sign^BA s / 256) * 100 (%)
+
+Two signs are *related*/*matching* when ``D_s`` falls below a tolerance
+(10 % in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FrameError
+
+__all__ = [
+    "Sign",
+    "max_channel_difference",
+    "sign_difference_percent",
+    "signs_match",
+    "signs_equal",
+]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Sign:
+    """An RGB sign value with 0-255 integer channels.
+
+    Hashable and ordered, so signs can be used as dictionary keys when
+    counting repetitions (representative-frame selection, Table 2).
+    """
+
+    red: int
+    green: int
+    blue: int
+
+    def __post_init__(self) -> None:
+        for channel in (self.red, self.green, self.blue):
+            if not 0 <= channel <= 255:
+                raise FrameError(f"sign channels must be 0-255, got {self}")
+
+    @classmethod
+    def from_array(cls, pixel: np.ndarray) -> "Sign":
+        """Build a Sign from a length-3 array (rounded to integers)."""
+        arr = np.asarray(pixel, dtype=np.float64).reshape(-1)
+        if arr.shape[0] != 3:
+            raise FrameError(f"sign array must have 3 channels, got {arr.shape}")
+        r, g, b = (int(np.clip(round(v), 0, 255)) for v in arr)
+        return cls(r, g, b)
+
+    def to_array(self) -> np.ndarray:
+        """Return the sign as a uint8 array of shape (3,)."""
+        return np.array([self.red, self.green, self.blue], dtype=np.uint8)
+
+    def difference_percent(self, other: "Sign") -> float:
+        """Eq. 2's ``D_s`` between this sign and ``other`` (0-100 %)."""
+        return sign_difference_percent(self.to_array(), other.to_array())
+
+
+def max_channel_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Maximum absolute per-channel difference (broadcasting, float).
+
+    Works on single signs (shape ``(3,)``), sign streams (``(n, 3)``),
+    or signatures (``(L, 3)``); the channel axis is assumed last.
+    """
+    fa = np.asarray(a, dtype=np.float64)
+    fb = np.asarray(b, dtype=np.float64)
+    return np.abs(fa - fb).max(axis=-1)
+
+
+def sign_difference_percent(a: np.ndarray, b: np.ndarray) -> float | np.ndarray:
+    """Eq. 2: ``(max channel difference / 256) * 100`` (%)."""
+    return max_channel_difference(a, b) / 256.0 * 100.0
+
+
+def signs_match(a: np.ndarray, b: np.ndarray, tolerance: float) -> bool | np.ndarray:
+    """True when the max channel difference is below ``tolerance * 256``.
+
+    ``tolerance`` is the fraction of the channel range (0.10 = the
+    paper's 10 %).
+    """
+    return max_channel_difference(a, b) < tolerance * 256.0
+
+
+def signs_equal(a: np.ndarray, b: np.ndarray) -> bool | np.ndarray:
+    """Exact (quantized) equality of two signs along the channel axis."""
+    return bool(np.all(np.asarray(a) == np.asarray(b), axis=-1)) if np.asarray(a).ndim == 1 else np.all(
+        np.asarray(a) == np.asarray(b), axis=-1
+    )

@@ -1,0 +1,86 @@
+"""Synthetic video generation with exact ground truth.
+
+The paper evaluated on digitized AVI clips (160x120, sampled at
+3 fps).  This package is the reproduction's substitute substrate: it
+renders scripted clips as numpy frame stacks whose shot boundaries,
+related-shot groups and content archetypes are *known by
+construction*, so every experiment can score against exact ground
+truth instead of hand annotation (see DESIGN.md, substitution table).
+
+Layers, bottom up:
+
+* :mod:`repro.synth.canvas` — drawing primitives (fills, gradients,
+  shapes, noise);
+* :mod:`repro.synth.textures` — parametric background worlds, rendered
+  oversized so a camera can move over them;
+* :mod:`repro.synth.camera` — camera motion models (static, pan, tilt,
+  diagonal, zoom) mapping frame index → viewport;
+* :mod:`repro.synth.objects` — foreground sprites moving through the
+  object area;
+* :mod:`repro.synth.shotgen` — :class:`ShotSpec` → rendered frames;
+* :mod:`repro.synth.scripts` — :class:`ClipScript` → a
+  :class:`~repro.video.clip.VideoClip` plus :class:`GroundTruth`
+  (boundaries, groups, archetypes), with optional gradual transitions;
+* :mod:`repro.synth.archetypes` — ready-made shot specs matching the
+  retrieval experiments (close-up talk, two people at a distance,
+  moving object with changing background);
+* :mod:`repro.synth.genres` — per-genre clip generators behind the
+  Table 5 workload suite.
+"""
+
+from .canvas import (
+    draw_ellipse,
+    draw_rect,
+    fill,
+    horizontal_gradient,
+    vertical_gradient,
+)
+from .textures import BackgroundSpec, render_background
+from .camera import CameraSpec, camera_offsets
+from .objects import ObjectSpec, draw_objects
+from .shotgen import ShotSpec, render_shot
+from .scripts import ClipScript, GroundTruth, ScriptedShot, render_clip
+from .archetypes import (
+    ARCHETYPE_CLOSEUP,
+    ARCHETYPE_MOVING,
+    ARCHETYPE_TWO_PEOPLE,
+    closeup_talking_shot,
+    moving_object_shot,
+    two_people_distant_shot,
+)
+from .genres import GENRE_MODELS, GenreModel, generate_genre_clip
+from .text import draw_text, text_extent
+from .titles import rolling_credits_shot, title_card_shot
+
+__all__ = [
+    "fill",
+    "horizontal_gradient",
+    "vertical_gradient",
+    "draw_rect",
+    "draw_ellipse",
+    "BackgroundSpec",
+    "render_background",
+    "CameraSpec",
+    "camera_offsets",
+    "ObjectSpec",
+    "draw_objects",
+    "ShotSpec",
+    "render_shot",
+    "ClipScript",
+    "ScriptedShot",
+    "GroundTruth",
+    "render_clip",
+    "ARCHETYPE_CLOSEUP",
+    "ARCHETYPE_TWO_PEOPLE",
+    "ARCHETYPE_MOVING",
+    "closeup_talking_shot",
+    "two_people_distant_shot",
+    "moving_object_shot",
+    "GENRE_MODELS",
+    "GenreModel",
+    "generate_genre_clip",
+    "draw_text",
+    "text_extent",
+    "title_card_shot",
+    "rolling_credits_shot",
+]

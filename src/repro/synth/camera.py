@@ -1,0 +1,99 @@
+"""Camera motion models.
+
+A camera spec maps a frame index to a viewport offset (and zoom) into
+the oversized background world.  The motions mirror the cases the
+paper's ⊓-shaped FBA is designed to track (Sec. 2.1): horizontal pans
+(top bar), vertical tilts (side columns), the two diagonals
+(combinations), plus zooms — the hard case that stresses stage 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["CameraSpec", "camera_offsets", "MOTION_KINDS"]
+
+#: Supported motion kinds.
+MOTION_KINDS: tuple[str, ...] = (
+    "static",
+    "pan",
+    "tilt",
+    "diagonal",
+    "zoom",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CameraSpec:
+    """One camera operation.
+
+    Attributes:
+        kind: one of :data:`MOTION_KINDS`.
+        speed: motion magnitude in pixels per frame (pan/tilt/diagonal)
+            or zoom factor change per frame (zoom; e.g. 0.01 = 1 %/frame).
+        direction: +1 or -1 (pan right/left, tilt down/up, zoom in/out).
+        jitter: uniform hand-held shake amplitude in pixels per axis.
+        jitter_seed: seed for the shake sequence.
+        start_offset: initial viewport displacement ``(rows, cols)``
+            from the centered position — lets several shots film the
+            *same* world from different vantage points (how the
+            workloads make shots related per RELATIONSHIP yet still
+            separated by detectable cuts).
+    """
+
+    kind: str = "static"
+    speed: float = 0.0
+    direction: int = 1
+    jitter: float = 0.0
+    jitter_seed: int = 0
+    start_offset: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in MOTION_KINDS:
+            raise WorkloadError(
+                f"unknown camera kind {self.kind!r}; choose from {MOTION_KINDS}"
+            )
+        if self.direction not in (-1, 1):
+            raise WorkloadError(f"direction must be +1 or -1, got {self.direction}")
+        if self.speed < 0 or self.jitter < 0:
+            raise WorkloadError("camera speed and jitter must be non-negative")
+
+
+def camera_offsets(
+    spec: CameraSpec, n_frames: int, margin: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute per-frame viewport placement.
+
+    Returns ``(row_offsets, col_offsets, zooms)``, each of length
+    ``n_frames``.  Offsets are relative to the centered viewport
+    (world margin), clipped so the viewport never leaves the world;
+    zooms are scale factors (1.0 = native).
+    """
+    if n_frames < 1:
+        raise WorkloadError(f"n_frames must be >= 1, got {n_frames}")
+    t = np.arange(n_frames, dtype=np.float64)
+    drift = spec.direction * spec.speed * t
+    rows_off = np.full(n_frames, spec.start_offset[0])
+    cols_off = np.full(n_frames, spec.start_offset[1])
+    zooms = np.ones(n_frames)
+    if spec.kind == "pan":
+        cols_off = cols_off + drift
+    elif spec.kind == "tilt":
+        rows_off = rows_off + drift
+    elif spec.kind == "diagonal":
+        rows_off = rows_off + drift / np.sqrt(2)
+        cols_off = cols_off + drift / np.sqrt(2)
+    elif spec.kind == "zoom":
+        zooms = np.maximum(0.2, 1.0 - spec.direction * spec.speed * t)
+    if spec.jitter > 0:
+        rng = np.random.default_rng(spec.jitter_seed)
+        rows_off = rows_off + rng.uniform(-spec.jitter, spec.jitter, n_frames)
+        cols_off = cols_off + rng.uniform(-spec.jitter, spec.jitter, n_frames)
+    limit = float(margin)
+    np.clip(rows_off, -limit, limit, out=rows_off)
+    np.clip(cols_off, -limit, limit, out=cols_off)
+    return rows_off, cols_off, zooms

@@ -1,0 +1,144 @@
+"""Low-level drawing primitives for the synthetic renderer.
+
+All functions draw into float64 RGB canvases of shape
+``(rows, cols, 3)`` with values 0-255 (quantization to uint8 happens
+once, at the end of shot rendering, so intermediate blends do not
+accumulate rounding error).  Every function mutates its canvas in
+place and also returns it for chaining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = [
+    "new_canvas",
+    "fill",
+    "horizontal_gradient",
+    "vertical_gradient",
+    "draw_rect",
+    "draw_ellipse",
+    "add_noise",
+    "stripes",
+    "checkerboard",
+]
+
+Color = tuple[float, float, float]
+
+
+def new_canvas(rows: int, cols: int, color: Color = (0.0, 0.0, 0.0)) -> np.ndarray:
+    """Allocate a float canvas pre-filled with ``color``."""
+    if rows < 1 or cols < 1:
+        raise WorkloadError(f"canvas must be at least 1x1, got {rows}x{cols}")
+    canvas = np.empty((rows, cols, 3), dtype=np.float64)
+    canvas[:] = color
+    return canvas
+
+
+def fill(canvas: np.ndarray, color: Color) -> np.ndarray:
+    """Flood the whole canvas with one color."""
+    canvas[:] = color
+    return canvas
+
+
+def horizontal_gradient(canvas: np.ndarray, left: Color, right: Color) -> np.ndarray:
+    """Blend from ``left`` at column 0 to ``right`` at the last column."""
+    cols = canvas.shape[1]
+    t = np.linspace(0.0, 1.0, cols)[None, :, None]
+    canvas[:] = (1 - t) * np.asarray(left) + t * np.asarray(right)
+    return canvas
+
+
+def vertical_gradient(canvas: np.ndarray, top: Color, bottom: Color) -> np.ndarray:
+    """Blend from ``top`` at row 0 to ``bottom`` at the last row."""
+    rows = canvas.shape[0]
+    t = np.linspace(0.0, 1.0, rows)[:, None, None]
+    canvas[:] = (1 - t) * np.asarray(top) + t * np.asarray(bottom)
+    return canvas
+
+
+def draw_rect(
+    canvas: np.ndarray,
+    top: float,
+    left: float,
+    height: float,
+    width: float,
+    color: Color,
+) -> np.ndarray:
+    """Draw a filled axis-aligned rectangle (clipped to the canvas)."""
+    rows, cols = canvas.shape[:2]
+    r0 = int(np.clip(round(top), 0, rows))
+    c0 = int(np.clip(round(left), 0, cols))
+    r1 = int(np.clip(round(top + height), 0, rows))
+    c1 = int(np.clip(round(left + width), 0, cols))
+    if r1 > r0 and c1 > c0:
+        canvas[r0:r1, c0:c1] = color
+    return canvas
+
+
+def draw_ellipse(
+    canvas: np.ndarray,
+    center_row: float,
+    center_col: float,
+    radius_row: float,
+    radius_col: float,
+    color: Color,
+) -> np.ndarray:
+    """Draw a filled ellipse (clipped to the canvas)."""
+    if radius_row <= 0 or radius_col <= 0:
+        return canvas
+    rows, cols = canvas.shape[:2]
+    r0 = int(np.clip(np.floor(center_row - radius_row), 0, rows))
+    r1 = int(np.clip(np.ceil(center_row + radius_row) + 1, 0, rows))
+    c0 = int(np.clip(np.floor(center_col - radius_col), 0, cols))
+    c1 = int(np.clip(np.ceil(center_col + radius_col) + 1, 0, cols))
+    if r1 <= r0 or c1 <= c0:
+        return canvas
+    rr = np.arange(r0, r1)[:, None]
+    cc = np.arange(c0, c1)[None, :]
+    mask = ((rr - center_row) / radius_row) ** 2 + (
+        (cc - center_col) / radius_col
+    ) ** 2 <= 1.0
+    region = canvas[r0:r1, c0:c1]
+    region[mask] = color
+    return canvas
+
+
+def stripes(
+    canvas: np.ndarray, color_a: Color, color_b: Color, period: int = 16
+) -> np.ndarray:
+    """Vertical stripes alternating every ``period`` columns."""
+    if period < 1:
+        raise WorkloadError(f"stripe period must be >= 1, got {period}")
+    cols = canvas.shape[1]
+    band = (np.arange(cols) // period) % 2
+    canvas[:] = np.where(band[None, :, None] == 0, np.asarray(color_a), np.asarray(color_b))
+    return canvas
+
+
+def checkerboard(
+    canvas: np.ndarray, color_a: Color, color_b: Color, period: int = 16
+) -> np.ndarray:
+    """Checkerboard with ``period``-pixel squares."""
+    if period < 1:
+        raise WorkloadError(f"checker period must be >= 1, got {period}")
+    rows, cols = canvas.shape[:2]
+    rr = (np.arange(rows) // period) % 2
+    cc = (np.arange(cols) // period) % 2
+    mask = (rr[:, None] ^ cc[None, :]).astype(bool)
+    canvas[:] = np.where(mask[..., None], np.asarray(color_a), np.asarray(color_b))
+    return canvas
+
+
+def add_noise(
+    canvas: np.ndarray, rng: np.random.Generator, amplitude: float
+) -> np.ndarray:
+    """Add uniform noise in ``[-amplitude, +amplitude]`` per channel."""
+    if amplitude < 0:
+        raise WorkloadError(f"noise amplitude must be >= 0, got {amplitude}")
+    if amplitude > 0:
+        canvas += rng.uniform(-amplitude, amplitude, size=canvas.shape)
+        np.clip(canvas, 0.0, 255.0, out=canvas)
+    return canvas

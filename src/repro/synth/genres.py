@@ -1,0 +1,391 @@
+"""Genre models behind the Table 5 workload suite.
+
+Each :class:`GenreModel` captures, as distributions, the editing and
+camera statistics that made the paper's six categories behave
+differently under shot boundary detection:
+
+* **dissolve rate** — gradual transitions are the classic recall
+  hazard (the detector sees no single abrupt change);
+* **similar-cut rate** — cuts between lookalike backgrounds (news
+  anchor desks, soap-opera interiors) also lower recall;
+* **camera energy** — fast pans/zooms (sports, music videos) and
+  busy animated backgrounds (cartoons) cause false boundaries and
+  lower precision;
+* **scene structure** — the probability that a shot *revisits* an
+  earlier group (dialogue coverage in dramas/sitcoms), which is what
+  gives scene trees their shape.
+
+:func:`generate_genre_clip` samples a :class:`ClipScript` from a model
+and renders it with exact ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .camera import CameraSpec
+from .objects import ObjectSpec
+from .scripts import ClipScript, GroundTruth, ScriptedShot, render_clip
+from .shotgen import ShotSpec
+from .textures import TEXTURE_KINDS, BackgroundSpec
+from ..video.clip import VideoClip
+
+__all__ = ["GenreModel", "GENRE_MODELS", "generate_genre_clip"]
+
+
+@dataclass(frozen=True, slots=True)
+class GenreModel:
+    """Editing/camera statistics of one video genre.
+
+    Attributes:
+        name: model identifier.
+        shot_frames: (min, max) shot length in frames (at 3 fps).
+        p_dissolve: probability a transition is a dissolve.
+        dissolve_frames: (min, max) dissolve length.
+        p_similar_cut: probability a *new* scene's background is only a
+            small color step away from the previous shot's.
+        p_revisit: probability a shot returns to an earlier scene group.
+        camera_weights: probability weights over (static, pan, tilt,
+            diagonal, zoom).
+        camera_speed: (min, max) pixels/frame for moving cameras.
+        camera_jitter: (min, max) hand-shake amplitude.
+        objects_range: (min, max) sprite count per shot.
+        object_speed: (min, max) sprite speed in pixels/frame.
+        noise: (min, max) sensor noise amplitude.
+        background_kinds: texture pool for this genre.
+        p_flash: probability a shot contains one flash/abrupt-change
+            frame (false-boundary hazard; high for cartoons, sitcoms'
+            cutaway inserts, talk shows and music videos).
+        p_fade: probability a transition is a fade through black
+            (documentary/movie punctuation; another recall hazard).
+    """
+
+    name: str
+    shot_frames: tuple[int, int] = (8, 24)
+    p_dissolve: float = 0.05
+    dissolve_frames: tuple[int, int] = (2, 4)
+    p_similar_cut: float = 0.05
+    p_revisit: float = 0.4
+    camera_weights: tuple[float, float, float, float, float] = (0.7, 0.12, 0.06, 0.06, 0.06)
+    camera_speed: tuple[float, float] = (0.5, 2.0)
+    camera_jitter: tuple[float, float] = (0.2, 1.0)
+    objects_range: tuple[int, int] = (0, 2)
+    object_speed: tuple[float, float] = (0.0, 2.0)
+    noise: tuple[float, float] = (1.0, 3.0)
+    background_kinds: tuple[str, ...] = ("flat", "hgradient", "vgradient", "blotches")
+    p_flash: float = 0.0
+    p_fade: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shot_frames[0] < 2 or self.shot_frames[1] < self.shot_frames[0]:
+            raise WorkloadError(f"bad shot_frames range {self.shot_frames}")
+        for p in (self.p_dissolve, self.p_similar_cut, self.p_revisit, self.p_flash, self.p_fade):
+            if not 0.0 <= p <= 1.0:
+                raise WorkloadError(f"probabilities must be in [0, 1], got {p}")
+        for kind in self.background_kinds:
+            if kind not in TEXTURE_KINDS:
+                raise WorkloadError(f"unknown background kind {kind!r}")
+
+
+_CAMERA_KINDS = ("static", "pan", "tilt", "diagonal", "zoom")
+
+
+#: Ready-made models for the genres appearing in Table 5.
+GENRE_MODELS: dict[str, GenreModel] = {
+    # TV programs -----------------------------------------------------
+    "drama": GenreModel(
+        name="drama",
+        p_fade=0.02,
+        p_flash=0.12,
+        shot_frames=(6, 22),
+        p_dissolve=0.06,
+        p_similar_cut=0.05,
+        p_revisit=0.55,
+        camera_weights=(0.72, 0.12, 0.06, 0.05, 0.05),
+        camera_speed=(0.5, 2.0),
+    ),
+    "cartoon": GenreModel(
+        name="cartoon",
+        p_flash=0.30,
+        shot_frames=(5, 18),
+        p_dissolve=0.10,
+        p_similar_cut=0.12,
+        p_revisit=0.45,
+        camera_weights=(0.45, 0.22, 0.10, 0.10, 0.13),
+        camera_speed=(1.5, 4.0),
+        objects_range=(1, 3),
+        object_speed=(1.0, 5.0),
+        noise=(0.5, 1.5),
+        background_kinds=("flat", "stripes", "checker", "blotches"),
+    ),
+    "sitcom": GenreModel(
+        name="sitcom",
+        p_flash=0.30,
+        shot_frames=(5, 16),
+        p_dissolve=0.08,
+        p_similar_cut=0.12,
+        p_revisit=0.65,
+        camera_weights=(0.78, 0.08, 0.05, 0.04, 0.05),
+    ),
+    "soap": GenreModel(
+        name="soap",
+        p_flash=0.2,
+        shot_frames=(7, 20),
+        p_dissolve=0.10,
+        p_similar_cut=0.12,
+        p_revisit=0.7,
+        camera_weights=(0.8, 0.08, 0.04, 0.04, 0.04),
+    ),
+    "scifi": GenreModel(
+        name="scifi",
+        p_fade=0.05,
+        p_flash=0.20,
+        shot_frames=(6, 20),
+        p_dissolve=0.16,
+        p_similar_cut=0.18,
+        p_revisit=0.5,
+        camera_weights=(0.5, 0.15, 0.1, 0.1, 0.15),
+        camera_speed=(1.0, 3.5),
+        noise=(2.0, 5.0),
+        background_kinds=("flat", "vgradient", "blotches"),
+    ),
+    "talk_show": GenreModel(
+        name="talk_show",
+        p_flash=0.18,
+        shot_frames=(4, 12),
+        p_dissolve=0.05,
+        p_similar_cut=0.22,
+        p_revisit=0.75,
+        camera_weights=(0.55, 0.15, 0.05, 0.05, 0.2),
+        camera_speed=(1.5, 4.0),
+        objects_range=(1, 3),
+        object_speed=(0.5, 3.0),
+    ),
+    "commercials": GenreModel(
+        name="commercials",
+        p_flash=0.1,
+        shot_frames=(4, 10),
+        p_dissolve=0.04,
+        p_similar_cut=0.02,
+        p_revisit=0.1,
+        camera_weights=(0.6, 0.16, 0.08, 0.08, 0.08),
+        camera_speed=(0.8, 2.5),
+        background_kinds=("flat", "hgradient", "vgradient", "stripes", "checker", "blotches"),
+    ),
+    # News --------------------------------------------------------------
+    "news": GenreModel(
+        name="news",
+        p_flash=0.07,
+        shot_frames=(8, 26),
+        p_dissolve=0.05,
+        p_similar_cut=0.04,
+        p_revisit=0.5,
+        camera_weights=(0.82, 0.08, 0.04, 0.03, 0.03),
+        camera_speed=(0.4, 1.5),
+    ),
+    # Movies -------------------------------------------------------------
+    "movie": GenreModel(
+        name="movie",
+        p_fade=0.04,
+        p_flash=0.18,
+        shot_frames=(5, 20),
+        p_dissolve=0.06,
+        p_similar_cut=0.05,
+        p_revisit=0.55,
+        camera_weights=(0.6, 0.16, 0.08, 0.08, 0.08),
+        camera_speed=(0.6, 2.5),
+    ),
+    # Sports -------------------------------------------------------------
+    "sports": GenreModel(
+        name="sports",
+        p_flash=0.14,
+        shot_frames=(8, 30),
+        p_dissolve=0.03,
+        p_similar_cut=0.10,
+        p_revisit=0.6,
+        camera_weights=(0.3, 0.3, 0.1, 0.15, 0.15),
+        camera_speed=(1.0, 3.0),
+        objects_range=(1, 3),
+        object_speed=(1.0, 5.0),
+        background_kinds=("flat", "hgradient", "stripes", "blotches"),
+    ),
+    # Documentaries --------------------------------------------------------
+    "documentary": GenreModel(
+        name="documentary",
+        p_fade=0.08,
+        p_flash=0.2,
+        shot_frames=(10, 30),
+        p_dissolve=0.14,
+        p_similar_cut=0.12,
+        p_revisit=0.35,
+        camera_weights=(0.55, 0.2, 0.08, 0.09, 0.08),
+        camera_speed=(0.4, 1.8),
+    ),
+    # Music videos -----------------------------------------------------------
+    "music_video": GenreModel(
+        name="music_video",
+        p_fade=0.06,
+        p_flash=0.28,
+        shot_frames=(4, 10),
+        p_dissolve=0.08,
+        p_similar_cut=0.08,
+        p_revisit=0.45,
+        camera_weights=(0.35, 0.25, 0.1, 0.1, 0.2),
+        camera_speed=(1.5, 4.5),
+        objects_range=(1, 3),
+        object_speed=(1.0, 4.0),
+        noise=(2.0, 5.0),
+        background_kinds=("flat", "stripes", "checker", "blotches"),
+    ),
+}
+
+
+def _sample_background(model: GenreModel, rng: np.random.Generator) -> BackgroundSpec:
+    kind = str(rng.choice(model.background_kinds))
+    return BackgroundSpec(
+        kind=kind,
+        base_color=tuple(float(rng.uniform(40, 215)) for _ in range(3)),
+        accent_color=tuple(float(rng.uniform(20, 235)) for _ in range(3)),
+        period=int(rng.integers(10, 28)),
+        detail_seed=int(rng.integers(1 << 31)),
+    )
+
+
+def _sample_camera(model: GenreModel, rng: np.random.Generator) -> CameraSpec:
+    weights = np.asarray(model.camera_weights, dtype=np.float64)
+    kind = str(rng.choice(_CAMERA_KINDS, p=weights / weights.sum()))
+    if kind == "static":
+        speed = 0.0
+    elif kind == "zoom":
+        speed = rng.uniform(0.005, 0.03)
+    else:
+        speed = rng.uniform(*model.camera_speed)
+    return CameraSpec(
+        kind=kind,
+        speed=float(speed),
+        direction=int(rng.choice((-1, 1))),
+        jitter=float(rng.uniform(*model.camera_jitter)),
+        jitter_seed=int(rng.integers(1 << 31)),
+    )
+
+
+def _sample_objects(
+    model: GenreModel, rng: np.random.Generator, rows: int, cols: int
+) -> tuple[ObjectSpec, ...]:
+    count = int(rng.integers(model.objects_range[0], model.objects_range[1] + 1))
+    sprites = []
+    for _ in range(count):
+        size_r = rng.uniform(0.12, 0.4) * rows
+        sprites.append(
+            ObjectSpec(
+                shape=str(rng.choice(("ellipse", "rect"))),
+                color=tuple(float(rng.uniform(30, 225)) for _ in range(3)),
+                size=(size_r, size_r * rng.uniform(0.4, 1.0)),
+                start=(
+                    rows * rng.uniform(0.45, 0.8),
+                    cols * rng.uniform(0.15, 0.85),
+                ),
+                velocity=(
+                    rng.uniform(-0.5, 0.5),
+                    rng.uniform(*model.object_speed) * rng.choice((-1, 1)),
+                ),
+                wobble=rng.uniform(0.0, 2.0),
+                wobble_period=int(rng.integers(4, 10)),
+            )
+        )
+    return tuple(sprites)
+
+
+def generate_genre_clip(
+    model: GenreModel,
+    name: str,
+    n_shots: int,
+    seed: int,
+    rows: int = 120,
+    cols: int = 160,
+    fps: float = 3.0,
+) -> tuple[VideoClip, GroundTruth]:
+    """Sample and render an ``n_shots``-shot clip from a genre model.
+
+    Scene structure: each shot either revisits an earlier group (with
+    probability ``p_revisit``, choosing among the most recent groups,
+    like dialogue coverage) or opens a new group.  Revisits reuse the
+    group's background world with a small color shift, keeping them
+    RELATIONSHIP-related; new groups draw a fresh world — or, with
+    probability ``p_similar_cut``, a deliberately lookalike one (the
+    recall hazard).
+    """
+    if n_shots < 1:
+        raise WorkloadError(f"n_shots must be >= 1, got {n_shots}")
+    rng = np.random.default_rng(seed)
+    group_backgrounds: list[BackgroundSpec] = []
+    scripted: list[ScriptedShot] = []
+    prev_group = -1
+    for shot_idx in range(n_shots):
+        # Dialogue-style coverage returns to a *different* recent scene —
+        # consecutive shots of the same group from the same angle would
+        # be an invisible (and unrealistic) boundary.
+        recent = [
+            gid
+            for gid in range(max(0, len(group_backgrounds) - 4), len(group_backgrounds))
+            if gid != prev_group
+        ]
+        revisit = bool(recent) and rng.random() < model.p_revisit
+        if revisit:
+            group_id = recent[int(rng.integers(len(recent)))]
+            background = group_backgrounds[group_id].with_color_shift(
+                tuple(rng.uniform(-8, 8) for _ in range(3))
+            )
+        else:
+            group_id = len(group_backgrounds)
+            if group_backgrounds and rng.random() < model.p_similar_cut:
+                # Lookalike scene change: a small step from the previous
+                # world, likely to defeat boundary detection.
+                background = group_backgrounds[-1].with_color_shift(
+                    tuple(rng.uniform(-18, 18) for _ in range(3))
+                )
+            else:
+                background = _sample_background(model, rng)
+            group_backgrounds.append(background)
+        prev_group = group_id
+        n_frames = int(rng.integers(model.shot_frames[0], model.shot_frames[1] + 1))
+        flash_frames: tuple[int, ...] = ()
+        if n_frames >= 5 and rng.random() < model.p_flash:
+            # Keep the flash away from the shot edges so it reads as a
+            # within-shot event rather than a mistimed cut.
+            flash_frames = (int(rng.integers(2, n_frames - 2)),)
+        spec = ShotSpec(
+            n_frames=n_frames,
+            background=background,
+            camera=_sample_camera(model, rng),
+            objects=_sample_objects(model, rng, rows, cols),
+            noise=float(rng.uniform(*model.noise)),
+            noise_seed=int(rng.integers(1 << 31)),
+            margin=96,
+            flash_frames=flash_frames,
+            flash_gain=float(rng.uniform(70, 120)),
+        )
+        transition = "cut"
+        if shot_idx > 0:
+            roll = rng.random()
+            if roll < model.p_dissolve:
+                transition = "dissolve"
+            elif roll < model.p_dissolve + model.p_fade:
+                transition = "fade"
+        scripted.append(
+            ScriptedShot(
+                spec=spec,
+                group=f"G{group_id}",
+                transition=transition,
+                transition_frames=int(
+                    rng.integers(model.dissolve_frames[0], model.dissolve_frames[1] + 1)
+                ),
+            )
+        )
+    script = ClipScript(
+        name=name, shots=tuple(scripted), rows=rows, cols=cols, fps=fps
+    )
+    return render_clip(script)

@@ -1,0 +1,217 @@
+"""Clip scripts: shots + transitions → a clip with exact ground truth.
+
+A :class:`ClipScript` is an ordered list of :class:`ScriptedShot`, each
+carrying its rendering spec plus the labels the evaluation needs:
+
+* ``group`` — the related-shot label (the paper's ``A, A1, A2, ...``
+  prefixes in Fig. 5): shots in one group share a background world and
+  should end up under one scene-tree node;
+* ``archetype`` — the content class used by the retrieval experiments.
+
+Shots are joined by hard *cuts*, gradual *dissolves*, or *fades*
+(fade-out through black, then fade-in).  Gradual transitions are the
+classic recall hazard for shot detectors: the change is spread over
+several frames, so no single frame pair looks like a boundary.  The
+ground truth records exactly one boundary per transition regardless —
+for dissolves at the first frame after the blend, for fades at the
+first fade-in frame (the black nadir separates the shots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..video.clip import VideoClip
+from .shotgen import ShotSpec, render_shot
+
+__all__ = ["ScriptedShot", "GroundTruth", "ClipScript", "render_clip"]
+
+_TRANSITIONS = ("cut", "dissolve", "fade")
+
+
+@dataclass(frozen=True, slots=True)
+class ScriptedShot:
+    """One shot of a scripted clip, with evaluation labels.
+
+    Attributes:
+        spec: the rendering recipe.
+        group: related-shot label (shots sharing a group share a scene).
+        archetype: content class, or None when not relevant.
+        transition: how this shot is entered from the previous one
+            (ignored for the first shot).
+        transition_frames: dissolve length in frames.
+    """
+
+    spec: ShotSpec
+    group: str = ""
+    archetype: str | None = None
+    transition: str = "cut"
+    transition_frames: int = 3
+
+    def __post_init__(self) -> None:
+        if self.transition not in _TRANSITIONS:
+            raise WorkloadError(
+                f"unknown transition {self.transition!r}; choose from {_TRANSITIONS}"
+            )
+        if self.transition_frames < 1:
+            raise WorkloadError(
+                f"transition_frames must be >= 1, got {self.transition_frames}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruth:
+    """What is true about a rendered clip, by construction.
+
+    Attributes:
+        boundaries: 0-based frame indices where a new shot begins
+            (one per transition; for dissolves, the first frame after
+            the blend).
+        shot_ranges: ``(start, stop)`` frame ranges per scripted shot;
+            dissolve frames are attributed to the *preceding* shot.
+        groups: related-shot label per scripted shot.
+        archetypes: content class per scripted shot (None allowed).
+    """
+
+    boundaries: tuple[int, ...]
+    shot_ranges: tuple[tuple[int, int], ...]
+    groups: tuple[str, ...]
+    archetypes: tuple[str | None, ...]
+
+    @property
+    def n_shots(self) -> int:
+        return len(self.shot_ranges)
+
+    def group_of_frame(self, frame_index: int) -> str:
+        """Related-group label of the shot containing ``frame_index``."""
+        for (start, stop), group in zip(self.shot_ranges, self.groups):
+            if start <= frame_index < stop:
+                return group
+        raise WorkloadError(f"frame {frame_index} outside every shot range")
+
+    def archetypes_for_ranges(
+        self, ranges: list[tuple[int, int]]
+    ) -> dict[int, str]:
+        """Map *detected* shot ranges to archetype labels by overlap.
+
+        For each ``(start, stop)`` detected range, the scripted shot
+        with the largest frame overlap donates its archetype (if any).
+        This keeps evaluation labels honest when detection merges or
+        splits scripted shots.
+        """
+        labels: dict[int, str] = {}
+        for index, (start, stop) in enumerate(ranges):
+            best_overlap = 0
+            best_label: str | None = None
+            for (s, e), archetype in zip(self.shot_ranges, self.archetypes):
+                overlap = min(stop, e) - max(start, s)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best_label = archetype
+            if best_label is not None:
+                labels[index] = best_label
+        return labels
+
+
+@dataclass(frozen=True, slots=True)
+class ClipScript:
+    """A full clip recipe: geometry, rate, and the scripted shots."""
+
+    name: str
+    shots: tuple[ScriptedShot, ...]
+    rows: int = 120
+    cols: int = 160
+    fps: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.shots:
+            raise WorkloadError(f"script {self.name!r} has no shots")
+
+    @property
+    def total_scripted_frames(self) -> int:
+        """Frame count before dissolve frames are added."""
+        return sum(shot.spec.n_frames for shot in self.shots)
+
+
+def _dissolve(last_frame: np.ndarray, first_frame: np.ndarray, n: int) -> np.ndarray:
+    """Blend ``n`` intermediate frames between two boundary frames."""
+    weights = np.linspace(0.0, 1.0, n + 2)[1:-1]  # exclude the endpoints
+    a = last_frame.astype(np.float64)
+    b = first_frame.astype(np.float64)
+    blended = (1 - weights[:, None, None, None]) * a + weights[:, None, None, None] * b
+    return np.clip(np.rint(blended), 0, 255).astype(np.uint8)
+
+
+def _fade_half(frame: np.ndarray, n: int, fading_out: bool) -> np.ndarray:
+    """``n`` frames fading ``frame`` toward (out) or from (in) black."""
+    if fading_out:
+        weights = np.linspace(1.0, 0.0, n + 1)[1:]  # darkening, ends black
+    else:
+        weights = np.linspace(0.0, 1.0, n + 1)[:-1]  # brightening from black
+    faded = weights[:, None, None, None] * frame.astype(np.float64)
+    return np.clip(np.rint(faded), 0, 255).astype(np.uint8)
+
+
+def render_clip(script: ClipScript) -> tuple[VideoClip, GroundTruth]:
+    """Render a script into a clip and its ground truth.
+
+    The clip's ``metadata["ground_truth"]`` also carries the returned
+    :class:`GroundTruth` for callers that pass clips around alone.
+    """
+    pieces: list[np.ndarray] = []
+    boundaries: list[int] = []
+    ranges: list[tuple[int, int]] = []
+    cursor = 0
+    previous_frames: np.ndarray | None = None
+    for scripted in script.shots:
+        frames = render_shot(scripted.spec, script.rows, script.cols)
+        if previous_frames is not None:
+            if scripted.transition == "dissolve":
+                blend = _dissolve(
+                    previous_frames[-1], frames[0], scripted.transition_frames
+                )
+                pieces.append(blend)
+                # Dissolve frames belong to the preceding shot's range.
+                ranges[-1] = (ranges[-1][0], cursor + len(blend))
+                cursor += len(blend)
+            elif scripted.transition == "fade":
+                fade_out = _fade_half(
+                    previous_frames[-1], scripted.transition_frames, fading_out=True
+                )
+                pieces.append(fade_out)
+                ranges[-1] = (ranges[-1][0], cursor + len(fade_out))
+                cursor += len(fade_out)
+                boundaries.append(cursor)
+                fade_in = _fade_half(
+                    frames[0], scripted.transition_frames, fading_out=False
+                )
+                pieces.append(fade_in)
+                # Fade-in frames belong to the *incoming* shot.
+                ranges.append((cursor, cursor + len(fade_in) + len(frames)))
+                cursor += len(fade_in)
+                pieces.append(frames)
+                cursor += len(frames)
+                previous_frames = frames
+                continue
+            boundaries.append(cursor)
+        pieces.append(frames)
+        ranges.append((cursor, cursor + len(frames)))
+        cursor += len(frames)
+        previous_frames = frames
+    stack = np.concatenate(pieces, axis=0)
+    truth = GroundTruth(
+        boundaries=tuple(boundaries),
+        shot_ranges=tuple(ranges),
+        groups=tuple(s.group for s in script.shots),
+        archetypes=tuple(s.archetype for s in script.shots),
+    )
+    clip = VideoClip(
+        name=script.name,
+        frames=stack,
+        fps=script.fps,
+        metadata={"ground_truth": truth},
+    )
+    return clip, truth

@@ -1,0 +1,120 @@
+"""Rendering one shot: world + camera + objects + sensor noise.
+
+:func:`render_shot` realizes a :class:`ShotSpec` as a uint8 frame
+stack.  Per frame: the camera viewport is sampled from the background
+world (nearest-neighbor, supporting fractional offsets and zoom), the
+sprites are drawn over it, sensor noise is added, and the result is
+quantized once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .camera import CameraSpec, camera_offsets
+from .canvas import add_noise
+from .objects import ObjectSpec, draw_objects
+from .textures import BackgroundSpec, render_background
+
+__all__ = ["ShotSpec", "render_shot"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShotSpec:
+    """Complete description of one synthetic shot.
+
+    Attributes:
+        n_frames: shot length in frames (at the clip's fps).
+        background: the world behind the action.
+        camera: how the camera moves over the world.
+        objects: foreground sprites.
+        noise: sensor-noise amplitude (uniform, per channel).
+        noise_seed: seed for the noise sequence.
+        margin: world headroom for camera motion, in pixels.
+        flash_frames: frame indices whose brightness spikes — models
+            camera flashes, lightning, or abrupt animated-background
+            changes; these are *within-shot* events, i.e. the classic
+            false-boundary hazard for shot detectors.
+        flash_gain: brightness added on flash frames.
+        light_profile: keyframed global brightness offsets as
+            ``(frame, offset)`` pairs, linearly interpolated between
+            keyframes (empty = constant lighting).  Models gradual
+            lighting change; workloads use profiles to make *related*
+            shots meet the 10 % RELATIONSHIP tolerance at some frame
+            pair while keeping the instantaneous signs at their cuts
+            far enough apart to be detectable.
+    """
+
+    n_frames: int
+    background: BackgroundSpec = field(default_factory=BackgroundSpec)
+    camera: CameraSpec = field(default_factory=CameraSpec)
+    objects: tuple[ObjectSpec, ...] = ()
+    noise: float = 2.0
+    noise_seed: int = 0
+    margin: int = 48
+    flash_frames: tuple[int, ...] = ()
+    flash_gain: float = 90.0
+    light_profile: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise WorkloadError(f"shot must have >= 1 frame, got {self.n_frames}")
+        if self.margin < 0:
+            raise WorkloadError(f"margin must be >= 0, got {self.margin}")
+        if any(not 0 <= f < self.n_frames for f in self.flash_frames):
+            raise WorkloadError(
+                f"flash_frames {self.flash_frames} out of range for "
+                f"{self.n_frames}-frame shot"
+            )
+        keys = [frame for frame, _ in self.light_profile]
+        if keys != sorted(keys) or any(
+            not 0 <= frame < self.n_frames for frame in keys
+        ):
+            raise WorkloadError(
+                f"light_profile keyframes {keys} must be sorted and in range"
+            )
+
+
+def _viewport_indices(
+    extent: int, world_extent: int, margin: int, offset: float, zoom: float
+) -> np.ndarray:
+    """Nearest-neighbor sample indices for one axis of the viewport."""
+    center = margin + offset + extent / 2.0
+    coords = center + (np.arange(extent) - extent / 2.0) * zoom
+    idx = np.rint(coords).astype(np.int64)
+    return np.clip(idx, 0, world_extent - 1)
+
+
+def render_shot(spec: ShotSpec, rows: int, cols: int) -> np.ndarray:
+    """Render ``spec`` into a uint8 stack of shape ``(n, rows, cols, 3)``."""
+    world = render_background(spec.background, rows, cols, margin=spec.margin)
+    rows_off, cols_off, zooms = camera_offsets(
+        spec.camera, spec.n_frames, spec.margin
+    )
+    rng = np.random.default_rng(spec.noise_seed)
+    if spec.light_profile:
+        key_frames = np.array([frame for frame, _ in spec.light_profile])
+        key_values = np.array([value for _, value in spec.light_profile])
+        lights = np.interp(np.arange(spec.n_frames), key_frames, key_values)
+    else:
+        lights = np.zeros(spec.n_frames)
+    frames = np.empty((spec.n_frames, rows, cols, 3), dtype=np.uint8)
+    for k in range(spec.n_frames):
+        row_idx = _viewport_indices(
+            rows, world.shape[0], spec.margin, rows_off[k], zooms[k]
+        )
+        col_idx = _viewport_indices(
+            cols, world.shape[1], spec.margin, cols_off[k], zooms[k]
+        )
+        frame = world[np.ix_(row_idx, col_idx)].copy()
+        draw_objects(frame, spec.objects, k)
+        if lights[k] != 0.0:
+            frame += lights[k]
+        add_noise(frame, rng, spec.noise)
+        if k in spec.flash_frames:
+            frame += spec.flash_gain
+        frames[k] = np.clip(np.rint(frame), 0, 255).astype(np.uint8)
+    return frames

@@ -1,0 +1,175 @@
+"""Parametric background *worlds*.
+
+A background is rendered larger than the frame (by a margin on every
+side) so a camera viewport can move over it without running out of
+pixels.  The texture kinds are deliberately simple — flat walls,
+gradients, stripes, checkerboards, blotchy noise — because what the
+detector cares about is *continuity*: related shots share a spec (same
+world, small color perturbation) while unrelated shots get distinct
+base colors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from . import canvas as cv
+
+__all__ = ["BackgroundSpec", "render_background", "TEXTURE_KINDS"]
+
+#: The supported texture kinds.
+TEXTURE_KINDS: tuple[str, ...] = (
+    "flat",
+    "hgradient",
+    "vgradient",
+    "stripes",
+    "checker",
+    "blotches",
+    "hgradient_bars",
+    "vgradient_bars",
+    "title",
+    "credits",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BackgroundSpec:
+    """Describes one background world.
+
+    Attributes:
+        kind: one of :data:`TEXTURE_KINDS`.
+        base_color: dominant RGB color (0-255 floats).
+        accent_color: secondary color for two-tone textures; defaults
+            to a darkened base when None.
+        period: stripe/checker square size in pixels.
+        detail_seed: seed controlling blotch placement, so *related*
+            shots can reuse the identical world while unrelated shots
+            differ structurally.
+        text: rendered content for the ``title``/``credits`` kinds —
+            ``|``-separated lines in the accent color over the base.
+    """
+
+    kind: str = "flat"
+    base_color: tuple[float, float, float] = (128.0, 128.0, 128.0)
+    accent_color: tuple[float, float, float] | None = None
+    period: int = 16
+    detail_seed: int = 0
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in TEXTURE_KINDS:
+            raise WorkloadError(
+                f"unknown texture kind {self.kind!r}; choose from {TEXTURE_KINDS}"
+            )
+
+    def with_color_shift(self, delta: tuple[float, float, float]) -> "BackgroundSpec":
+        """A perturbed copy — the same world, slightly recolored.
+
+        Used to model *related* shots (the 10 % RELATIONSHIP tolerance
+        allows small lighting differences between takes of one scene).
+        """
+        shifted = tuple(
+            float(np.clip(c + d, 0.0, 255.0))
+            for c, d in zip(self.base_color, delta)
+        )
+        return BackgroundSpec(
+            kind=self.kind,
+            base_color=shifted,  # type: ignore[arg-type]
+            accent_color=self.accent_color,
+            period=self.period,
+            detail_seed=self.detail_seed,
+        )
+
+    @property
+    def effective_accent(self) -> tuple[float, float, float]:
+        if self.accent_color is not None:
+            return self.accent_color
+        return tuple(max(0.0, c * 0.65) for c in self.base_color)  # type: ignore[return-value]
+
+
+def render_background(
+    spec: BackgroundSpec, rows: int, cols: int, margin: int = 48
+) -> np.ndarray:
+    """Render the world canvas: ``(rows + 2*margin, cols + 2*margin, 3)``.
+
+    The margin is headroom for camera motion; viewport extraction
+    happens in :mod:`repro.synth.shotgen`.
+    """
+    if margin < 0:
+        raise WorkloadError(f"margin must be >= 0, got {margin}")
+    world_rows, world_cols = rows + 2 * margin, cols + 2 * margin
+    canvas = cv.new_canvas(world_rows, world_cols)
+    base, accent = spec.base_color, spec.effective_accent
+    if spec.kind == "flat":
+        cv.fill(canvas, base)
+    elif spec.kind == "hgradient":
+        cv.horizontal_gradient(canvas, base, accent)
+    elif spec.kind == "vgradient":
+        cv.vertical_gradient(canvas, base, accent)
+    elif spec.kind == "stripes":
+        cv.stripes(canvas, base, accent, period=spec.period)
+    elif spec.kind == "checker":
+        cv.checkerboard(canvas, base, accent, period=spec.period)
+    elif spec.kind in ("hgradient_bars", "vgradient_bars"):
+        # Gradient for a controlled sign drift under camera motion,
+        # plus dark bars so the strip has structure: two *different*
+        # barred worlds can no longer be bridged by the shift matcher
+        # the way two smooth gradients can.
+        if spec.kind == "hgradient_bars":
+            cv.horizontal_gradient(canvas, base, accent)
+        else:
+            cv.vertical_gradient(canvas, base, accent)
+        rng = np.random.default_rng(spec.detail_seed)
+        phase = int(rng.integers(spec.period))
+        bar_width = max(3, spec.period // 4)
+        positions = np.arange(world_cols)
+        bar_mask = ((positions - phase) % spec.period) < bar_width
+        canvas[:, bar_mask] = np.clip(canvas[:, bar_mask] - 80.0, 0.0, 255.0)
+    elif spec.kind in ("title", "credits"):
+        from .text import draw_text, text_extent
+
+        cv.fill(canvas, base)
+        lines = [line for line in spec.text.split("|") if line] or [" "]
+        if spec.kind == "title":
+            # Centered block in the viewport region (margin excluded).
+            scale = 2
+            line_gap = 4 * scale
+            line_height, _ = text_extent("X", scale)
+            block_height = len(lines) * (line_height + line_gap) - line_gap
+            top = margin + (rows - block_height) // 2
+            for line in lines:
+                _, line_cols = text_extent(line, scale)
+                left = margin + (cols - line_cols) // 2
+                draw_text(canvas, line, top, left, accent, scale=scale)
+                top += line_height + line_gap
+        else:
+            # Credits fill the whole world height so a tilting camera
+            # scrolls through them.
+            scale = 2
+            line_height, _ = text_extent("X", scale)
+            spacing = max(line_height + 2, world_rows // max(1, len(lines)))
+            top = 2
+            for line in lines:
+                _, line_cols = text_extent(line, scale)
+                left = max(0, (world_cols - line_cols) // 2)
+                draw_text(canvas, line, top, left, accent, scale=scale)
+                top += spacing
+    elif spec.kind == "blotches":
+        cv.fill(canvas, base)
+        rng = np.random.default_rng(spec.detail_seed)
+        n_blotches = max(6, world_rows * world_cols // 6000)
+        for _ in range(n_blotches):
+            cv.draw_ellipse(
+                canvas,
+                center_row=rng.uniform(0, world_rows),
+                center_col=rng.uniform(0, world_cols),
+                radius_row=rng.uniform(4, world_rows / 6),
+                radius_col=rng.uniform(4, world_cols / 6),
+                color=tuple(
+                    float(np.clip(c + rng.uniform(-40, 40), 0, 255)) for c in accent
+                ),
+            )
+    return canvas

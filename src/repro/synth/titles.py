@@ -1,0 +1,87 @@
+"""Title cards and rolling credits.
+
+Two everyday shot types the synthetic repertoire would otherwise miss:
+
+* :func:`title_card_shot` — a static, high-contrast text card (film
+  titles, commercial taglines, news lower-third cards blown up);
+* :func:`rolling_credits_shot` — a credit roll: the camera tilts over a
+  world of stacked text lines, producing exactly the steady vertical
+  motion the motion classifier labels TILT and the detector must *not*
+  break into pieces.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .camera import CameraSpec
+from .shotgen import ShotSpec
+from .textures import BackgroundSpec
+
+__all__ = ["title_card_shot", "rolling_credits_shot"]
+
+
+def title_card_shot(
+    text: str,
+    n_frames: int = 9,
+    base_color: tuple[float, float, float] = (10.0, 10.0, 24.0),
+    text_color: tuple[float, float, float] = (235.0, 235.0, 235.0),
+    noise: float = 1.0,
+    noise_seed: int = 0,
+) -> ShotSpec:
+    """A static title card; ``|`` separates lines."""
+    if not text.strip("| "):
+        raise WorkloadError("title card needs some text")
+    return ShotSpec(
+        n_frames=n_frames,
+        background=BackgroundSpec(
+            kind="title",
+            base_color=base_color,
+            accent_color=text_color,
+            text=text,
+        ),
+        camera=CameraSpec(kind="static", jitter=0.2, jitter_seed=noise_seed),
+        noise=noise,
+        noise_seed=noise_seed,
+    )
+
+
+def rolling_credits_shot(
+    lines: list[str] | tuple[str, ...],
+    n_frames: int = 24,
+    scroll_speed: float = 3.0,
+    base_color: tuple[float, float, float] = (4.0, 4.0, 4.0),
+    text_color: tuple[float, float, float] = (220.0, 220.0, 220.0),
+    noise: float = 1.0,
+    noise_seed: int = 0,
+    margin: int = 96,
+) -> ShotSpec:
+    """A credit roll: text lines scrolling upward through the frame.
+
+    Implemented as a tall ``credits`` world under an upward tilt of
+    ``scroll_speed`` pixels/frame.  ``margin`` bounds the total scroll
+    (the camera clips at the world edge), so long rolls need either a
+    larger margin or a gentler speed.
+    """
+    if not lines:
+        raise WorkloadError("credits need at least one line")
+    if scroll_speed <= 0:
+        raise WorkloadError(f"scroll_speed must be positive, got {scroll_speed}")
+    return ShotSpec(
+        n_frames=n_frames,
+        background=BackgroundSpec(
+            kind="credits",
+            base_color=base_color,
+            accent_color=text_color,
+            text="|".join(lines),
+        ),
+        camera=CameraSpec(
+            kind="tilt",
+            speed=scroll_speed,
+            direction=1,
+            jitter=0.0,
+            start_offset=(-float(margin), 0.0),
+        ),
+        noise=noise,
+        noise_seed=noise_seed,
+        margin=margin,
+    )

@@ -1,0 +1,30 @@
+"""The video database management system facade.
+
+The paper's three techniques "offer an integrated framework for
+modeling, browsing, and searching large video databases"; this package
+is that integration:
+
+* :mod:`repro.vdbms.catalog` — video metadata (dimensions, rates,
+  genre/form classification);
+* :mod:`repro.vdbms.storage` — the on-disk layout (raw clips, scene
+  trees, the variance index, the catalog);
+* :mod:`repro.vdbms.database` — :class:`VideoDatabase`: ingest a clip
+  (segment → scene tree → index), query by impression, and browse from
+  the suggested scene nodes.
+"""
+
+from .catalog import Catalog, CatalogEntry
+from .database import IngestReport, QueryAnswer, VideoDatabase
+from .storage import DatabaseStorage
+from .query_language import ImpressionQuery, parse_query
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "IngestReport",
+    "QueryAnswer",
+    "VideoDatabase",
+    "DatabaseStorage",
+    "ImpressionQuery",
+    "parse_query",
+]

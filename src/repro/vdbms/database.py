@@ -1,0 +1,282 @@
+""":class:`VideoDatabase` — the integrated framework of the paper.
+
+Ingesting a clip runs the full Step 1-2-3 pipeline:
+
+1. camera-tracking SBD segments the clip and extracts per-frame signs;
+2. the scene-tree builder assembles the browsing hierarchy;
+3. per-shot ``(Var^BA, Var^OA)`` vectors enter the sorted index.
+
+Queries are impression queries (Eqs. 7-8); answers carry both the
+matching shots and the scene-tree nodes to start browsing from
+(Sec. 4.2's hand-off).  The whole database round-trips through a
+directory via :meth:`save` / :meth:`load`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..config import PipelineConfig
+from ..errors import CatalogError
+from ..index.query import VarianceQuery
+from ..index.routing import SceneRoute, route_to_scene_nodes
+from ..index.sorted_index import SortedVarianceIndex
+from ..index.table import IndexEntry, IndexTable
+from ..scenetree.browse import BrowsingSession
+from ..scenetree.builder import SceneTreeBuilder
+from ..scenetree.nodes import SceneTree
+from ..sbd.detector import CameraTrackingDetector, DetectionResult
+from ..sbd.shots import Shot
+from ..video.clip import VideoClip
+from ..workloads.taxonomy import VideoCategory
+from .catalog import Catalog, CatalogEntry
+from .storage import DatabaseStorage
+
+__all__ = ["IngestReport", "QueryAnswer", "VideoDatabase"]
+
+
+@dataclass(frozen=True, slots=True)
+class IngestReport:
+    """What ingesting one clip produced."""
+
+    video_id: str
+    n_frames: int
+    n_shots: int
+    tree_height: int
+    indexed_entries: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryAnswer:
+    """A similarity query's result: shots plus browsing entry points."""
+
+    matches: list[IndexEntry]
+    routes: list[SceneRoute]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    @property
+    def suggestions(self) -> list[str]:
+        """Human-readable ``shot -> scene node`` hand-offs."""
+        return [route.suggestion for route in self.routes]
+
+
+class VideoDatabase:
+    """An in-process VDBMS over the paper's three techniques.
+
+    Args:
+        config: pipeline parameters (paper defaults when omitted).
+    """
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self.catalog = Catalog()
+        self.index = SortedVarianceIndex()
+        self.trees: dict[str, SceneTree] = {}
+        self.detections: dict[str, DetectionResult] = {}
+        self._detector = CameraTrackingDetector(
+            config=self.config.sbd, region_config=self.config.region
+        )
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        clip: VideoClip,
+        category: VideoCategory | None = None,
+        archetypes: dict[int, str]
+        | Callable[[list[tuple[int, int]]], dict[int, str]]
+        | None = None,
+    ) -> IngestReport:
+        """Run the full pipeline on ``clip`` and register everything.
+
+        Args:
+            clip: the video to add; its name becomes the video id.
+            category: optional genre/form classification.
+            archetypes: optional content labels for evaluation (never
+                used for matching) — either a 0-based *detected* shot
+                index → label map, or a callable receiving the detected
+                ``(start, stop)`` frame ranges and returning that map
+                (e.g. ``GroundTruth.archetypes_for_ranges``, which
+                assigns labels by overlap and so stays correct when
+                detection merges scripted shots).
+        """
+        if clip.name in self.catalog:
+            raise CatalogError(f"video {clip.name!r} already ingested")
+        detection = self._detector.detect(clip)
+        if callable(archetypes):
+            archetypes = archetypes(
+                [(shot.start, shot.stop) for shot in detection.shots]
+            )
+        builder = SceneTreeBuilder(config=self.config.scene_tree)
+        tree = builder.build_from_detection(detection)
+        table = IndexTable()
+        entries = table.add_detection_result(
+            detection, video_id=clip.name, archetypes=archetypes
+        )
+        for entry in entries:
+            self.index.insert(entry)
+        self.trees[clip.name] = tree
+        self.detections[clip.name] = detection
+        self.catalog.add(
+            CatalogEntry(
+                video_id=clip.name,
+                n_frames=len(clip),
+                rows=clip.rows,
+                cols=clip.cols,
+                fps=clip.fps,
+                n_shots=detection.n_shots,
+                category=category,
+            )
+        )
+        return IngestReport(
+            video_id=clip.name,
+            n_frames=len(clip),
+            n_shots=detection.n_shots,
+            tree_height=tree.height,
+            indexed_entries=len(entries),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        var_ba: float,
+        var_oa: float,
+        limit: int | None = None,
+        category: VideoCategory | None = None,
+        exclude_shot: tuple[str, int] | None = None,
+    ) -> QueryAnswer:
+        """Impression query: "how much is changing" in each area.
+
+        With ``category`` given, only videos whose classification
+        overlaps it are considered (the Sec. 4.1 retrieval-scoping
+        assumption).
+        """
+        query = VarianceQuery(var_ba=var_ba, var_oa=var_oa)
+        matches = self.index.search(
+            query, config=self.config.query, exclude_shot=exclude_shot
+        )
+        if category is not None:
+            allowed = {entry.video_id for entry in self.catalog.in_category(category)}
+            matches = [m for m in matches if m.video_id in allowed]
+        if limit is not None:
+            matches = matches[:limit]
+        routes = route_to_scene_nodes(matches, self.trees)
+        return QueryAnswer(matches=matches, routes=routes)
+
+    def query_by_shot(
+        self,
+        video_id: str,
+        shot_number: int,
+        limit: int | None = None,
+        category: VideoCategory | None = None,
+    ) -> QueryAnswer:
+        """Query-by-example: use an indexed shot's vector as the query."""
+        probe = self.shot_entry(video_id, shot_number)
+        return self.query(
+            var_ba=probe.features.var_ba,
+            var_oa=probe.features.var_oa,
+            limit=limit,
+            category=category,
+            exclude_shot=(video_id, shot_number),
+        )
+
+    def remove(self, video_id: str) -> int:
+        """Drop a video: catalog entry, scene tree, detection cache,
+        and every index entry.  Returns the number of index entries
+        removed.
+
+        The on-disk copy (if any) is untouched until the next
+        :meth:`save`; pass the same root to persist the removal.
+        """
+        self.catalog.remove(video_id)  # raises CatalogError when unknown
+        self.trees.pop(video_id, None)
+        self.detections.pop(video_id, None)
+        return self.index.remove_video(video_id)
+
+    def ask(self, text: str) -> QueryAnswer:
+        """Run an impression-language query (see
+        :mod:`repro.vdbms.query_language`).
+
+        Example:
+            >>> db.ask("background calm, foreground busy, limit 3")
+            >>> db.ask('like shot 12 of "Wag the Dog"')
+        """
+        from .query_language import execute
+
+        return execute(self, text)
+
+    # ------------------------------------------------------------------
+    # lookups & browsing
+    # ------------------------------------------------------------------
+
+    def shot_entry(self, video_id: str, shot_number: int) -> IndexEntry:
+        """The index entry of one shot (1-based shot number)."""
+        for entry in self.index.entries:
+            if entry.video_id == video_id and entry.shot_number == shot_number:
+                return entry
+        raise CatalogError(f"no indexed shot #{shot_number} in {video_id!r}")
+
+    def shots(self, video_id: str) -> list[Shot]:
+        """The detected shots of one video."""
+        if video_id not in self.detections:
+            raise CatalogError(f"unknown video {video_id!r}")
+        return self.detections[video_id].shots
+
+    def scene_tree(self, video_id: str) -> SceneTree:
+        """The browsing hierarchy of one video."""
+        if video_id not in self.trees:
+            raise CatalogError(f"unknown video {video_id!r}")
+        return self.trees[video_id]
+
+    def browse(self, video_id: str) -> BrowsingSession:
+        """Open a browsing cursor at the root of a video's scene tree."""
+        return BrowsingSession(self.scene_tree(video_id))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, root: str | Path, include_videos: bool = False) -> Path:
+        """Persist catalog, index and scene trees under ``root``.
+
+        Raw frames are only written with ``include_videos=True`` (they
+        dominate disk usage); detection features are recomputed on
+        demand after a load.
+        """
+        storage = DatabaseStorage(root)
+        storage.initialize()
+        storage.save_catalog(self.catalog)
+        storage.save_index(self.index)
+        for video_id, tree in self.trees.items():
+            storage.save_tree(tree, video_id)
+        # Prune tree files of videos removed since the last save.
+        current = {storage.tree_path(video_id).name for video_id in self.trees}
+        for stale in (storage.root / "trees").glob("*.json"):
+            if stale.name not in current:
+                stale.unlink()
+        return storage.root
+
+    @classmethod
+    def load(cls, root: str | Path, config: PipelineConfig | None = None) -> "VideoDatabase":
+        """Reload a database saved with :meth:`save`.
+
+        Detection results (raw per-frame features) are not persisted;
+        queries and browsing work immediately, while :meth:`shots`
+        requires re-ingesting the raw clip.
+        """
+        storage = DatabaseStorage(root)
+        db = cls(config=config)
+        db.catalog = storage.load_catalog()
+        db.index = storage.load_index()
+        for video_id in db.catalog.ids():
+            db.trees[video_id] = storage.load_tree(video_id)
+        return db

@@ -1,0 +1,212 @@
+"""A tiny impression-query language for the VDBMS.
+
+Sec. 4.2: "the user expresses the impression of how much things are
+changing in the background and object areas".  This module gives that
+sentence a concrete surface syntax:
+
+    background calm, foreground busy
+    background ~ 16, foreground ~ 100, limit 5
+    like shot 12 of "Wag the Dog"
+    background still, foreground moderate, in genre comedy, limit 3
+    like shot 3 of "Simon Birch", in genre adaptation form feature
+
+Grammar (comma/whitespace separated clauses, case-insensitive
+keywords):
+
+    query     := (impression | example) clause*
+    impression:= "background" level ("," )? "foreground" level
+    example   := "like shot" NUMBER "of" STRING
+    clause    := "in genre" WORD+ ("form" WORD+)? | "limit" NUMBER
+    level     := "still" | "calm" | "moderate" | "busy" | "frantic"
+               | "~" NUMBER | NUMBER
+
+Qualitative levels map onto variance magnitudes (see
+:data:`IMPRESSION_LEVELS`), chosen so that, e.g., a static dialogue
+shot reads as *calm* and a tracking shot as *busy*.
+``VideoDatabase.ask`` (added here as :func:`execute`) runs the parsed
+query against the index and returns the usual
+:class:`~repro.vdbms.database.QueryAnswer`.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..workloads.taxonomy import FORMS, GENRES, VideoCategory
+from .database import QueryAnswer, VideoDatabase
+
+__all__ = ["IMPRESSION_LEVELS", "ImpressionQuery", "parse_query", "execute"]
+
+#: Qualitative change levels → variance values (sqrt in parentheses):
+#: still 0 (0), calm 1 (1), moderate 25 (5), busy 121 (11), frantic 400 (20).
+IMPRESSION_LEVELS: dict[str, float] = {
+    "still": 0.0,
+    "calm": 1.0,
+    "moderate": 25.0,
+    "busy": 121.0,
+    "frantic": 400.0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ImpressionQuery:
+    """A parsed query, in either impression or query-by-example form.
+
+    Exactly one of (``var_ba``/``var_oa``) or
+    (``example_video``/``example_shot``) is populated.
+    """
+
+    var_ba: float | None = None
+    var_oa: float | None = None
+    example_video: str | None = None
+    example_shot: int | None = None
+    category: VideoCategory | None = None
+    limit: int | None = None
+
+    @property
+    def is_example(self) -> bool:
+        return self.example_video is not None
+
+
+_LEVEL_RE = re.compile(r"^(still|calm|moderate|busy|frantic)$", re.IGNORECASE)
+_NUMBER_RE = re.compile(r"^~?\d+(\.\d+)?$")
+
+
+def _parse_level(token: str) -> float:
+    if _LEVEL_RE.match(token):
+        return IMPRESSION_LEVELS[token.lower()]
+    if _NUMBER_RE.match(token):
+        return float(token.lstrip("~"))
+    raise QueryError(
+        f"expected a change level (still/calm/moderate/busy/frantic or a "
+        f"number), got {token!r}"
+    )
+
+
+def parse_query(text: str) -> ImpressionQuery:
+    """Parse one query string.
+
+    Raises:
+        QueryError: on syntax errors, unknown genres/forms, or missing
+            required parts.
+    """
+    # Only double quotes group tokens: single quotes appear inside
+    # legitimate vocabulary ("children's") and must pass through.
+    lexer = shlex.shlex(text.replace(",", " "), posix=True)
+    lexer.whitespace_split = True
+    lexer.quotes = '"'
+    lexer.escape = ""
+    try:
+        tokens = list(lexer)
+    except ValueError as exc:
+        raise QueryError(f"unbalanced quoting in query: {exc}") from exc
+    if not tokens:
+        raise QueryError("empty query")
+    position = 0
+
+    def peek() -> str | None:
+        return tokens[position] if position < len(tokens) else None
+
+    def take(expected: str | None = None) -> str:
+        nonlocal position
+        if position >= len(tokens):
+            raise QueryError(f"query ended early (expected {expected or 'more'})")
+        token = tokens[position]
+        position += 1
+        if expected is not None and token.lower() != expected:
+            raise QueryError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    var_ba = var_oa = None
+    example_video: str | None = None
+    example_shot: int | None = None
+
+    head = peek()
+    if head is not None and head.lower() == "like":
+        take("like")
+        take("shot")
+        number = take(None)
+        if not number.isdigit():
+            raise QueryError(f"expected a shot number after 'like shot', got {number!r}")
+        example_shot = int(number)
+        take("of")
+        example_video = take(None)
+    else:
+        # Impression form: both areas, in either order.
+        for _ in range(2):
+            keyword = take(None).lower()
+            if keyword not in ("background", "foreground"):
+                raise QueryError(
+                    f"expected 'background' or 'foreground', got {keyword!r}"
+                )
+            level = _parse_level(take(None))
+            if keyword == "background":
+                if var_ba is not None:
+                    raise QueryError("'background' specified twice")
+                var_ba = level
+            else:
+                if var_oa is not None:
+                    raise QueryError("'foreground' specified twice")
+                var_oa = level
+        assert var_ba is not None and var_oa is not None
+
+    category: VideoCategory | None = None
+    limit: int | None = None
+    while peek() is not None:
+        keyword = take(None).lower()
+        if keyword == "in":
+            take("genre")
+            genres: list[str] = []
+            while peek() is not None and peek().lower() not in ("form", "limit", "in"):
+                genres.append(take(None).lower())
+            forms: list[str] = []
+            if peek() is not None and peek().lower() == "form":
+                take("form")
+                while peek() is not None and peek().lower() not in ("limit", "in"):
+                    forms.append(take(None).lower())
+            genre_phrase = " ".join(genres)
+            if genre_phrase not in GENRES:
+                raise QueryError(f"unknown genre {genre_phrase!r}")
+            form_phrase = " ".join(forms) if forms else "feature"
+            if form_phrase not in FORMS:
+                raise QueryError(f"unknown form {form_phrase!r}")
+            category = VideoCategory(genres=(genre_phrase,), forms=(form_phrase,))
+        elif keyword == "limit":
+            number = take(None)
+            if not number.isdigit() or int(number) < 1:
+                raise QueryError(f"limit must be a positive integer, got {number!r}")
+            limit = int(number)
+        else:
+            raise QueryError(f"unexpected token {keyword!r}")
+
+    return ImpressionQuery(
+        var_ba=var_ba,
+        var_oa=var_oa,
+        example_video=example_video,
+        example_shot=example_shot,
+        category=category,
+        limit=limit,
+    )
+
+
+def execute(database: VideoDatabase, text: str) -> QueryAnswer:
+    """Parse and run a query against ``database``."""
+    query = parse_query(text)
+    if query.is_example:
+        assert query.example_video is not None and query.example_shot is not None
+        return database.query_by_shot(
+            query.example_video,
+            query.example_shot,
+            limit=query.limit,
+            category=query.category,
+        )
+    assert query.var_ba is not None and query.var_oa is not None
+    return database.query(
+        var_ba=query.var_ba,
+        var_oa=query.var_oa,
+        limit=query.limit,
+        category=query.category,
+    )

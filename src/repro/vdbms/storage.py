@@ -1,0 +1,128 @@
+"""On-disk layout of a video database.
+
+    <root>/
+      catalog.json          the video catalog
+      index.json            the sorted variance index
+      videos/<id>.rvid      raw clips (optional; large)
+      trees/<id>.json       one scene tree per video
+
+Writes go through a temp-file + rename so a crashed save never leaves
+a half-written catalog or index behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..errors import StorageError
+from ..index.sorted_index import SortedVarianceIndex
+from ..scenetree.nodes import SceneTree
+from ..scenetree.serialize import scene_tree_from_dict, scene_tree_to_dict
+from ..video.clip import VideoClip
+from ..video.io import read_rvid, write_rvid
+from .catalog import Catalog
+
+__all__ = ["DatabaseStorage"]
+
+
+def _safe_id(video_id: str) -> str:
+    """File-system-safe rendering of a video id."""
+    return "".join(c if c.isalnum() or c in "-_ ." else "_" for c in video_id)
+
+
+class DatabaseStorage:
+    """Reads and writes one database directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog_path(self) -> Path:
+        return self.root / "catalog.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def video_path(self, video_id: str) -> Path:
+        """Path of one video's raw frames under videos/."""
+        return self.root / "videos" / f"{_safe_id(video_id)}.rvid"
+
+    def tree_path(self, video_id: str) -> Path:
+        """Path of one video's scene tree under trees/."""
+        return self.root / "trees" / f"{_safe_id(video_id)}.json"
+
+    def initialize(self) -> None:
+        """Create the directory skeleton."""
+        (self.root / "videos").mkdir(parents=True, exist_ok=True)
+        (self.root / "trees").mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        """True when the root holds a saved database."""
+        return self.catalog_path.exists() and self.index_path.exists()
+
+    # ------------------------------------------------------------------
+    # atomic JSON I/O
+    # ------------------------------------------------------------------
+
+    def _write_json(self, path: Path, payload: dict[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _read_json(self, path: Path) -> dict[str, Any]:
+        if not path.exists():
+            raise StorageError(f"missing database file {path}")
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt database file {path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # component persistence
+    # ------------------------------------------------------------------
+
+    def save_catalog(self, catalog: Catalog) -> None:
+        """Atomically write the catalog JSON."""
+        self._write_json(self.catalog_path, catalog.to_dict())
+
+    def load_catalog(self) -> Catalog:
+        """Load the catalog JSON."""
+        return Catalog.from_dict(self._read_json(self.catalog_path))
+
+    def save_index(self, index: SortedVarianceIndex) -> None:
+        """Atomically write the variance index JSON."""
+        self._write_json(self.index_path, index.to_dict())
+
+    def load_index(self) -> SortedVarianceIndex:
+        """Load the variance index JSON."""
+        return SortedVarianceIndex.from_dict(self._read_json(self.index_path))
+
+    def save_tree(self, tree: SceneTree, video_id: str) -> None:
+        """Atomically write one video's scene tree JSON."""
+        self._write_json(self.tree_path(video_id), scene_tree_to_dict(tree))
+
+    def load_tree(self, video_id: str) -> SceneTree:
+        """Load one video's scene tree JSON."""
+        return scene_tree_from_dict(self._read_json(self.tree_path(video_id)))
+
+    def save_video(self, clip: VideoClip) -> Path:
+        """Persist the raw clip (optional — clips are large)."""
+        path = self.video_path(clip.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return write_rvid(clip, path)
+
+    def load_video(self, video_id: str) -> VideoClip:
+        """Load a stored raw clip."""
+        path = self.video_path(video_id)
+        if not path.exists():
+            raise StorageError(f"no stored video for {video_id!r} at {path}")
+        return read_rvid(path)

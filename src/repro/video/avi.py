@@ -1,0 +1,189 @@
+"""Minimal uncompressed AVI (RIFF) read/write.
+
+"Our video clips were originally digitized in AVI format at 30
+frames/second" (Sec. 5.1).  This module writes and reads the classic
+uncompressed layout so the reproduction can exchange clips with
+standard tools:
+
+    RIFF 'AVI '
+      LIST 'hdrl'
+        'avih' MainAVIHeader
+        LIST 'strl'
+          'strh' AVIStreamHeader (vids / DIB)
+          'strf' BITMAPINFOHEADER (24-bit BI_RGB)
+      LIST 'movi'
+        '00db' raw frame ...                (BGR, bottom-up, rows
+      'idx1' legacy index                    padded to 4 bytes)
+
+Only what this layout needs is implemented — single video stream,
+24-bit uncompressed DIB — which is exactly what 1999-era capture
+produced.  Anything else raises :class:`VideoFormatError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from .clip import VideoClip
+
+__all__ = ["write_avi", "read_avi"]
+
+
+def _pad_row_bytes(cols: int) -> int:
+    """DIB rows are padded to 4-byte multiples."""
+    return (cols * 3 + 3) & ~3
+
+
+def _frame_to_dib(frame: np.ndarray) -> bytes:
+    """RGB top-down → BGR bottom-up with row padding."""
+    rows, cols, _ = frame.shape
+    bgr = frame[::-1, :, ::-1]  # flip vertically, swap channels
+    row_bytes = _pad_row_bytes(cols)
+    pad = row_bytes - cols * 3
+    if pad == 0:
+        return np.ascontiguousarray(bgr).tobytes()
+    padded = np.zeros((rows, row_bytes), dtype=np.uint8)
+    padded[:, : cols * 3] = bgr.reshape(rows, cols * 3)
+    return padded.tobytes()
+
+
+def _dib_to_frame(data: bytes, rows: int, cols: int) -> np.ndarray:
+    row_bytes = _pad_row_bytes(cols)
+    if len(data) < rows * row_bytes:
+        raise VideoFormatError(
+            f"DIB frame too short: {len(data)} < {rows * row_bytes}"
+        )
+    raw = np.frombuffer(data[: rows * row_bytes], dtype=np.uint8)
+    bgr = raw.reshape(rows, row_bytes)[:, : cols * 3].reshape(rows, cols, 3)
+    return bgr[::-1, :, ::-1].copy()
+
+
+def write_avi(clip: VideoClip, path: str | Path) -> Path:
+    """Serialize ``clip`` as an uncompressed 24-bit AVI."""
+    path = Path(path)
+    n, rows, cols, _ = clip.frames.shape
+    frame_bytes = rows * _pad_row_bytes(cols)
+    usec_per_frame = int(round(1_000_000 / clip.fps))
+
+    avih = struct.pack(
+        "<14I",
+        usec_per_frame,             # dwMicroSecPerFrame
+        frame_bytes * int(clip.fps + 1),  # dwMaxBytesPerSec (approx)
+        0,                          # dwPaddingGranularity
+        0x10,                       # dwFlags: AVIF_HASINDEX
+        n,                          # dwTotalFrames
+        0,                          # dwInitialFrames
+        1,                          # dwStreams
+        frame_bytes,                # dwSuggestedBufferSize
+        cols,                       # dwWidth
+        rows,                       # dwHeight
+        0, 0, 0, 0,                 # dwReserved
+    )
+    strh = struct.pack(
+        "<4s4sIHHIIIIIIii4H",
+        b"vids", b"DIB ",
+        0,                          # dwFlags
+        0, 0,                       # wPriority, wLanguage
+        0,                          # dwInitialFrames
+        1, int(round(clip.fps)),    # dwScale / dwRate = fps
+        0,                          # dwStart
+        n,                          # dwLength
+        frame_bytes,                # dwSuggestedBufferSize
+        -1, 0,                      # dwQuality, dwSampleSize
+        0, 0, cols, rows,           # rcFrame
+    )
+    strf = struct.pack(
+        "<IiiHHIIiiII",
+        40, cols, rows, 1, 24, 0,   # BI_RGB
+        frame_bytes, 0, 0, 0, 0,
+    )
+
+    def chunk(fourcc: bytes, payload: bytes) -> bytes:
+        data = payload + (b"\x00" if len(payload) % 2 else b"")
+        return fourcc + struct.pack("<I", len(payload)) + data
+
+    def list_chunk(list_type: bytes, payload: bytes) -> bytes:
+        return chunk(b"LIST", list_type + payload)
+
+    strl = list_chunk(b"strl", chunk(b"strh", strh) + chunk(b"strf", strf))
+    hdrl = list_chunk(b"hdrl", chunk(b"avih", avih) + strl)
+
+    movi_payload = b"movi"
+    index_entries = []
+    offset = 4  # relative to the start of 'movi'
+    for k in range(n):
+        dib = _frame_to_dib(clip.frames[k])
+        movi_payload += chunk(b"00db", dib)
+        index_entries.append(
+            struct.pack("<4sIII", b"00db", 0x10, offset, len(dib))
+        )
+        offset += 8 + len(dib) + (len(dib) % 2)
+    movi = chunk(b"LIST", movi_payload)
+    idx1 = chunk(b"idx1", b"".join(index_entries))
+
+    body = b"AVI " + hdrl + movi + idx1
+    with open(path, "wb") as fh:
+        fh.write(b"RIFF" + struct.pack("<I", len(body)) + body)
+    return path
+
+
+def _iter_chunks(data: bytes, start: int, end: int):
+    """Yield ``(fourcc, payload_start, payload_size)`` within a span."""
+    pos = start
+    while pos + 8 <= end:
+        fourcc = data[pos : pos + 4]
+        (size,) = struct.unpack_from("<I", data, pos + 4)
+        yield fourcc, pos + 8, size
+        pos += 8 + size + (size % 2)
+
+
+def read_avi(path: str | Path) -> VideoClip:
+    """Load an uncompressed 24-bit AVI written by :func:`write_avi`
+    (or any tool producing the same classic layout)."""
+    path = Path(path)
+    data = path.read_bytes()
+    if data[:4] != b"RIFF" or data[8:12] != b"AVI ":
+        raise VideoFormatError(f"{path} is not a RIFF AVI file")
+    rows = cols = 0
+    fps = 30.0
+    frames: list[np.ndarray] = []
+
+    def walk(start: int, end: int) -> None:
+        nonlocal rows, cols, fps
+        for fourcc, payload_start, size in _iter_chunks(data, start, end):
+            payload_end = payload_start + size
+            if fourcc == b"LIST":
+                walk(payload_start + 4, payload_end)
+            elif fourcc == b"avih":
+                usec, *_ = struct.unpack_from("<I", data, payload_start)
+                if usec:
+                    fps = 1_000_000 / usec
+            elif fourcc == b"strf":
+                (
+                    _size, bi_width, bi_height, _planes, bit_count, compression,
+                ) = struct.unpack_from("<IiiHHI", data, payload_start)
+                if bit_count != 24 or compression != 0:
+                    raise VideoFormatError(
+                        f"only 24-bit uncompressed AVI supported, got "
+                        f"{bit_count}-bit compression={compression}"
+                    )
+                cols, rows = bi_width, abs(bi_height)
+            elif fourcc in (b"00db", b"00dc"):
+                if rows == 0 or cols == 0:
+                    raise VideoFormatError("frame chunk before stream format")
+                frames.append(
+                    _dib_to_frame(data[payload_start:payload_end], rows, cols)
+                )
+
+    walk(12, len(data))
+    if not frames:
+        raise VideoFormatError(f"no video frames found in {path}")
+    return VideoClip(
+        name=path.stem,
+        frames=np.stack(frames),
+        fps=round(fps, 6),
+    )

@@ -1,0 +1,96 @@
+"""The in-memory video clip container.
+
+:class:`VideoClip` bundles a stack of RGB frames with a frame rate and
+a name.  It is the unit of data entry into the VDBMS (Sec. 1: "for
+most video applications, video clips are convenient units for data
+entry") and what the shot boundary detector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..errors import EmptyClipError, FrameError
+from .frame import validate_frames
+
+__all__ = ["VideoClip"]
+
+
+@dataclass(slots=True)
+class VideoClip:
+    """A named sequence of RGB frames at a fixed frame rate.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"Wag the Dog"``).
+        frames: uint8 array of shape ``(n, rows, cols, 3)``.
+        fps: frames per second (the paper processes clips at 3 fps).
+        metadata: free-form annotations (genre, source, ground truth
+            keys produced by the synthetic generator, ...).
+    """
+
+    name: str
+    frames: np.ndarray
+    fps: float = 3.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_frames(self.frames)
+        if len(self.frames) == 0:
+            raise EmptyClipError(f"clip {self.name!r} has no frames")
+        if self.fps <= 0:
+            raise FrameError(f"fps must be positive, got {self.fps}")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.frames[index]
+
+    @property
+    def rows(self) -> int:
+        """Frame height ``r`` in pixels."""
+        return self.frames.shape[1]
+
+    @property
+    def cols(self) -> int:
+        """Frame width ``c`` in pixels."""
+        return self.frames.shape[2]
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total duration in seconds at the clip's frame rate."""
+        return len(self.frames) / self.fps
+
+    @property
+    def duration_label(self) -> str:
+        """Duration formatted ``"min:sec"`` like Table 5's column."""
+        total = round(self.duration_seconds)
+        return f"{total // 60}:{total % 60:02d}"
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "VideoClip":
+        """Return a sub-clip over frames ``[start, stop)``.
+
+        The frame array is a view (no copy); metadata is shared.
+        """
+        if not 0 <= start < stop <= len(self.frames):
+            raise EmptyClipError(
+                f"invalid slice [{start}, {stop}) of clip with {len(self)} frames"
+            )
+        return VideoClip(
+            name=name or f"{self.name}[{start}:{stop}]",
+            frames=self.frames[start:stop],
+            fps=self.fps,
+            metadata=self.metadata,
+        )
+
+    def with_metadata(self, **entries: Any) -> "VideoClip":
+        """Return a copy of the clip with extra metadata entries merged in."""
+        merged = dict(self.metadata)
+        merged.update(entries)
+        return VideoClip(name=self.name, frames=self.frames, fps=self.fps, metadata=merged)

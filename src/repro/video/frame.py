@@ -1,0 +1,51 @@
+"""Frame validation helpers.
+
+A *frame* throughout this library is a numpy array of shape
+``(rows, cols, 3)`` and dtype ``uint8`` holding RGB values 0-255 —
+matching the paper's RGB space where "red, green and blue colors range
+from 0 to 255" (Eq. 2 commentary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FrameError
+
+__all__ = ["validate_frame", "validate_frames", "frame_shape"]
+
+
+def validate_frame(frame: np.ndarray) -> np.ndarray:
+    """Validate a single RGB frame and return it unchanged.
+
+    Raises:
+        FrameError: when the array is not ``(rows, cols, 3)`` uint8.
+    """
+    if not isinstance(frame, np.ndarray):
+        raise FrameError(f"frame must be a numpy array, got {type(frame).__name__}")
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise FrameError(f"frame must have shape (rows, cols, 3), got {frame.shape}")
+    if frame.dtype != np.uint8:
+        raise FrameError(f"frame dtype must be uint8, got {frame.dtype}")
+    return frame
+
+
+def validate_frames(frames: np.ndarray) -> np.ndarray:
+    """Validate a frame stack of shape ``(n, rows, cols, 3)`` uint8."""
+    if not isinstance(frames, np.ndarray):
+        raise FrameError(
+            f"frame stack must be a numpy array, got {type(frames).__name__}"
+        )
+    if frames.ndim != 4 or frames.shape[3] != 3:
+        raise FrameError(
+            f"frame stack must have shape (n, rows, cols, 3), got {frames.shape}"
+        )
+    if frames.dtype != np.uint8:
+        raise FrameError(f"frame stack dtype must be uint8, got {frames.dtype}")
+    return frames
+
+
+def frame_shape(frames: np.ndarray) -> tuple[int, int]:
+    """Return ``(rows, cols)`` of a validated frame stack."""
+    validate_frames(frames)
+    return frames.shape[1], frames.shape[2]

@@ -1,0 +1,103 @@
+"""The ``.rvid`` raw video container.
+
+The paper's clips were stored as uncompressed AVI; we provide a minimal
+deterministic equivalent so that the VDBMS storage layer and the
+examples can round-trip clips through disk.  Layout (little-endian):
+
+    offset  size  field
+    0       8     magic ``b"RVID\\x01\\n\\r\\n"``
+    8       4     uint32 frame count ``n``
+    12      4     uint32 rows
+    16      4     uint32 cols
+    20      8     float64 fps
+    28      4     uint32 name length (UTF-8 bytes)
+    32      -     name bytes
+    -       -     ``n * rows * cols * 3`` bytes of RGB payload
+
+The payload is written frame-major so :func:`stream_rvid` can yield one
+frame at a time without loading the whole clip.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from .clip import VideoClip
+
+__all__ = ["RVID_MAGIC", "write_rvid", "read_rvid", "stream_rvid"]
+
+#: File magic identifying an .rvid container (version 1).
+RVID_MAGIC: bytes = b"RVID\x01\n\r\n"
+
+_HEADER = struct.Struct("<III d I")
+
+
+def write_rvid(clip: VideoClip, path: str | Path) -> Path:
+    """Serialize ``clip`` to ``path`` in the .rvid container format.
+
+    Returns the path written.  Metadata is *not* persisted here — the
+    VDBMS catalog stores it separately (see :mod:`repro.vdbms.storage`).
+    """
+    path = Path(path)
+    name_bytes = clip.name.encode("utf-8")
+    n, rows, cols, _ = clip.frames.shape
+    with open(path, "wb") as fh:
+        fh.write(RVID_MAGIC)
+        fh.write(_HEADER.pack(n, rows, cols, clip.fps, len(name_bytes)))
+        fh.write(name_bytes)
+        fh.write(np.ascontiguousarray(clip.frames).tobytes())
+    return path
+
+
+def _read_header(fh) -> tuple[int, int, int, float, str]:
+    magic = fh.read(len(RVID_MAGIC))
+    if magic != RVID_MAGIC:
+        raise VideoFormatError(f"bad .rvid magic: {magic!r}")
+    header = fh.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise VideoFormatError("truncated .rvid header")
+    n, rows, cols, fps, name_len = _HEADER.unpack(header)
+    name_bytes = fh.read(name_len)
+    if len(name_bytes) != name_len:
+        raise VideoFormatError("truncated .rvid name field")
+    return n, rows, cols, fps, name_bytes.decode("utf-8")
+
+
+def read_rvid(path: str | Path) -> VideoClip:
+    """Load a full clip from an .rvid container.
+
+    Raises:
+        VideoFormatError: on bad magic or truncated payload.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        n, rows, cols, fps, name = _read_header(fh)
+        payload = fh.read(n * rows * cols * 3)
+        if len(payload) != n * rows * cols * 3:
+            raise VideoFormatError(f"truncated .rvid payload in {path}")
+    frames = np.frombuffer(payload, dtype=np.uint8).reshape(n, rows, cols, 3)
+    return VideoClip(name=name, frames=frames.copy(), fps=fps)
+
+
+def stream_rvid(path: str | Path) -> Iterator[np.ndarray]:
+    """Yield frames of an .rvid container one at a time.
+
+    Useful for clips too large to hold in memory; each yielded frame is
+    an independent ``(rows, cols, 3)`` uint8 array.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        n, rows, cols, _, _ = _read_header(fh)
+        frame_bytes = rows * cols * 3
+        for i in range(n):
+            chunk = fh.read(frame_bytes)
+            if len(chunk) != frame_bytes:
+                raise VideoFormatError(
+                    f"truncated frame {i} of {n} in {path}"
+                )
+            yield np.frombuffer(chunk, dtype=np.uint8).reshape(rows, cols, 3).copy()

@@ -1,0 +1,117 @@
+"""PPM image export for representative frames and storyboards.
+
+Scene nodes carry representative frames meant to be *looked at*
+(Figs. 7-10 are grids of them).  PPM (portable pixmap, P6) is the
+simplest interoperable image format — three lines of header plus raw
+RGB — so the library can export browsable artifacts with no imaging
+dependency.
+
+:func:`write_storyboard` renders a scene tree's level-by-level summary
+as one contact sheet: rows are tree levels (top level first), cells are
+representative frames.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import FrameError, VideoFormatError
+from .clip import VideoClip
+from .frame import validate_frame
+
+if TYPE_CHECKING:  # avoid a video -> scenetree -> sbd import cycle
+    from ..scenetree.nodes import SceneTree
+
+__all__ = ["write_ppm", "read_ppm", "write_storyboard"]
+
+
+def write_ppm(frame: np.ndarray, path: str | Path) -> Path:
+    """Write one RGB frame as a binary PPM (P6)."""
+    validate_frame(frame)
+    path = Path(path)
+    rows, cols, _ = frame.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{cols} {rows}\n255\n".encode("ascii"))
+        fh.write(np.ascontiguousarray(frame).tobytes())
+    return path
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM (P6) written by :func:`write_ppm`."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise VideoFormatError(f"{path} is not a P6 PPM file")
+    # Header: magic, dimensions, maxval — whitespace separated, with
+    # optional comment lines.
+    fields: list[bytes] = []
+    pos = 2
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(data[start:pos])
+    pos += 1  # the single whitespace after maxval
+    cols, rows, maxval = (int(f) for f in fields)
+    if maxval != 255:
+        raise VideoFormatError(f"only 8-bit PPM supported, got maxval {maxval}")
+    payload = data[pos : pos + rows * cols * 3]
+    if len(payload) != rows * cols * 3:
+        raise VideoFormatError(f"truncated PPM payload in {path}")
+    return np.frombuffer(payload, dtype=np.uint8).reshape(rows, cols, 3).copy()
+
+
+def write_storyboard(
+    tree: SceneTree,
+    clip: VideoClip,
+    path: str | Path,
+    thumb_rows: int = 60,
+    thumb_cols: int = 80,
+    gap: int = 4,
+) -> Path:
+    """Render a scene tree's storyboard as one PPM contact sheet.
+
+    One row per tree level (root level on top), one thumbnail per node
+    at that level, in temporal order — the visual form of the paper's
+    Figure 7.  Thumbnails are nearest-neighbor downsamples of each
+    node's representative frame.
+    """
+    if tree.n_shots < 1:
+        raise FrameError("empty tree")
+    levels: dict[int, list[int]] = {}
+    for node in tree.nodes():
+        if node.representative_frame is None:
+            continue
+        levels.setdefault(node.level, []).append(node.representative_frame)
+    level_order = sorted(levels, reverse=True)
+    n_cols = max(len(frames) for frames in levels.values())
+    sheet_rows = len(level_order) * (thumb_rows + gap) + gap
+    sheet_cols = n_cols * (thumb_cols + gap) + gap
+    sheet = np.full((sheet_rows, sheet_cols, 3), 24, dtype=np.uint8)
+
+    def thumbnail(frame_index: int) -> np.ndarray:
+        frame = clip.frames[frame_index]
+        row_idx = np.minimum(
+            np.arange(thumb_rows) * frame.shape[0] // thumb_rows, frame.shape[0] - 1
+        )
+        col_idx = np.minimum(
+            np.arange(thumb_cols) * frame.shape[1] // thumb_cols, frame.shape[1] - 1
+        )
+        return frame[np.ix_(row_idx, col_idx)]
+
+    for row_position, level in enumerate(level_order):
+        top = gap + row_position * (thumb_rows + gap)
+        for col_position, frame_index in enumerate(levels[level]):
+            left = gap + col_position * (thumb_cols + gap)
+            sheet[top : top + thumb_rows, left : left + thumb_cols] = thumbnail(
+                frame_index
+            )
+    return write_ppm(sheet, path)

@@ -1,0 +1,50 @@
+"""Concrete workloads matching the paper's test materials.
+
+* :mod:`repro.workloads.figure5` — the ten-shot example clip
+  (A, B, A1, B1, C, A2, C1, D, D1, D2) with the exact frame ranges of
+  Table 3;
+* :mod:`repro.workloads.friends` — a one-minute restaurant
+  conversation mirroring the *Friends* segment of Figure 7;
+* :mod:`repro.workloads.movies` — the two-movie retrieval corpus
+  standing in for 'Simon Birch' and 'Wag the Dog' (Table 4,
+  Figs. 8-10);
+* :mod:`repro.workloads.table5` — the 22-clip, six-category detection
+  suite of Table 5;
+* :mod:`repro.workloads.taxonomy` — the genre/form classification of
+  Sec. 4.1 (after the Library of Congress Moving Image Genre-Form
+  Guide).
+"""
+
+from .figure5 import FIGURE5_GROUPS, FIGURE5_SHOT_RANGES, make_figure5_clip
+from .friends import make_friends_clip
+from .movies import make_movie_corpus, make_simon_birch, make_wag_the_dog
+from .table5 import TABLE5_CLIPS, Table5Clip, generate_table5_clip
+from .trailer import make_trailer_clip
+from .taxonomy import (
+    FORMS,
+    GENRES,
+    PAPER_CATEGORY_COUNT,
+    PAPER_FORM_COUNT,
+    PAPER_GENRE_COUNT,
+    VideoCategory,
+)
+
+__all__ = [
+    "FIGURE5_GROUPS",
+    "FIGURE5_SHOT_RANGES",
+    "make_figure5_clip",
+    "make_friends_clip",
+    "make_movie_corpus",
+    "make_simon_birch",
+    "make_wag_the_dog",
+    "TABLE5_CLIPS",
+    "Table5Clip",
+    "generate_table5_clip",
+    "make_trailer_clip",
+    "FORMS",
+    "GENRES",
+    "PAPER_CATEGORY_COUNT",
+    "PAPER_FORM_COUNT",
+    "PAPER_GENRE_COUNT",
+    "VideoCategory",
+]

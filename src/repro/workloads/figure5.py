@@ -1,0 +1,150 @@
+"""The ten-shot example clip of Figure 5 / Table 3.
+
+Shots are labeled A, B, A1, B1, C, A2, C1, D, D1, D2 — equal prefixes
+mean related (shared scene).  Frame ranges follow Table 3 exactly
+(1-75, 76-100, ..., 551-625; 625 frames total), so Table 3 and the
+Figure 6 construction walkthrough can be regenerated verbatim.
+
+Relatedness engineering (see the builder's expected trace):
+
+* A/A1/A2 and B/B1 and C/C1 reuse one world each with small color
+  shifts (within the 10 % RELATIONSHIP tolerance) and are never cut
+  adjacently, so detectability is not at stake;
+* D, D1, D2 *are* adjacent.  They film one high-contrast gradient
+  world from different vantage points: D sits at the left, D2 at the
+  right (instantaneous signs > 10 % apart → the cuts are detectable),
+  while D1 pans from right to left across both positions — so D1 is
+  RELATIONSHIP-related to D and D2 even though D and D2 are not
+  related to each other.  This reproduces the paper's Figure 6(g)
+  narrative where shots #9 and #10 relate to their *immediate
+  predecessors*.
+"""
+
+from __future__ import annotations
+
+from ..synth.camera import CameraSpec
+from ..synth.objects import ObjectSpec
+from ..synth.scripts import ClipScript, GroundTruth, ScriptedShot, render_clip
+from ..synth.shotgen import ShotSpec
+from ..synth.textures import BackgroundSpec
+from ..video.clip import VideoClip
+
+__all__ = ["FIGURE5_GROUPS", "FIGURE5_SHOT_RANGES", "make_figure5_clip"]
+
+#: Shot labels in clip order (Fig. 5).
+FIGURE5_GROUPS: tuple[str, ...] = (
+    "A", "B", "A", "B", "C", "A", "C", "D", "D", "D",
+)
+
+#: 1-based inclusive frame ranges per shot (Table 3).
+FIGURE5_SHOT_RANGES: tuple[tuple[int, int], ...] = (
+    (1, 75), (76, 100), (101, 140), (141, 170), (171, 290),
+    (291, 350), (351, 415), (416, 495), (496, 550), (551, 625),
+)
+
+# One distinct world per scene letter, colored so that no sign any
+# shot can produce comes within the 10 % tolerance of another scene's.
+_WORLD_A = BackgroundSpec(kind="flat", base_color=(200.0, 150.0, 120.0))
+_WORLD_B = BackgroundSpec(kind="flat", base_color=(60.0, 110.0, 220.0))
+_WORLD_C = BackgroundSpec(kind="flat", base_color=(40.0, 200.0, 90.0))
+# The D scene: three *takes* of one set, each a blotch world with the
+# same palette but a different arrangement (different camera angle on
+# the same scene — similar color statistics, different structure, so
+# the stage-3 shift matcher cannot bridge the cuts translationally).
+# Lighting profiles separate the instantaneous signs at each cut while
+# the steady-state signs coincide, keeping the takes
+# RELATIONSHIP-related.
+def _d_world(seed: int) -> BackgroundSpec:
+    return BackgroundSpec(
+        kind="blotches",
+        base_color=(150.0, 70.0, 150.0),
+        accent_color=(110.0, 40.0, 110.0),
+        detail_seed=seed,
+    )
+
+_VARIANT_SHIFTS: tuple[tuple[float, float, float], ...] = (
+    (0.0, 0.0, 0.0),
+    (9.0, -7.0, 5.0),
+    (-8.0, 8.0, -6.0),
+)
+
+_D_MARGIN = 64
+
+
+def _actor(rows: int, cols: int, variant: int) -> ObjectSpec:
+    return ObjectSpec(
+        shape="ellipse",
+        color=(210.0, 175.0, 145.0),
+        size=(rows * 0.3, rows * 0.18),
+        start=(rows * 0.68, cols * (0.35 + 0.1 * variant)),
+        velocity=(0.0, 0.0),
+        wobble=2.0,
+        wobble_period=7,
+    )
+
+
+def _static_shot(
+    world: BackgroundSpec,
+    variant: int,
+    n_frames: int,
+    rows: int,
+    cols: int,
+    seed: int,
+    group: str,
+) -> ScriptedShot:
+    background = world.with_color_shift(_VARIANT_SHIFTS[variant])
+    spec = ShotSpec(
+        n_frames=n_frames,
+        background=background,
+        camera=CameraSpec(kind="static", jitter=0.3, jitter_seed=seed),
+        objects=(_actor(rows, cols, variant),),
+        noise=1.0,
+        noise_seed=seed,
+    )
+    return ScriptedShot(spec=spec, group=group)
+
+
+def _d_shot(
+    variant: int, n_frames: int, rows: int, cols: int, seed: int
+) -> ScriptedShot:
+    if variant == 0:  # D: steady, lights surge at the very end
+        profile = ((0, 0.0), (n_frames - 16, 0.0), (n_frames - 1, 40.0))
+    elif variant == 1:  # D1: opens dark, settles to steady
+        profile = ((0, -40.0), (14, 0.0), (n_frames - 1, 0.0))
+    else:  # D2: opens bright, settles to steady
+        profile = ((0, 45.0), (14, 0.0), (n_frames - 1, 0.0))
+    spec = ShotSpec(
+        n_frames=n_frames,
+        background=_d_world(seed=100 + variant),
+        camera=CameraSpec(kind="static", jitter=0.3, jitter_seed=seed),
+        objects=(_actor(rows, cols, variant),),
+        noise=1.0,
+        noise_seed=seed,
+        margin=_D_MARGIN,
+        light_profile=profile,
+    )
+    return ScriptedShot(spec=spec, group="D")
+
+
+def make_figure5_clip(rows: int = 120, cols: int = 160) -> tuple[VideoClip, GroundTruth]:
+    """Render the Figure 5 clip with Table 3's exact shot lengths."""
+    worlds = {"A": _WORLD_A, "B": _WORLD_B, "C": _WORLD_C}
+    variant_counts: dict[str, int] = {}
+    scripted: list[ScriptedShot] = []
+    for label, (start, end) in zip(FIGURE5_GROUPS, FIGURE5_SHOT_RANGES):
+        variant = variant_counts.get(label, 0)
+        variant_counts[label] = variant + 1
+        n_frames = end - start + 1
+        if label == "D":
+            scripted.append(_d_shot(variant, n_frames, rows, cols, seed=start))
+        else:
+            scripted.append(
+                _static_shot(
+                    worlds[label], variant, n_frames, rows, cols,
+                    seed=start, group=label,
+                )
+            )
+    script = ClipScript(
+        name="figure5", shots=tuple(scripted), rows=rows, cols=cols, fps=3.0
+    )
+    return render_clip(script)

@@ -1,0 +1,109 @@
+"""A one-minute restaurant conversation (the Figure 7 segment).
+
+The paper's story: "Two women and one man are having a conversation
+in a restaurant, and two men come and join them."  The scripted
+coverage mirrors sitcom editing: a wide establishing shot of the
+table, alternating close-up angles on the speakers, a cut to the
+restaurant entrance when the two men arrive, then back to (now wider)
+table coverage.  At 3 fps a minute is 180 frames, split over 12 shots.
+
+Camera angles of one physical location share a background world, so
+the scene tree groups them — walking the finished tree level by level
+recovers the story, which is exactly the Figure 7 reading.
+"""
+
+from __future__ import annotations
+
+from ..synth.camera import CameraSpec
+from ..synth.objects import ObjectSpec
+from ..synth.scripts import ClipScript, GroundTruth, ScriptedShot, render_clip
+from ..synth.shotgen import ShotSpec
+from ..synth.textures import BackgroundSpec
+from ..video.clip import VideoClip
+
+__all__ = ["make_friends_clip"]
+
+# Camera setups inside the restaurant.  Each angle sees a *different*
+# part of the room (wide table vs. the wall behind each speaker vs. the
+# entrance).  Colors are chosen so every pair of worlds stays beyond
+# the 10 % tolerance in at least one channel at *every* position (the
+# table view is a gradient — a wall color inside its color range would
+# let the stage-3 shift matcher legitimately bridge the cut), while
+# retakes of one angle stay within tolerance.
+_TABLE = BackgroundSpec(kind="hgradient", base_color=(185.0, 140.0, 100.0))
+_WALL_1 = BackgroundSpec(kind="flat", base_color=(60.0, 40.0, 160.0))
+_WALL_2 = BackgroundSpec(kind="flat", base_color=(40.0, 110.0, 50.0))
+_ENTRANCE = BackgroundSpec(kind="vgradient", base_color=(225.0, 225.0, 235.0))
+
+_SKIN = (210.0, 175.0, 145.0)
+
+
+def _person(row: float, col: float, scale: float, seed_phase: int) -> ObjectSpec:
+    return ObjectSpec(
+        shape="ellipse",
+        color=_SKIN,
+        size=(scale, scale * 0.6),
+        start=(row, col),
+        wobble=1.8,
+        wobble_period=6 + seed_phase % 4,
+    )
+
+
+def _shot(
+    n_frames: int,
+    background: BackgroundSpec,
+    group: str,
+    people: tuple[ObjectSpec, ...],
+    seed: int,
+) -> ScriptedShot:
+    return ScriptedShot(
+        spec=ShotSpec(
+            n_frames=n_frames,
+            background=background,
+            camera=CameraSpec(kind="static", jitter=0.4, jitter_seed=seed),
+            objects=people,
+            noise=1.5,
+            noise_seed=seed,
+        ),
+        group=group,
+    )
+
+
+def make_friends_clip(rows: int = 120, cols: int = 160) -> tuple[VideoClip, GroundTruth]:
+    """Render the conversation segment; 12 shots, 180 frames, 3 fps."""
+    three_at_table = (
+        _person(rows * 0.66, cols * 0.3, rows * 0.26, 0),
+        _person(rows * 0.7, cols * 0.5, rows * 0.24, 1),
+        _person(rows * 0.66, cols * 0.7, rows * 0.26, 2),
+    )
+    closeup_w1 = (_person(rows * 0.45, cols * 0.5, rows * 0.6, 3),)
+    closeup_m = (_person(rows * 0.47, cols * 0.52, rows * 0.62, 4),)
+    two_men_arrive = (
+        _person(rows * 0.6, cols * 0.35, rows * 0.34, 5),
+        _person(rows * 0.62, cols * 0.6, rows * 0.34, 6),
+    )
+    five_at_table = three_at_table + (
+        _person(rows * 0.72, cols * 0.15, rows * 0.24, 7),
+        _person(rows * 0.72, cols * 0.85, rows * 0.24, 8),
+    )
+    def v(world: BackgroundSpec, shift: tuple[float, float, float]) -> BackgroundSpec:
+        return world.with_color_shift(shift)
+
+    shots = (
+        _shot(18, v(_TABLE, (0, 0, 0)), "table", three_at_table, 11),     # wide
+        _shot(14, v(_WALL_1, (0, 0, 0)), "closeup-1", closeup_w1, 12),    # woman 1
+        _shot(13, v(_WALL_2, (0, 0, 0)), "closeup-2", closeup_m, 13),     # man
+        _shot(15, v(_TABLE, (7, -5, 4)), "table", three_at_table, 14),    # back wide
+        _shot(14, v(_WALL_1, (6, 5, -4)), "closeup-1", closeup_w1, 15),
+        _shot(13, v(_WALL_2, (-6, 5, 5)), "closeup-2", closeup_m, 16),
+        _shot(16, v(_ENTRANCE, (0, 0, 0)), "entrance", two_men_arrive, 17),  # arrival
+        _shot(12, v(_WALL_1, (5, 6, -4)), "closeup-1", closeup_w1, 18),   # reaction
+        _shot(18, v(_TABLE, (-6, 6, -5)), "table", five_at_table, 19),    # joined
+        _shot(14, v(_WALL_1, (-5, -6, 5)), "closeup-1", closeup_w1, 20),
+        _shot(13, v(_WALL_2, (5, -5, -5)), "closeup-2", closeup_m, 21),
+        _shot(20, v(_TABLE, (4, 4, 4)), "table", five_at_table, 22),      # closing
+    )
+    script = ClipScript(
+        name="friends-restaurant", shots=shots, rows=rows, cols=cols, fps=3.0
+    )
+    return render_clip(script)

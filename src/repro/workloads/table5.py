@@ -1,0 +1,116 @@
+"""The 22-clip, six-category detection suite of Table 5.
+
+Each paper clip gets a synthetic stand-in generated from the genre
+model matching its type, with the paper's metadata (duration, shot
+count, reported recall/precision) carried along so the experiment
+driver can print a paper-vs-measured table.
+
+Shot counts are scaled (default 20 %) to keep the full suite runnable
+in well under a minute; pass ``scale=1.0`` for paper-scale clip sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..synth.genres import GENRE_MODELS
+from ..synth.scripts import GroundTruth
+from ..video.clip import VideoClip
+
+__all__ = ["Table5Clip", "TABLE5_CLIPS", "generate_table5_clip"]
+
+
+@dataclass(frozen=True, slots=True)
+class Table5Clip:
+    """One row of Table 5, with generation parameters.
+
+    Attributes:
+        name: the paper's clip name.
+        category: the paper's six-way type grouping.
+        genre: key into :data:`~repro.synth.genres.GENRE_MODELS`.
+        paper_duration: the paper's "min:sec" duration label.
+        paper_shot_changes: the paper's shot-change count.
+        paper_recall, paper_precision: the paper's reported numbers.
+        seed: generation seed (fixed per clip for determinism).
+    """
+
+    name: str
+    category: str
+    genre: str
+    paper_duration: str
+    paper_shot_changes: int
+    paper_recall: float
+    paper_precision: float
+    seed: int
+
+    def n_shots(self, scale: float) -> int:
+        """Scaled shot count (shot changes + 1), at least 8 shots."""
+        return max(8, round((self.paper_shot_changes + 1) * scale))
+
+
+def _clip(
+    name: str,
+    category: str,
+    genre: str,
+    duration: str,
+    changes: int,
+    recall: float,
+    precision: float,
+    seed: int,
+) -> Table5Clip:
+    if genre not in GENRE_MODELS:
+        raise WorkloadError(f"unknown genre model {genre!r} for clip {name!r}")
+    return Table5Clip(
+        name=name,
+        category=category,
+        genre=genre,
+        paper_duration=duration,
+        paper_shot_changes=changes,
+        paper_recall=recall,
+        paper_precision=precision,
+        seed=seed,
+    )
+
+
+#: The full 22-clip suite in the paper's row order.
+TABLE5_CLIPS: tuple[Table5Clip, ...] = (
+    _clip("Silk Stalkings (Drama)", "TV Programs", "drama", "10:24", 95, 0.97, 0.87, 501),
+    _clip("Scooby Doo Show (Cartoon)", "TV Programs", "cartoon", "11:38", 106, 0.87, 0.75, 502),
+    _clip("Friends (Sitcom)", "TV Programs", "sitcom", "10:22", 116, 0.88, 0.75, 503),
+    _clip("Chicago Hope (Drama)", "TV Programs", "drama", "9:47", 156, 0.96, 0.84, 504),
+    _clip("Star Trek (Deep Space Nine)", "TV Programs", "scifi", "12:27", 111, 0.78, 0.81, 505),
+    _clip("All My Children (Soap Opera)", "TV Programs", "soap", "5:44", 50, 0.89, 0.81, 506),
+    _clip("Flintstones (Cartoon)", "TV Programs", "cartoon", "6:09", 48, 0.89, 0.84, 507),
+    _clip("Jerry Springer (Talk Show)", "TV Programs", "talk_show", "4:58", 107, 0.77, 0.82, 508),
+    _clip("TV Commercials", "TV Programs", "commercials", "31:25", 967, 0.95, 0.93, 509),
+    _clip("National (NBC)", "News", "news", "14:45", 202, 0.95, 0.93, 510),
+    _clip("Local (ABC)", "News", "news", "30:27", 176, 0.94, 0.91, 511),
+    _clip("Brave Heart", "Movies", "movie", "10:03", 246, 0.90, 0.81, 512),
+    _clip("ATF", "Movies", "movie", "11:52", 224, 0.94, 0.90, 513),
+    _clip("Simon Birch", "Movies", "movie", "11:08", 164, 0.95, 0.83, 514),
+    _clip("Wag the Dog", "Movies", "movie", "11:01", 103, 0.98, 0.81, 515),
+    _clip("Tennis (1999 U.S. Open)", "Sports Events", "sports", "14:20", 114, 0.91, 0.90, 516),
+    _clip("Mountain Bike Race", "Sports Events", "sports", "15:12", 143, 0.96, 0.95, 517),
+    _clip("Football", "Sports Events", "sports", "21:26", 163, 0.94, 0.88, 518),
+    _clip("Today's Vietnam", "Documentaries", "documentary", "10:29", 93, 0.89, 0.84, 519),
+    _clip("For All Mankind", "Documentaries", "documentary", "16:50", 127, 0.90, 0.81, 520),
+    _clip("Kobe Bryant", "Music Videos", "music_video", "3:53", 53, 0.86, 0.78, 521),
+    _clip("Alabama Song", "Music Videos", "music_video", "4:24", 65, 0.89, 0.84, 522),
+)
+
+
+def generate_table5_clip(
+    clip: Table5Clip, scale: float = 0.2
+) -> tuple[VideoClip, GroundTruth]:
+    """Render the synthetic stand-in for one Table 5 row."""
+    from ..synth.genres import generate_genre_clip
+
+    if scale <= 0:
+        raise WorkloadError(f"scale must be > 0, got {scale}")
+    return generate_genre_clip(
+        GENRE_MODELS[clip.genre],
+        name=clip.name,
+        n_shots=clip.n_shots(scale),
+        seed=clip.seed,
+    )

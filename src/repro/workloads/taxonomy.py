@@ -1,0 +1,110 @@
+"""Genre/form classification (Sec. 4.1).
+
+The paper answers "are two variance values enough?" by pointing at the
+Library of Congress *Moving Image Genre-Form Guide* [26]: 133 genres x
+35 forms give at least 4,655 categories, and "if we assume that video
+retrieval is performed within one of these 4,655 classes, our indexing
+scheme ... should be enough".
+
+We ship a representative subset of the guide's vocabulary (the full
+counts are kept as constants for the capacity argument) plus
+:class:`VideoCategory`, the classification attached to catalog entries
+so queries can be scoped to one category — e.g. the paper classifies
+'Brave Heart' as *adventure and biographical feature* and
+'Dr. Zhivago' as *adaptation, historical, and romance feature*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+
+__all__ = [
+    "GENRES",
+    "FORMS",
+    "PAPER_GENRE_COUNT",
+    "PAPER_FORM_COUNT",
+    "PAPER_CATEGORY_COUNT",
+    "VideoCategory",
+]
+
+#: Counts reported by the paper for the full LoC guide.
+PAPER_GENRE_COUNT = 133
+PAPER_FORM_COUNT = 35
+PAPER_CATEGORY_COUNT = PAPER_GENRE_COUNT * PAPER_FORM_COUNT  # 4655
+
+#: Representative subset of the guide's genre vocabulary.
+GENRES: tuple[str, ...] = (
+    "adaptation", "adventure", "animal", "aviation", "biographical",
+    "buddy", "caper", "chase", "children's", "college", "comedy",
+    "crime", "dance", "detective", "disaster", "documentary-genre",
+    "domestic", "espionage", "ethnic", "experimental", "fantasy",
+    "film noir", "gangster", "historical", "horror", "journalism",
+    "jungle", "juvenile delinquency", "legal", "martial arts",
+    "medical", "melodrama", "military", "musical", "mystery", "nature",
+    "police", "political", "prehistoric", "prison", "religious",
+    "romance", "science fiction", "show business", "slapstick",
+    "sophisticated comedy", "sports-genre", "survival",
+    "thriller", "war", "western", "youth",
+)
+
+#: Representative subset of the guide's form vocabulary.
+FORMS: tuple[str, ...] = (
+    "animation", "anthology", "feature", "serial", "short",
+    "television", "television mini-series", "television movie",
+    "television pilot", "television series", "trailer", "newsreel",
+    "music video-form", "commercial-form", "documentary-form",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class VideoCategory:
+    """A video's classification: selected genres + selected forms.
+
+    Example:
+        >>> VideoCategory(genres=("adventure", "biographical"),
+        ...               forms=("feature",)).label
+        'adventure and biographical feature'
+    """
+
+    genres: tuple[str, ...] = ()
+    forms: tuple[str, ...] = field(default=("feature",))
+
+    def __post_init__(self) -> None:
+        for genre in self.genres:
+            if genre not in GENRES:
+                raise CatalogError(f"unknown genre {genre!r}")
+        for form in self.forms:
+            if form not in FORMS:
+                raise CatalogError(f"unknown form {form!r}")
+        if not self.forms:
+            raise CatalogError("a category needs at least one form")
+
+    @property
+    def label(self) -> str:
+        """Human-readable classification, paper style."""
+        if not self.genres:
+            genre_text = ""
+        elif len(self.genres) == 1:
+            genre_text = self.genres[0] + " "
+        elif len(self.genres) == 2:
+            genre_text = " and ".join(self.genres) + " "
+        else:
+            genre_text = (
+                ", ".join(self.genres[:-1]) + ", and " + self.genres[-1] + " "
+            )
+        return genre_text + " ".join(self.forms)
+
+    def overlaps(self, other: "VideoCategory") -> bool:
+        """True when the categories share at least one genre and form.
+
+        The retrieval-scoping rule: a query restricted to one category
+        considers videos whose classification overlaps it.
+        """
+        genres_overlap = (
+            not self.genres or not other.genres
+            or bool(set(self.genres) & set(other.genres))
+        )
+        forms_overlap = bool(set(self.forms) & set(other.forms))
+        return genres_overlap and forms_overlap

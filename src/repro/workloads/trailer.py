@@ -1,0 +1,89 @@
+"""A movie-trailer workload: title cards, content, credits.
+
+Combines every synthetic shot type in one clip shaped like a theatrical
+trailer: a studio title card fades in content, archetype shots follow
+with dissolves, interstitial cards punctuate, and a credit roll closes.
+This is the integration workload for the typographic shot types — it
+drives the detector, the scene-tree builder, and the motion classifier
+over material no other workload contains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..synth.archetypes import (
+    ARCHETYPE_CLOSEUP,
+    ARCHETYPE_MOVING,
+    closeup_talking_shot,
+    moving_object_shot,
+    two_people_distant_shot,
+    ARCHETYPE_TWO_PEOPLE,
+)
+from ..synth.scripts import ClipScript, GroundTruth, ScriptedShot, render_clip
+from ..synth.titles import rolling_credits_shot, title_card_shot
+from ..video.clip import VideoClip
+
+__all__ = ["make_trailer_clip"]
+
+
+def make_trailer_clip(
+    title: str = "THE LONG TAKE",
+    seed: int = 404,
+    rows: int = 120,
+    cols: int = 160,
+) -> tuple[VideoClip, GroundTruth]:
+    """Render the trailer; groups label cards, content, and credits."""
+    rng = np.random.default_rng(seed)
+    scripted = [
+        ScriptedShot(
+            spec=title_card_shot(f"{title}|COMING SOON", n_frames=10, noise_seed=seed),
+            group="card",
+        ),
+        ScriptedShot(
+            spec=closeup_talking_shot(rng, n_frames=14, rows=rows, cols=cols),
+            group="scene-1",
+            archetype=ARCHETYPE_CLOSEUP,
+            transition="fade",
+            transition_frames=3,
+        ),
+        ScriptedShot(
+            spec=moving_object_shot(rng, n_frames=14, rows=rows, cols=cols),
+            group="scene-2",
+            archetype=ARCHETYPE_MOVING,
+            transition="dissolve",
+            transition_frames=3,
+        ),
+        ScriptedShot(
+            spec=title_card_shot("THIS SUMMER", n_frames=8, noise_seed=seed + 1),
+            group="card",
+        ),
+        ScriptedShot(
+            spec=two_people_distant_shot(rng, n_frames=14, rows=rows, cols=cols),
+            group="scene-3",
+            archetype=ARCHETYPE_TWO_PEOPLE,
+        ),
+        ScriptedShot(
+            spec=rolling_credits_shot(
+                [f"{role} - PERSON {k}" for k, role in enumerate(
+                    ("DIRECTOR", "WRITER", "PRODUCER", "EDITOR", "CAMERA",
+                     "SOUND", "GRIP", "GAFFER", "CASTING", "MUSIC",
+                     "COSTUME", "MAKEUP", "STUNTS", "CATERING", "THANKS",
+                     "DRIVER", "SCOUT", "COLOR", "TITLES", "LEGAL"),
+                )],
+                n_frames=24,
+                noise_seed=seed + 2,
+            ),
+            group="credits",
+            transition="fade",
+            transition_frames=3,
+        ),
+    ]
+    script = ClipScript(
+        name=f"trailer-{title.lower().replace(' ', '-')}",
+        shots=tuple(scripted),
+        rows=rows,
+        cols=cols,
+        fps=3.0,
+    )
+    return render_clip(script)

@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Expensive artifacts (rendered clips, detections) are session-scoped:
+every test module reuses one figure-5 clip, one friends clip, and one
+small movie corpus instead of re-rendering per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.sbd.detector import CameraTrackingDetector, DetectionResult
+
+# Property tests call rendering/extraction code whose first run pays
+# numpy warm-up costs; wall-clock deadlines only add flakiness there.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+from repro.video.clip import VideoClip
+from repro.workloads.figure5 import make_figure5_clip
+from repro.workloads.friends import make_friends_clip
+from repro.workloads.movies import make_movie_corpus
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def flat_frame() -> np.ndarray:
+    """A 120x160 mid-gray frame."""
+    return np.full((120, 160, 3), 128, dtype=np.uint8)
+
+
+@pytest.fixture
+def two_scene_clip() -> VideoClip:
+    """Twenty frames: ten gray, then ten blue — one obvious cut at 10."""
+    frames = np.zeros((20, 120, 160, 3), dtype=np.uint8)
+    frames[:10] = 100
+    frames[10:] = 30
+    frames[10:, :, :, 2] = 200
+    return VideoClip("two-scene", frames, fps=3.0)
+
+
+@pytest.fixture(scope="session")
+def figure5():
+    """The rendered Figure 5 clip and its ground truth."""
+    return make_figure5_clip()
+
+
+@pytest.fixture(scope="session")
+def figure5_detection(figure5) -> DetectionResult:
+    clip, _ = figure5
+    return CameraTrackingDetector().detect(clip)
+
+
+@pytest.fixture(scope="session")
+def friends():
+    """The rendered Friends restaurant segment and its ground truth."""
+    return make_friends_clip()
+
+
+@pytest.fixture(scope="session")
+def friends_detection(friends) -> DetectionResult:
+    clip, _ = friends
+    return CameraTrackingDetector().detect(clip)
+
+
+@pytest.fixture(scope="session")
+def small_movie_corpus():
+    """A reduced two-movie corpus (fast enough for many tests)."""
+    return make_movie_corpus(scale=0.3)

@@ -1,0 +1,248 @@
+"""Tests for the baseline detectors/indexes (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaselineResult, BoundaryDetector
+from repro.baselines.ecr import EdgeChangeRatioSBD, edge_change_ratios, sobel_edges
+from repro.baselines.histogram import HistogramSBD, histogram_differences
+from repro.baselines.keyframe import KeyframeHistogramIndex
+from repro.baselines.pairwise import PairwisePixelSBD, changed_pixel_fractions
+from repro.baselines.timetree import build_time_tree
+from repro.errors import IndexError_, QueryError, SceneTreeError
+from repro.sbd.shots import Shot
+from repro.video.clip import VideoClip
+
+
+def _cut_clip(n_segments=3, seg_len=6, rows=40, cols=48):
+    levels = [40, 130, 220, 90, 180]
+    frames = np.concatenate(
+        [
+            np.full((seg_len, rows, cols, 3), levels[k % 5], dtype=np.uint8)
+            for k in range(n_segments)
+        ]
+    )
+    rng = np.random.default_rng(3)
+    noisy = np.clip(
+        frames.astype(np.int16) + rng.integers(-3, 4, frames.shape), 0, 255
+    ).astype(np.uint8)
+    return VideoClip("cuts", noisy, fps=3.0)
+
+
+def _textured_cut_clip():
+    """Two textured scenes (edges present) joined by a hard cut."""
+    rng = np.random.default_rng(5)
+    def scene(seed):
+        base = np.zeros((40, 48, 3), dtype=np.uint8)
+        r = np.random.default_rng(seed)
+        for _ in range(12):
+            y, x = r.integers(0, 30), r.integers(0, 38)
+            base[y : y + 8, x : x + 8] = r.integers(30, 220, size=3)
+        return base
+    a, b = scene(1), scene(2)
+    frames = np.stack([a] * 6 + [b] * 6)
+    noisy = np.clip(
+        frames.astype(np.int16) + rng.integers(-2, 3, frames.shape), 0, 255
+    ).astype(np.uint8)
+    return VideoClip("textured", noisy, fps=3.0)
+
+
+class TestBaselineResult:
+    def test_shots_materialization(self):
+        result = BaselineResult("c", (4, 8), "x")
+        shots = result.shots(12)
+        assert [(s.start, s.stop) for s in shots] == [(0, 4), (4, 8), (8, 12)]
+
+
+class TestHistogramSBD:
+    def test_detects_hard_cuts(self):
+        clip = _cut_clip()
+        result = HistogramSBD().detect_boundaries(clip)
+        assert set(result.boundaries) == {6, 12}
+
+    def test_is_boundary_detector(self):
+        assert isinstance(HistogramSBD(), BoundaryDetector)
+
+    def test_differences_in_unit_range(self):
+        diffs = histogram_differences(_cut_clip().frames)
+        assert np.all(diffs >= 0) and np.all(diffs <= 1)
+
+    def test_uniform_clip_no_boundaries(self):
+        frames = np.full((10, 20, 20, 3), 128, dtype=np.uint8)
+        result = HistogramSBD().detect_boundaries(VideoClip("flat", frames))
+        assert result.boundaries == ()
+
+    def test_threshold_sensitivity(self):
+        """The Sec. 1 complaint: results swing with the thresholds.
+
+        Out-of-reach thresholds find nothing; hair-trigger thresholds
+        fire on sensor noise; the defaults find exactly the two cuts.
+        """
+        clip = _cut_clip()
+        strict = HistogramSBD(
+            cut_threshold=1.5, low_threshold=1.2, accumulation_threshold=10.0
+        )
+        lax = HistogramSBD(cut_threshold=0.004, low_threshold=0.002)
+        assert len(strict.detect_boundaries(clip).boundaries) == 0
+        assert len(lax.detect_boundaries(clip).boundaries) > 2
+        assert len(HistogramSBD().detect_boundaries(clip).boundaries) == 2
+
+    def test_gradual_accumulation_fires(self):
+        """A dissolve crosses the low threshold repeatedly."""
+        a = np.full((6, 30, 30, 3), 30, dtype=np.uint8)
+        b = np.full((6, 30, 30, 3), 220, dtype=np.uint8)
+        ramp = np.stack(
+            [
+                (30 + (220 - 30) * t / 7 * np.ones((30, 30, 3))).astype(np.uint8)
+                for t in range(1, 7)
+            ]
+        )
+        clip = VideoClip("dissolve", np.concatenate([a, ramp, b]))
+        detector = HistogramSBD(
+            cut_threshold=0.9, low_threshold=0.05, accumulation_threshold=0.3
+        )
+        assert len(detector.detect_boundaries(clip).boundaries) >= 1
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(QueryError):
+            HistogramSBD(cut_threshold=0.1, low_threshold=0.2)
+        with pytest.raises(QueryError):
+            HistogramSBD(bins=1)
+
+
+class TestPairwiseSBD:
+    def test_detects_hard_cuts(self):
+        result = PairwisePixelSBD().detect_boundaries(_cut_clip())
+        assert set(result.boundaries) == {6, 12}
+
+    def test_fractions_bounded(self):
+        fractions = changed_pixel_fractions(_cut_clip().frames, 30.0)
+        assert np.all((fractions >= 0) & (fractions <= 1))
+
+    def test_motion_sensitivity_false_positive(self):
+        """Pairwise pixels misfire on large object motion — the weakness
+        the camera-tracking method avoids."""
+        frames = np.full((8, 40, 48, 3), 200, dtype=np.uint8)
+        for k in range(8):
+            frames[k, 10:35, k * 5 : k * 5 + 12] = 20  # big moving block
+        clip = VideoClip("motion", frames)
+        result = PairwisePixelSBD(frame_threshold=0.10).detect_boundaries(clip)
+        assert len(result.boundaries) > 0  # false alarms on one shot
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(QueryError):
+            PairwisePixelSBD(pixel_threshold=0)
+        with pytest.raises(QueryError):
+            PairwisePixelSBD(frame_threshold=0)
+
+
+class TestECRSBD:
+    def test_sobel_finds_edges(self):
+        gray = np.zeros((1, 20, 20), dtype=np.float32)
+        gray[0, :, 10:] = 255.0
+        edges = sobel_edges(gray, threshold=100.0)
+        assert edges[0, 5, 10] or edges[0, 5, 9]
+        assert not edges[0, 5, 2]
+
+    def test_ratios_peak_at_cut(self):
+        clip = _textured_cut_clip()
+        ratios = edge_change_ratios(clip.frames, 120.0, 2)
+        assert ratios[5] == ratios.max()
+        assert ratios[5] > 0.2
+
+    def test_detects_textured_cut(self):
+        """ECR needs its cut threshold tuned to this material — the
+        paper's point about its six thresholds."""
+        detector = EdgeChangeRatioSBD(cut_threshold=0.25, gradual_threshold=0.1)
+        result = detector.detect_boundaries(_textured_cut_clip())
+        assert 6 in result.boundaries
+
+    def test_flat_frames_never_trigger(self):
+        """Threshold #6: featureless frames are skipped."""
+        frames = np.full((8, 30, 30, 3), 120, dtype=np.uint8)
+        frames[4:] = 140  # a small change with no edges anywhere
+        result = EdgeChangeRatioSBD().detect_boundaries(VideoClip("flat", frames))
+        assert result.boundaries == ()
+
+    def test_six_parameters_validated(self):
+        with pytest.raises(QueryError):
+            EdgeChangeRatioSBD(edge_threshold=0)
+        with pytest.raises(QueryError):
+            EdgeChangeRatioSBD(dilation_radius=-1)
+        with pytest.raises(QueryError):
+            EdgeChangeRatioSBD(cut_threshold=0.2, gradual_threshold=0.3)
+        with pytest.raises(QueryError):
+            EdgeChangeRatioSBD(gradual_window=0)
+        with pytest.raises(QueryError):
+            EdgeChangeRatioSBD(min_edge_fraction=1.5)
+
+
+class TestTimeTree:
+    def test_equal_segments(self):
+        tree = build_time_tree(16, fanout=4)
+        tree.validate()
+        assert tree.n_shots == 16
+        assert len(tree.root.children) == 4
+        for child in tree.root.children:
+            assert len(child.children) == 4
+
+    def test_uneven_division(self):
+        tree = build_time_tree(10, fanout=4)
+        tree.validate()
+        assert tree.n_shots == 10
+
+    def test_single_shot(self):
+        tree = build_time_tree(1)
+        tree.validate()
+        assert tree.height == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SceneTreeError):
+            build_time_tree(0)
+        with pytest.raises(SceneTreeError):
+            build_time_tree(5, fanout=1)
+
+    def test_leaves_in_temporal_order(self):
+        tree = build_time_tree(9, fanout=3)
+        assert [leaf.shot_index for leaf in tree.leaves] == list(range(9))
+
+
+class TestKeyframeIndex:
+    def _index_with_clip(self):
+        frames = np.zeros((12, 20, 20, 3), dtype=np.uint8)
+        frames[:6] = 40
+        frames[6:] = 200
+        clip = VideoClip("kf", frames)
+        shots = [Shot(0, 0, 6), Shot(1, 6, 12)]
+        index = KeyframeHistogramIndex(bins=8)
+        index.add_clip(clip, shots, archetypes={0: "dark", 1: "bright"})
+        return index
+
+    def test_add_and_search(self):
+        index = self._index_with_clip()
+        assert len(index) == 2
+        probe = index.lookup("kf", 1)
+        results = index.search(probe, exclude_shot=("kf", 1))
+        assert results[0].shot_number == 2  # the other shot ranks first
+
+    def test_self_is_nearest_without_exclusion(self):
+        index = self._index_with_clip()
+        probe = index.lookup("kf", 1)
+        assert index.search(probe)[0].shot_number == 1
+
+    def test_feature_size_vs_variance_index(self):
+        """The cost claim: histograms store 3*bins floats, variance 2."""
+        index = KeyframeHistogramIndex(bins=16)
+        assert index.floats_per_shot == 48
+
+    def test_lookup_missing(self):
+        with pytest.raises(IndexError_):
+            self._index_with_clip().lookup("kf", 9)
+
+    def test_search_empty_index(self):
+        with pytest.raises(IndexError_):
+            KeyframeHistogramIndex().search(np.zeros(48))
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(QueryError):
+            KeyframeHistogramIndex(bins=1)

@@ -1,0 +1,95 @@
+"""Tests for operating curves (repro.eval.pr_curve)."""
+
+import pytest
+
+from repro.eval.pr_curve import (
+    OperatingCurve,
+    OperatingPoint,
+    camera_tracking_curve,
+    histogram_curve,
+    sweep_detector,
+)
+from repro.eval.sbd_metrics import SBDScore
+from repro.synth.genres import GENRE_MODELS, generate_genre_clip
+
+
+@pytest.fixture(scope="module")
+def workload():
+    clips = []
+    for genre, seed in (("news", 31), ("music_video", 32)):
+        clip, truth = generate_genre_clip(
+            GENRE_MODELS[genre], genre, n_shots=10, seed=seed
+        )
+        clips.append((clip, list(truth.boundaries)))
+    return clips
+
+
+class TestOperatingCurve:
+    def _curve(self, f1s):
+        points = tuple(
+            OperatingPoint(
+                parameter=float(k),
+                score=SBDScore(actual=100, detected=100, correct=round(f * 100)),
+            )
+            for k, f in enumerate(f1s)
+        )
+        return OperatingCurve("x", points)
+
+    def test_best_point(self):
+        curve = self._curve([0.5, 0.9, 0.7])
+        assert curve.best.parameter == 1.0
+
+    def test_f1_spread(self):
+        curve = self._curve([0.5, 0.9, 0.7])
+        assert curve.f1_spread == pytest.approx(0.4)
+
+    def test_sweet_spot_width(self):
+        curve = self._curve([0.5, 0.9, 0.87, 0.7])
+        assert curve.sweet_spot_width(slack=0.05) == 2
+
+
+class TestSweeps:
+    def test_generic_sweep(self, workload):
+        def factory(threshold):
+            # A fake detector that reports every k-th frame; lower
+            # thresholds report more boundaries.
+            step = max(1, int(threshold))
+            return lambda clip: list(range(step, len(clip), step))
+
+        curve = sweep_detector("fake", workload, [5.0, 20.0], factory)
+        assert len(curve.points) == 2
+        # More detections -> recall no worse.
+        assert curve.points[0].score.recall >= curve.points[1].score.recall
+
+    def test_camera_tracking_curve(self, workload):
+        curve = camera_tracking_curve(workload, fractions=(0.1, 0.3, 0.9))
+        assert curve.detector_name == "camera-tracking"
+        assert len(curve.points) == 3
+        # A stricter stage 3 (higher fraction) declares at least as many
+        # boundaries, so recall is monotone non-decreasing.
+        recalls = [p.score.recall for p in curve.points]
+        assert recalls[0] <= recalls[-1] + 1e-9
+        # The paper-default region performs well.
+        default_point = curve.points[1]
+        assert default_point.f1 >= curve.best.f1 - 0.15
+
+    def test_histogram_curve(self, workload):
+        curve = histogram_curve(workload, cuts=(0.01, 0.3, 0.8))
+        assert len(curve.points) == 3
+        # Hair-trigger threshold: most detections, lowest precision.
+        assert (
+            curve.points[0].score.detected
+            >= curve.points[-1].score.detected
+        )
+
+    def test_camera_sweet_spot_wider_than_histogram(self, workload):
+        """The reliability claim in curve form: around their respective
+        best settings, camera tracking tolerates more parameter change
+        than the histogram method (checked with matched sweep sizes)."""
+        camera = camera_tracking_curve(
+            workload, fractions=(0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 0.95)
+        )
+        histogram = histogram_curve(
+            workload, cuts=(0.01, 0.03, 0.08, 0.15, 0.3, 0.5, 0.8)
+        )
+        assert camera.sweet_spot_width() >= histogram.sweet_spot_width()

@@ -1,0 +1,105 @@
+"""Tests for the experiment drivers (tables/figures reproduction)."""
+
+from repro.experiments import report, table1, table2, table3, figure6, figure7
+from repro.experiments.table5 import run as run_table5
+from repro.workloads.table5 import TABLE5_CLIPS
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": None}]
+        text = report.format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_format_value(self):
+        assert report.format_value(None) == "-"
+        assert report.format_value(0.125) == "0.12"
+        assert report.format_value(7) == "7"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in report.format_table([])
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        result = table1.run()
+        assert result.matches_paper
+        assert result.rows[0] == {"estimate_range": "1..2", "nearest_value": 1}
+        assert result.rows[-1] == {"estimate_range": "45..92", "nearest_value": 61}
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        result = table2.run()
+        assert result.matches_paper
+        assert result.selected_frame_number == 1
+        assert result.longest_run == 6
+        assert result.top_two_frames == (1, 15)
+
+
+class TestTable3:
+    def test_shot_ranges_exact(self):
+        result = table3.run()
+        assert result.shot_ranges_match_paper
+        assert len(result.rows) == 10
+        assert result.rows[0]["start_frame"] == 1
+        assert result.rows[-1]["end_frame"] == 625
+
+
+class TestFigure6:
+    def test_full_reproduction(self):
+        result = figure6.run()
+        assert result.trace_matches
+        assert result.shape_matches
+        assert result.matches_paper
+
+
+class TestFigure7:
+    def test_friends_tree(self):
+        result = figure7.run()
+        assert result.boundaries_exact
+        assert result.tree.n_shots == 12
+        assert result.tree.height >= 2
+        assert len(result.storyboard) == len(result.tree.nodes())
+        assert result.quality.pair_agreement > 0.5
+
+
+class TestTable5:
+    def test_subset_runs_and_scores(self):
+        """Two small clips keep this test fast; the full suite is the
+        bench's job."""
+        result = run_table5(scale=0.1, clips=TABLE5_CLIPS[5:7])
+        assert len(result.outcomes) == 2
+        for outcome in result.outcomes:
+            assert 0.0 <= outcome.score.recall <= 1.0
+            assert 0.0 <= outcome.score.precision <= 1.0
+        rows = result.rows()
+        assert rows[-1]["name"] == "Total"
+        assert result.total.actual == sum(o.score.actual for o in result.outcomes)
+
+    def test_baselines_optional(self):
+        result = run_table5(
+            scale=0.1, clips=TABLE5_CLIPS[6:7], include_baselines=True
+        )
+        outcome = result.outcomes[0]
+        assert set(outcome.baseline_scores) == {"histogram", "ecr", "pairwise"}
+        row = outcome.to_row()
+        assert "histogram_recall" in row
+
+
+class TestRetrievalMatrix:
+    def test_small_corpus_matrix(self):
+        from repro.experiments.retrieval_matrix import ARCHETYPE_ORDER, run
+
+        result = run(scale=0.4)
+        # Matrix covers the three labeled archetypes.
+        assert set(result.matrix) == set(ARCHETYPE_ORDER[:3])
+        assert result.n_queries > 10
+        # The headline claim at corpus scale: strongly diagonal.
+        assert result.diagonal_fraction >= 0.8
+        for precision in result.per_archetype_precision().values():
+            assert precision >= 0.6

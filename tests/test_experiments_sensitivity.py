@@ -1,0 +1,38 @@
+"""Tests for the threshold-sensitivity experiment driver."""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.workloads.table5 import TABLE5_CLIPS
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Two clips at small scale keep the sweep quick; the full six-clip
+    # run is the bench's job.
+    return sensitivity.run(scale=0.08, specs=TABLE5_CLIPS[9:11])
+
+
+class TestSensitivityExperiment:
+    def test_sweeps_cover_grids(self, result):
+        assert len(result.histogram_sweep) == 20
+        assert len(result.ecr_sweep) == 9
+
+    def test_scores_bounded(self, result):
+        for point in result.histogram_sweep + result.ecr_sweep:
+            assert 0.0 <= point.f1 <= 1.0
+
+    def test_histogram_spread_is_wide(self, result):
+        low, high = result.spread(result.histogram_sweep)
+        assert high - low >= 0.1
+
+    def test_camera_tracking_competitive(self, result):
+        """The fixed-configuration detector is at least close to the
+        best swept baseline setting (usually above it)."""
+        _, h_high = result.spread(result.histogram_sweep)
+        assert result.camera_f1 >= h_high - 0.15
+
+    def test_parameters_recorded(self, result):
+        point = result.histogram_sweep[0]
+        assert len(point.parameters) == 3
+        assert point.parameters[1] < point.parameters[0]  # low < cut

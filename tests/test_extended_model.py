@@ -1,0 +1,130 @@
+"""Tests for the extended (per-channel) similarity model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import QueryConfig
+from repro.errors import IndexError_, ShotError
+from repro.features.extended import (
+    ExtendedFeatureVector,
+    extract_extended_features,
+)
+from repro.index.extended import ExtendedEntry, ExtendedVarianceIndex
+
+
+def _vector(ba=(4.0, 4.0, 4.0), oa=(1.0, 1.0, 1.0)):
+    return ExtendedFeatureVector(var_ba_rgb=ba, var_oa_rgb=oa)
+
+
+class TestExtendedFeatureVector:
+    def test_base_projection_is_channel_mean(self):
+        vector = _vector(ba=(3.0, 6.0, 9.0), oa=(0.0, 0.0, 3.0))
+        assert vector.base.var_ba == pytest.approx(6.0)
+        assert vector.base.var_oa == pytest.approx(1.0)
+
+    def test_per_channel_d_v(self):
+        vector = _vector(ba=(16.0, 4.0, 1.0), oa=(9.0, 4.0, 0.0))
+        assert np.allclose(vector.d_v_rgb, [4 - 3, 0, 1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ShotError):
+            _vector(ba=(-1.0, 0.0, 0.0))
+
+    def test_distance_to_self_zero(self):
+        vector = _vector()
+        assert vector.distance(vector) == 0.0
+
+    def test_matches_symmetric(self):
+        a = _vector(ba=(16.0, 16.0, 16.0))
+        b = _vector(ba=(20.25, 20.25, 20.25))
+        assert a.matches(b, 1.0, 1.0) == b.matches(a, 1.0, 1.0)
+
+    def test_channel_difference_discriminates(self):
+        """Equal averaged variances, different channels: the base model
+        matches, the extended model refuses — the Sec. 6 gain."""
+        red_flicker = _vector(ba=(27.0, 0.0, 0.0), oa=(0.0, 0.0, 0.0))
+        blue_flicker = _vector(ba=(0.0, 0.0, 27.0), oa=(0.0, 0.0, 0.0))
+        assert red_flicker.base.var_ba == blue_flicker.base.var_ba
+        # Base model: identical (Var, D^v) -> matches trivially.
+        assert abs(red_flicker.base.d_v - blue_flicker.base.d_v) < 1e-9
+        # Extended model: sqrt(27) > 5 apart per channel -> no match.
+        assert not red_flicker.matches(blue_flicker, 1.0, 1.0)
+
+    @given(
+        st.tuples(*(st.floats(min_value=0, max_value=400),) * 3),
+        st.tuples(*(st.floats(min_value=0, max_value=400),) * 3),
+    )
+    def test_property_reflexive_match(self, ba, oa):
+        vector = _vector(ba=ba, oa=oa)
+        assert vector.matches(vector, 0.0, 0.0)
+
+
+class TestExtraction:
+    def test_extract_from_detection(self, figure5_detection):
+        vectors = extract_extended_features(figure5_detection)
+        assert len(vectors) == figure5_detection.n_shots
+        from repro.features.vector import extract_shot_features
+
+        base_vectors = extract_shot_features(figure5_detection)
+        for extended, base in zip(vectors, base_vectors):
+            assert extended.base.var_ba == pytest.approx(base.var_ba)
+            assert extended.base.var_oa == pytest.approx(base.var_oa)
+
+
+class TestExtendedIndex:
+    def _index(self):
+        index = ExtendedVarianceIndex()
+        index._entries = [  # direct seeding for unit-level control
+            ExtendedEntry("v", 1, _vector(ba=(16.0, 16.0, 16.0)), "a"),
+            ExtendedEntry("v", 2, _vector(ba=(20.25, 20.25, 20.25)), "a"),
+            ExtendedEntry("v", 3, _vector(ba=(100.0, 100.0, 100.0)), "b"),
+        ]
+        return index
+
+    def test_search_matches_and_ranks(self):
+        index = self._index()
+        probe = _vector(ba=(16.0, 16.0, 16.0))
+        results = index.search(probe)
+        assert [e.shot_number for e in results] == [1, 2]
+
+    def test_exclude_shot(self):
+        index = self._index()
+        probe = _vector(ba=(16.0, 16.0, 16.0))
+        results = index.search(probe, exclude_shot=("v", 1))
+        assert [e.shot_number for e in results] == [2]
+
+    def test_limit(self):
+        index = self._index()
+        probe = _vector(ba=(16.0, 16.0, 16.0))
+        assert len(index.search(probe, limit=1)) == 1
+
+    def test_lookup_missing(self):
+        with pytest.raises(IndexError_):
+            self._index().lookup("v", 9)
+
+    def test_add_detection_result(self, figure5_detection):
+        index = ExtendedVarianceIndex()
+        entries = index.add_detection_result(figure5_detection, video_id="f5")
+        assert len(entries) == figure5_detection.n_shots
+        assert index.lookup("f5", 1).shot_id == "#1@f5"
+
+    def test_raw_boxes_no_looser_than_base(self, figure5_detection):
+        """With the raw per-channel boxes (scale 1.0), a match implies
+        the base-model quantities are within tolerance too, by the
+        reverse triangle inequality on the channel RMS."""
+        index = ExtendedVarianceIndex()
+        index.add_detection_result(figure5_detection, video_id="f5")
+        config = QueryConfig()
+        for probe in index.entries:
+            for match in index.search(
+                probe.features,
+                config=config,
+                exclude_shot=(probe.video_id, probe.shot_number),
+                channel_tolerance_scale=1.0,
+            ):
+                base_probe = probe.features.base
+                base_match = match.features.base
+                assert abs(base_probe.sqrt_var_ba - base_match.sqrt_var_ba) <= (
+                    config.beta + 1e-6
+                )

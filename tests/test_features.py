@@ -1,0 +1,132 @@
+"""Tests for repro.features (Eqs. 3-6, the feature vector, D^v)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShotError
+from repro.features.variance import (
+    shot_variance,
+    sign_stream_mean,
+    sign_stream_variance,
+)
+from repro.features.vector import FeatureVector, extract_shot_features
+
+
+class TestVariance:
+    def test_mean_uses_n_denominator(self):
+        """Eq. 4 divides by l - k + 1 (the frame count)."""
+        signs = np.array([[0, 0, 0], [10, 20, 30]], dtype=np.uint8)
+        assert np.allclose(sign_stream_mean(signs), [5, 10, 15])
+
+    def test_variance_uses_n_minus_one_denominator(self):
+        """Eq. 3 divides by l - k (one less than the frame count)."""
+        signs = np.array([[0, 0, 0], [10, 10, 10]], dtype=np.uint8)
+        # Per channel: ((0-5)^2 + (10-5)^2) / 1 = 50.
+        assert np.allclose(sign_stream_variance(signs), [50, 50, 50])
+
+    def test_matches_numpy_sample_variance(self):
+        rng = np.random.default_rng(11)
+        signs = rng.integers(0, 255, size=(30, 3)).astype(np.uint8)
+        assert np.allclose(
+            sign_stream_variance(signs),
+            np.var(signs.astype(np.float64), axis=0, ddof=1),
+        )
+
+    def test_single_frame_zero_variance(self):
+        signs = np.array([[100, 150, 200]], dtype=np.uint8)
+        assert np.allclose(sign_stream_variance(signs), 0.0)
+        assert shot_variance(signs) == 0.0
+
+    def test_constant_stream_zero_variance(self):
+        """Paper property: Var == 0 means the area never changed."""
+        signs = np.full((20, 3), 99, dtype=np.uint8)
+        assert shot_variance(signs) == 0.0
+
+    def test_scalar_is_channel_mean(self):
+        signs = np.array([[0, 0, 0], [10, 20, 0]], dtype=np.uint8)
+        per_channel = sign_stream_variance(signs)
+        assert shot_variance(signs) == pytest.approx(per_channel.mean())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShotError):
+            sign_stream_variance(np.zeros((0, 3)))
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=50))
+    def test_property_nonnegative_and_bounded(self, values):
+        signs = np.array([[v, v, v] for v in values], dtype=np.uint8)
+        var = shot_variance(signs)
+        assert var >= 0.0
+        assert var <= 255.0 ** 2
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), min_size=2, max_size=30),
+        st.integers(min_value=1, max_value=55),
+    )
+    def test_property_shift_invariant(self, values, shift):
+        """Adding a constant to every sign leaves the variance unchanged."""
+        a = np.array([[v, v, v] for v in values], dtype=np.uint8)
+        b = a + shift
+        assert shot_variance(a) == pytest.approx(shot_variance(b.astype(np.uint8)))
+
+
+class TestFeatureVector:
+    def test_d_v_definition(self):
+        vector = FeatureVector(var_ba=16.0, var_oa=9.0)
+        assert vector.d_v == pytest.approx(4.0 - 3.0)
+        assert vector.sqrt_var_ba == 4.0
+        assert vector.sqrt_var_oa == 3.0
+
+    def test_d_v_can_be_negative(self):
+        assert FeatureVector(var_ba=1.0, var_oa=9.0).d_v == pytest.approx(-2.0)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ShotError):
+            FeatureVector(var_ba=-1.0, var_oa=0.0)
+
+    def test_distance_in_plane(self):
+        a = FeatureVector(var_ba=16.0, var_oa=9.0)   # (1, 4)
+        b = FeatureVector(var_ba=25.0, var_oa=16.0)  # (1, 5)
+        assert a.distance(b) == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=0, max_value=1e4),
+    )
+    def test_property_distance_to_self_zero(self, var_ba, var_oa):
+        vector = FeatureVector(var_ba=var_ba, var_oa=var_oa)
+        assert vector.distance(vector) == 0.0
+
+    def test_d_v_bounded_by_sqrt_var_ba(self):
+        """D^v <= sqrt(Var^BA) always (since sqrt(Var^OA) >= 0)."""
+        vector = FeatureVector(var_ba=100.0, var_oa=0.0)
+        assert vector.d_v <= vector.sqrt_var_ba
+
+
+class TestExtractShotFeatures:
+    def test_per_clip_extraction(self, figure5_detection):
+        vectors = extract_shot_features(figure5_detection)
+        assert len(vectors) == figure5_detection.n_shots
+        for vector in vectors:
+            assert vector.var_ba >= 0 and vector.var_oa >= 0
+
+    def test_single_shot_extraction(self, figure5_detection):
+        shot = figure5_detection.shots[0]
+        vector = extract_shot_features(figure5_detection, shot)
+        assert isinstance(vector, FeatureVector)
+        all_vectors = extract_shot_features(figure5_detection)
+        assert math.isclose(vector.var_ba, all_vectors[0].var_ba)
+
+    def test_static_shots_have_low_var_ba(self, figure5_detection):
+        """Figure 5's A/B/C shots are static: background barely changes."""
+        vectors = extract_shot_features(figure5_detection)
+        for k in range(7):  # shots A..C1
+            assert vectors[k].var_ba < 5.0
+
+    def test_d_group_lighting_raises_var_ba(self, figure5_detection):
+        """The D takes have lighting ramps: clearly nonzero Var^BA."""
+        vectors = extract_shot_features(figure5_detection)
+        for k in (7, 8, 9):
+            assert vectors[k].var_ba > 10.0

@@ -1,0 +1,110 @@
+"""Tests for repro.geometry.regions (FBA/FOA geometry, Sec. 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RegionConfig
+from repro.errors import DimensionError, FrameError
+from repro.geometry.regions import (
+    Rect,
+    compute_frame_geometry,
+    extract_foa,
+    fba_rects,
+)
+
+
+class TestRect:
+    def test_dimensions(self):
+        rect = Rect(top=2, left=3, bottom=10, right=9)
+        assert rect.height == 8
+        assert rect.width == 6
+        assert rect.area == 48
+
+    def test_slice_from(self):
+        frame = np.arange(4 * 5 * 3, dtype=np.uint8).reshape(4, 5, 3)
+        rect = Rect(top=1, left=2, bottom=3, right=4)
+        view = rect.slice_from(frame)
+        assert view.shape == (2, 2, 3)
+        assert np.array_equal(view, frame[1:3, 2:4])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(DimensionError):
+            Rect(top=5, left=0, bottom=3, right=10)
+
+
+class TestComputeFrameGeometry:
+    def test_paper_dimensions_160x120(self):
+        """Sec. 2.2's worked example: c=160, r=120."""
+        g = compute_frame_geometry(120, 160)
+        assert g.w_est == 16
+        assert g.b_est == 128      # c - 2w'
+        assert g.h_est == 104      # r - w'
+        assert g.l_est == 368      # c + 2h'
+        assert g.w == 13
+        assert g.b == 125
+        assert g.h == 125
+        assert g.l == 253
+
+    def test_shapes(self):
+        g = compute_frame_geometry(120, 160)
+        assert g.tba_shape == (13, 253)
+        assert g.foa_shape == (125, 125)
+
+    def test_unsnapped_mode_keeps_estimates(self):
+        config = RegionConfig(snap_to_size_set=False)
+        g = compute_frame_geometry(120, 160, config)
+        assert (g.w, g.h, g.b, g.l) == (16, 104, 128, 368)
+
+    def test_rejects_tiny_frames(self):
+        with pytest.raises(DimensionError):
+            compute_frame_geometry(2, 160)
+
+    @pytest.mark.parametrize("rows,cols", [(60, 80), (120, 160), (240, 352), (480, 640)])
+    def test_all_derived_dims_positive(self, rows, cols):
+        g = compute_frame_geometry(rows, cols)
+        assert g.w >= 1 and g.h >= 1 and g.b >= 1 and g.l >= 1
+
+
+class TestFBARects:
+    def test_pieces_tile_the_fba(self):
+        """Left column + top bar + right column = the ⊓ shape, disjoint."""
+        g = compute_frame_geometry(120, 160)
+        left, top, right = fba_rects(g)
+        assert top.top == 0 and top.bottom == g.w_est
+        assert top.left == 0 and top.right == 160
+        assert left.top == g.w_est and left.bottom == 120
+        assert right.right == 160 and right.left == 160 - g.w_est
+        # Disjoint: columns start below the bar.
+        assert left.top == top.bottom
+        total_area = left.area + top.area + right.area
+        expected = g.w_est * 160 + 2 * g.w_est * (120 - g.w_est)
+        assert total_area == expected
+
+
+class TestExtractFOA:
+    def test_foa_is_central_region(self):
+        g = compute_frame_geometry(120, 160)
+        frame = np.zeros((120, 160, 3), dtype=np.uint8)
+        frame[g.w_est :, g.w_est : 160 - g.w_est] = 200
+        foa = extract_foa(frame, g)
+        assert foa.shape == (g.h_est, g.b_est, 3)
+        assert np.all(foa == 200)
+
+    def test_foa_excludes_background_strip(self):
+        g = compute_frame_geometry(120, 160)
+        frame = np.zeros((120, 160, 3), dtype=np.uint8)
+        frame[: g.w_est, :, :] = 255       # top bar
+        frame[:, : g.w_est, :] = 255       # left column
+        frame[:, 160 - g.w_est :, :] = 255  # right column
+        foa = extract_foa(frame, g)
+        assert np.all(foa == 0)
+
+    def test_rejects_shape_mismatch(self):
+        g = compute_frame_geometry(120, 160)
+        with pytest.raises(FrameError):
+            extract_foa(np.zeros((60, 80, 3), dtype=np.uint8), g)
+
+    def test_rejects_non_rgb(self):
+        g = compute_frame_geometry(120, 160)
+        with pytest.raises(FrameError):
+            extract_foa(np.zeros((120, 160), dtype=np.uint8), g)

@@ -1,0 +1,89 @@
+"""Tests for repro.geometry.sizeset (Eq. 1 and Table 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DimensionError
+from repro.geometry.sizeset import (
+    SIZE_SET_PREFIX,
+    is_size_set_member,
+    nearest_size,
+    size_index_for_estimate,
+    size_set,
+    size_set_element,
+)
+
+
+class TestSizeSetElement:
+    def test_prefix_matches_paper(self):
+        assert tuple(size_set_element(j) for j in range(1, 9)) == SIZE_SET_PREFIX
+
+    def test_equation_one_literally(self):
+        # s_j = 1 + sum_{i=2}^{j} 2^i
+        for j in range(1, 12):
+            expected = 1 + sum(2 ** i for i in range(2, j + 1))
+            assert size_set_element(j) == expected
+
+    def test_rejects_nonpositive_index(self):
+        with pytest.raises(DimensionError):
+            size_set_element(0)
+
+
+class TestSizeSet:
+    def test_generates_up_to_limit(self):
+        assert list(size_set(61)) == [1, 5, 13, 29, 61]
+
+    def test_limit_below_one_is_empty(self):
+        assert list(size_set(0)) == []
+
+
+class TestMembership:
+    @pytest.mark.parametrize("n", [1, 5, 13, 29, 61, 125, 253])
+    def test_members(self, n):
+        assert is_size_set_member(n)
+
+    @pytest.mark.parametrize("n", [0, 2, 3, 4, 6, 12, 14, 28, 30, 124, 126])
+    def test_non_members(self, n):
+        assert not is_size_set_member(n)
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_every_element_is_member(self, j):
+        assert is_size_set_member(size_set_element(j))
+
+
+class TestNearest:
+    @pytest.mark.parametrize(
+        "estimate,expected",
+        [(1, 1), (2, 1), (3, 5), (8, 5), (9, 13), (16, 13), (20, 13),
+         (21, 29), (44, 29), (45, 61), (92, 61), (93, 125)],
+    )
+    def test_table1_rows(self, estimate, expected):
+        """The exact boundaries of the paper's Table 1."""
+        assert nearest_size(estimate) == expected
+
+    def test_paper_example_c160(self):
+        """Sec. 2.2's worked example: c=160 -> w'=16 -> j=3 -> w=13."""
+        assert size_index_for_estimate(16) == 3
+        assert nearest_size(16) == 13
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DimensionError):
+            nearest_size(0)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_nearest_is_truly_nearest_with_upward_ties(self, estimate):
+        """Property: the closed form equals brute-force nearest search
+        (ties resolve to the larger member, per Table 1)."""
+        snapped = nearest_size(estimate)
+        candidates = list(size_set(4 * estimate + 16))
+        best = min(candidates, key=lambda s: (abs(s - estimate), -s))
+        assert snapped == best
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_result_always_member(self, estimate):
+        assert is_size_set_member(nearest_size(estimate))
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_members_snap_to_themselves(self, j):
+        s = size_set_element(j)
+        assert nearest_size(s) == s

@@ -1,0 +1,118 @@
+"""Tests for repro.geometry.transform (FBA → TBA unfolding, Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DimensionError
+from repro.geometry.regions import compute_frame_geometry
+from repro.geometry.transform import extract_tba, resample_region, unfold_fba
+
+
+def _marked_frame(rows=120, cols=160):
+    """Frame with distinct values in each FBA piece and the FOA."""
+    g = compute_frame_geometry(rows, cols)
+    frame = np.zeros((rows, cols, 3), dtype=np.uint8)
+    w = g.w_est
+    frame[:w, :, :] = 10                  # top bar
+    frame[w:, :w, :] = 20                 # left column
+    frame[w:, cols - w :, :] = 30         # right column
+    frame[w:, w : cols - w, :] = 99       # FOA (must not leak into TBA)
+    return frame, g
+
+
+class TestUnfoldFBA:
+    def test_strip_shape(self):
+        frame, g = _marked_frame()
+        strip = unfold_fba(frame, g)
+        assert strip.shape == (g.w_est, g.l_est, 3)
+
+    def test_segment_order_left_top_right(self):
+        frame, g = _marked_frame()
+        strip = unfold_fba(frame, g)
+        h = g.h_est
+        assert np.all(strip[:, :h] == 20)          # rotated left column
+        assert np.all(strip[:, h : h + 160] == 10)  # top bar
+        assert np.all(strip[:, h + 160 :] == 30)    # rotated right column
+
+    def test_foa_never_leaks_into_strip(self):
+        frame, g = _marked_frame()
+        strip = unfold_fba(frame, g)
+        assert not np.any(strip == 99)
+
+    def test_corner_adjacency_preserved(self):
+        """Pixels adjacent across the ⊓ corner stay adjacent in the strip."""
+        rows, cols = 120, 160
+        g = compute_frame_geometry(rows, cols)
+        w = g.w_est
+        frame = np.zeros((rows, cols, 3), dtype=np.uint8)
+        # Mark the top row of the left column (touches the bar's left end).
+        frame[w, :w, :] = 77
+        strip = unfold_fba(frame, g)
+        # After clockwise rotation it is the rightmost column of the
+        # left segment — i.e. strip column h-1.
+        assert np.all(strip[:, g.h_est - 1] == 77)
+
+    def test_rejects_non_rgb(self):
+        _, g = _marked_frame()
+        with pytest.raises(Exception):
+            unfold_fba(np.zeros((120, 160), dtype=np.uint8), g)
+
+
+class TestResampleRegion:
+    def test_identity_when_shapes_match(self):
+        region = np.arange(5 * 7 * 3, dtype=np.uint8).reshape(5, 7, 3)
+        assert resample_region(region, (5, 7)) is region
+
+    def test_downsample_shape(self):
+        region = np.zeros((16, 368, 3), dtype=np.uint8)
+        out = resample_region(region, (13, 253))
+        assert out.shape == (13, 253, 3)
+
+    def test_upsample_shape(self):
+        region = np.zeros((104, 128, 3), dtype=np.uint8)
+        out = resample_region(region, (125, 125))
+        assert out.shape == (125, 125, 3)
+
+    def test_constant_region_stays_constant(self):
+        region = np.full((16, 368, 3), 42, dtype=np.uint8)
+        assert np.all(resample_region(region, (13, 253)) == 42)
+
+    def test_monotone_mapping(self):
+        """Column order survives resampling (no reordering)."""
+        region = np.zeros((4, 100, 3), dtype=np.uint8)
+        region[:, :, 0] = np.arange(100, dtype=np.uint8)[None, :]
+        out = resample_region(region, (4, 61))
+        values = out[0, :, 0].astype(int)
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(DimensionError):
+            resample_region(np.zeros((4, 4, 3)), (0, 5))
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_property_output_values_come_from_input(self, r_in, c_in, r_out, c_out):
+        rng = np.random.default_rng(r_in * 41 + c_in)
+        region = rng.integers(0, 255, size=(r_in, c_in, 3)).astype(np.uint8)
+        out = resample_region(region, (r_out, c_out))
+        assert out.shape == (r_out, c_out, 3)
+        flat_in = set(map(tuple, region.reshape(-1, 3)))
+        flat_out = set(map(tuple, out.reshape(-1, 3)))
+        assert flat_out <= flat_in
+
+
+class TestExtractTBA:
+    def test_snapped_shape(self):
+        frame, g = _marked_frame()
+        tba = extract_tba(frame, g)
+        assert tba.shape == (g.w, g.l, 3)
+
+    def test_background_only_content(self):
+        frame, g = _marked_frame()
+        tba = extract_tba(frame, g)
+        assert set(np.unique(tba)) <= {10, 20, 30}

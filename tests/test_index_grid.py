@@ -1,0 +1,94 @@
+"""Tests for the quantized-grid index (repro.index.grid)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import QueryConfig
+from repro.errors import IndexError_
+from repro.features.vector import FeatureVector
+from repro.index.grid import QuantizedGridIndex
+from repro.index.query import VarianceQuery, search
+from repro.index.table import IndexEntry, IndexTable
+
+
+def _entry(number=1, var_ba=4.0, var_oa=1.0):
+    return IndexEntry(
+        video_id="v",
+        shot_number=number,
+        start_frame=1,
+        end_frame=10,
+        features=FeatureVector(var_ba=var_ba, var_oa=var_oa),
+    )
+
+
+class TestGridStructure:
+    def test_insert_and_len(self):
+        grid = QuantizedGridIndex([_entry(k) for k in range(1, 6)])
+        assert len(grid) == 5
+        assert grid.n_cells >= 1
+
+    def test_iteration_covers_all(self):
+        entries = [_entry(k, var_ba=float(k * k)) for k in range(1, 6)]
+        grid = QuantizedGridIndex(entries)
+        assert {e.shot_number for e in grid} == {1, 2, 3, 4, 5}
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(IndexError_):
+            QuantizedGridIndex(alpha=0.0)
+
+
+class TestGridQueries:
+    def test_candidates_superset_of_matches(self):
+        entries = [_entry(k, var_ba=float(k)) for k in range(1, 30)]
+        grid = QuantizedGridIndex(entries)
+        query = VarianceQuery(var_ba=9.0, var_oa=1.0)
+        candidate_ids = {e.shot_number for e in grid.candidates(query)}
+        match_ids = {e.shot_number for e in grid.search(query)}
+        assert match_ids <= candidate_ids
+
+    def test_exclude_and_limit(self):
+        entries = [_entry(k) for k in range(1, 8)]
+        grid = QuantizedGridIndex(entries)
+        query = VarianceQuery(var_ba=4.0, var_oa=1.0)
+        results = grid.search(query, exclude_shot=("v", 1), limit=3)
+        assert len(results) == 3
+        assert all(e.shot_number != 1 for e in results)
+
+    def test_wider_query_than_cells(self):
+        """Querying with alpha/beta larger than the grid cells widens
+        the neighborhood instead of missing matches."""
+        entries = [_entry(k, var_ba=float(k)) for k in range(1, 40)]
+        grid = QuantizedGridIndex(entries, alpha=0.5, beta=0.5)
+        query = VarianceQuery(var_ba=16.0, var_oa=4.0)
+        config = QueryConfig(alpha=2.0, beta=2.0)
+        table = IndexTable(entries)
+        expected = [(e.video_id, e.shot_number) for e in search(table, query, config)]
+        measured = [(e.video_id, e.shot_number) for e in grid.search(query, config)]
+        assert measured == expected
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=400),
+                st.floats(min_value=0, max_value=400),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0, max_value=400),
+        st.floats(min_value=0, max_value=400),
+    )
+    def test_property_grid_equals_scan(self, vars_, q_ba, q_oa):
+        """The grid answers exactly like the table scan (the load-
+        bearing correctness property of the 3x3 neighborhood bound)."""
+        entries = [
+            _entry(number=k + 1, var_ba=ba, var_oa=oa)
+            for k, (ba, oa) in enumerate(vars_)
+        ]
+        grid = QuantizedGridIndex(entries)
+        table = IndexTable(entries)
+        query = VarianceQuery(var_ba=q_ba, var_oa=q_oa)
+        via_scan = [(e.video_id, e.shot_number) for e in search(table, query)]
+        via_grid = [(e.video_id, e.shot_number) for e in grid.search(query)]
+        assert via_scan == via_grid

@@ -1,0 +1,79 @@
+"""Tests for index statistics (repro.index.stats)."""
+
+import pytest
+
+from repro.config import QueryConfig
+from repro.errors import IndexError_
+from repro.features.vector import FeatureVector
+from repro.index.stats import compute_index_statistics
+from repro.index.table import IndexEntry
+
+
+def _entry(video="v", number=1, var_ba=4.0, var_oa=1.0):
+    return IndexEntry(
+        video_id=video,
+        shot_number=number,
+        start_frame=1,
+        end_frame=10,
+        features=FeatureVector(var_ba=var_ba, var_oa=var_oa),
+    )
+
+
+class TestIndexStatistics:
+    def test_counts(self):
+        entries = [_entry("a", k) for k in range(1, 4)] + [_entry("b", 1)]
+        stats = compute_index_statistics(entries)
+        assert stats.n_entries == 4
+        assert stats.n_videos == 2
+        assert stats.entries_per_video == {"a": 3, "b": 1}
+
+    def test_percentiles_ordered(self):
+        entries = [_entry(number=k, var_ba=float(k * k)) for k in range(1, 20)]
+        stats = compute_index_statistics(entries)
+        assert list(stats.d_v_percentiles) == sorted(stats.d_v_percentiles)
+        assert list(stats.sqrt_var_ba_percentiles) == sorted(
+            stats.sqrt_var_ba_percentiles
+        )
+
+    def test_identical_entries_max_occupancy(self):
+        entries = [_entry(number=k) for k in range(1, 6)]
+        stats = compute_index_statistics(entries)
+        assert stats.mean_box_occupancy == pytest.approx(5.0)
+
+    def test_spread_entries_low_occupancy(self):
+        entries = [
+            _entry(number=k, var_ba=float((10 * k) ** 2)) for k in range(1, 6)
+        ]
+        stats = compute_index_statistics(entries)
+        assert stats.mean_box_occupancy == pytest.approx(1.0)
+
+    def test_histogram_totals_match(self):
+        entries = [_entry(number=k, var_ba=float(k)) for k in range(1, 30)]
+        stats = compute_index_statistics(entries)
+        assert sum(stats.histogram.values()) == 29
+
+    def test_custom_config_changes_cells(self):
+        entries = [_entry(number=k, var_ba=float(k)) for k in range(1, 30)]
+        fine = compute_index_statistics(entries, QueryConfig(alpha=0.25, beta=0.25))
+        coarse = compute_index_statistics(entries, QueryConfig(alpha=4.0, beta=4.0))
+        assert len(fine.histogram) >= len(coarse.histogram)
+
+    def test_to_rows(self):
+        stats = compute_index_statistics([_entry()])
+        rows = stats.to_rows()
+        assert len(rows) == 5
+        assert rows[0]["percentile"] == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            compute_index_statistics([])
+
+    def test_on_real_detection(self, figure5_detection):
+        from repro.index.table import IndexTable
+
+        table = IndexTable()
+        table.add_detection_result(figure5_detection, video_id="f5")
+        stats = compute_index_statistics(table)
+        assert stats.n_entries == 10
+        # The 7 static shots cluster: a typical box holds several shots.
+        assert stats.mean_box_occupancy >= 3.0

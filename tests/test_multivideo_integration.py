@@ -1,0 +1,108 @@
+"""Large integration test: a database over many genre-diverse videos."""
+
+import numpy as np
+import pytest
+
+from repro.synth.genres import GENRE_MODELS, generate_genre_clip
+from repro.vdbms.database import VideoDatabase
+from repro.workloads.taxonomy import VideoCategory
+
+_LINEUP = (
+    ("drama", "evening-drama", VideoCategory(genres=("melodrama",), forms=("television series",))),
+    ("news", "six-oclock-news", VideoCategory(genres=("journalism",), forms=("newsreel",))),
+    ("sports", "cup-final", VideoCategory(genres=("sports-genre",), forms=("television",))),
+    ("documentary", "deep-sea", VideoCategory(genres=("nature",), forms=("documentary-form",))),
+    ("commercials", "ad-break", VideoCategory(genres=("show business",), forms=("commercial-form",))),
+    ("music_video", "chart-hit", VideoCategory(genres=("musical",), forms=("music video-form",))),
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    """Six videos, six genres, ingested into one database."""
+    db = VideoDatabase()
+    for genre, name, category in _LINEUP:
+        clip, truth = generate_genre_clip(
+            GENRE_MODELS[genre], name, n_shots=10, seed=hash(name) % 10_000
+        )
+        db.ingest(clip, category=category, archetypes=truth.archetypes_for_ranges)
+    return db
+
+
+class TestLibraryState:
+    def test_all_videos_cataloged(self, library):
+        assert len(library.catalog) == 6
+        assert set(library.catalog.ids()) == {name for _, name, _ in _LINEUP}
+
+    def test_every_video_has_tree_and_index_rows(self, library):
+        for entry in library.catalog:
+            tree = library.scene_tree(entry.video_id)
+            tree.validate()
+            assert tree.n_shots == entry.n_shots
+            rows = [
+                e for e in library.index.entries if e.video_id == entry.video_id
+            ]
+            assert len(rows) == entry.n_shots
+
+    def test_index_sorted_by_d_v(self, library):
+        d_vs = [e.d_v for e in library.index.entries]
+        assert d_vs == sorted(d_vs)
+
+
+class TestCrossVideoQueries:
+    def test_queries_span_videos(self, library):
+        """A broad query reaches shots from more than one video."""
+        answer = library.query(var_ba=1.0, var_oa=1.0)
+        videos = {m.video_id for m in answer.matches}
+        assert len(videos) >= 2
+
+    def test_category_scoping_restricts(self, library):
+        sports = VideoCategory(genres=("sports-genre",), forms=("television",))
+        answer = library.query(var_ba=1.0, var_oa=1.0, category=sports)
+        assert all(m.video_id == "cup-final" for m in answer.matches)
+
+    def test_every_probe_query_self_consistent(self, library):
+        """Query-by-example never returns the probe itself and ranks a
+        same-video twin first when one exists."""
+        for entry in library.index.entries[::5]:
+            answer = library.query_by_shot(
+                entry.video_id, entry.shot_number, limit=5
+            )
+            assert all(
+                (m.video_id, m.shot_number) != (entry.video_id, entry.shot_number)
+                for m in answer.matches
+            )
+
+    def test_routes_stay_within_matching_video(self, library):
+        answer = library.query(var_ba=1.0, var_oa=1.0, limit=10)
+        for route in answer.routes:
+            if route.node is not None:
+                tree = library.scene_tree(route.entry.video_id)
+                assert route.node in tree.nodes()
+
+
+class TestLibraryPersistence:
+    def test_round_trip_full_library(self, library, tmp_path):
+        root = library.save(tmp_path / "library")
+        loaded = VideoDatabase.load(root)
+        assert set(loaded.catalog.ids()) == set(library.catalog.ids())
+        # Queries agree before/after.
+        probe = library.index.entries[3]
+        before = library.query_by_shot(probe.video_id, probe.shot_number, limit=5)
+        after = loaded.query_by_shot(probe.video_id, probe.shot_number, limit=5)
+        assert [m.shot_id for m in before.matches] == [
+            m.shot_id for m in after.matches
+        ]
+        # Categories survive.
+        sports = VideoCategory(genres=("sports-genre",), forms=("television",))
+        assert {e.video_id for e in loaded.catalog.in_category(sports)} == {
+            "cup-final"
+        }
+
+    def test_trees_browsable_after_reload(self, library, tmp_path):
+        root = library.save(tmp_path / "lib2")
+        loaded = VideoDatabase.load(root)
+        session = loaded.browse("deep-sea")
+        while not session.current.is_leaf:
+            session.descend(0)
+        assert session.current.level == 0

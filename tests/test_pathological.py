@@ -1,0 +1,132 @@
+"""Failure-injection and pathological-input tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.config import RegionConfig
+from repro.errors import DimensionError, ReproError
+from repro.geometry.regions import compute_frame_geometry
+from repro.sbd.detector import CameraTrackingDetector
+from repro.scenetree.builder import SceneTreeBuilder
+from repro.signature.extract import SignatureExtractor
+from repro.vdbms.database import VideoDatabase
+from repro.video.clip import VideoClip
+
+
+class TestExtremePixelValues:
+    @pytest.mark.parametrize("value", [0, 255])
+    def test_saturated_clip(self, value):
+        """All-black / all-white clips flow through without overflow."""
+        frames = np.full((8, 60, 80, 3), value, dtype=np.uint8)
+        result = CameraTrackingDetector().detect(VideoClip("sat", frames))
+        assert result.n_shots == 1
+        assert np.all(result.features.signs_ba == value)
+
+    def test_max_contrast_alternation(self):
+        """Frame-by-frame black/white strobing — every pair is a
+        boundary candidate; the min-length filter keeps it one shot."""
+        frames = np.zeros((12, 60, 80, 3), dtype=np.uint8)
+        frames[1::2] = 255
+        result = CameraTrackingDetector().detect(VideoClip("strobe", frames))
+        assert all(len(s) >= 3 for s in result.shots)
+
+    def test_pure_noise_clip(self):
+        rng = np.random.default_rng(0)
+        frames = rng.integers(0, 255, size=(10, 60, 80, 3)).astype(np.uint8)
+        result = CameraTrackingDetector().detect(VideoClip("noise", frames))
+        assert result.n_shots >= 1
+        assert result.shots[-1].stop == 10
+
+
+class TestExtremeGeometries:
+    def test_minimum_viable_frame(self):
+        """The smallest frame the ⊓ geometry supports."""
+        geometry = compute_frame_geometry(4, 4)
+        assert geometry.w >= 1
+        frames = np.zeros((4, 4, 4, 3), dtype=np.uint8)
+        extractor = SignatureExtractor(4, 4)
+        features = extractor.extract_frames(frames)
+        assert features.signs_ba.shape == (4, 3)
+
+    def test_wide_aspect_ratio(self):
+        extractor = SignatureExtractor(60, 320)
+        frames = np.zeros((2, 60, 320, 3), dtype=np.uint8)
+        assert len(extractor.extract_frames(frames)) == 2
+
+    def test_tall_aspect_ratio(self):
+        extractor = SignatureExtractor(320, 60)
+        frames = np.zeros((2, 320, 60, 3), dtype=np.uint8)
+        assert len(extractor.extract_frames(frames)) == 2
+
+    def test_large_strip_fraction_rejected_when_infeasible(self):
+        """A strip as tall as the frame leaves no object area."""
+        with pytest.raises(DimensionError):
+            compute_frame_geometry(4, 10, RegionConfig(width_fraction=0.49))
+
+    @pytest.mark.parametrize("rows,cols", [(480, 640), (240, 352)])
+    def test_larger_frames(self, rows, cols):
+        geometry = compute_frame_geometry(rows, cols)
+        frames = np.zeros((2, rows, cols, 3), dtype=np.uint8)
+        extractor = SignatureExtractor(rows, cols)
+        features = extractor.extract_frames(frames)
+        assert features.signatures_ba.shape[1] == geometry.l
+
+
+class TestDegenerateTrees:
+    def test_many_identical_shots(self):
+        signs = [np.full((4, 3), 100, dtype=np.uint8) for _ in range(30)]
+        tree = SceneTreeBuilder().build(signs)
+        tree.validate()
+        assert tree.n_shots == 30
+
+    def test_alternating_two_scenes(self):
+        signs = [
+            np.full((4, 3), 40 if k % 2 == 0 else 200, dtype=np.uint8)
+            for k in range(20)
+        ]
+        tree = SceneTreeBuilder().build(signs)
+        tree.validate()
+
+    def test_monotone_drift_chain(self):
+        """Each shot relates only to its neighbor: a chain of fallbacks."""
+        signs = [np.full((4, 3), 40 + 20 * k, dtype=np.uint8) for k in range(10)]
+        tree = SceneTreeBuilder().build(signs)
+        tree.validate()
+
+
+class TestDatabaseEdgeCases:
+    def test_single_frame_video(self):
+        clip = VideoClip("one-frame", np.zeros((1, 60, 80, 3), dtype=np.uint8))
+        db = VideoDatabase()
+        report = db.ingest(clip)
+        assert report.n_shots == 1
+        answer = db.query(var_ba=0.0, var_oa=0.0)
+        assert len(answer.matches) == 1
+
+    def test_query_on_empty_database(self):
+        db = VideoDatabase()
+        answer = db.query(var_ba=4.0, var_oa=1.0)
+        assert answer.matches == []
+        assert answer.suggestions == []
+
+    def test_ask_on_empty_database(self):
+        db = VideoDatabase()
+        answer = db.ask("background calm, foreground calm")
+        assert len(answer) == 0
+
+    def test_save_load_empty_database(self, tmp_path):
+        db = VideoDatabase()
+        root = db.save(tmp_path / "empty")
+        loaded = VideoDatabase.load(root)
+        assert len(loaded.catalog) == 0
+        assert len(loaded.index) == 0
+
+    def test_all_errors_share_base(self):
+        """Every library error is catchable as ReproError."""
+        db = VideoDatabase()
+        with pytest.raises(ReproError):
+            db.scene_tree("missing")
+        with pytest.raises(ReproError):
+            db.ask("gibberish query")
+        with pytest.raises(ReproError):
+            compute_frame_geometry(1, 1)

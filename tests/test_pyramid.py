@@ -1,0 +1,152 @@
+"""Tests for repro.pyramid (kernel + REDUCE, Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DimensionError
+from repro.pyramid.kernel import DEFAULT_A, generating_kernel
+from repro.pyramid.reduce import (
+    reduce_line,
+    reduce_strip_to_signature,
+    reduce_to_sign,
+    reduction_schedule,
+    signature_and_sign,
+)
+
+
+class TestKernel:
+    def test_burt_adelson_default(self):
+        kernel = generating_kernel(0.4)
+        assert np.allclose(kernel, [0.05, 0.25, 0.4, 0.25, 0.05])
+
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    def test_normalized_and_symmetric(self, a):
+        kernel = generating_kernel(a)
+        assert kernel.sum() == pytest.approx(1.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    def test_equal_contribution(self, a):
+        """Every input pixel contributes equally: a + 2c == 2b."""
+        c, b, a_, _, _ = generating_kernel(a)
+        assert a_ + 2 * c == pytest.approx(2 * b)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DimensionError):
+            generating_kernel(0.6)
+        with pytest.raises(DimensionError):
+            generating_kernel(0.0)
+
+
+class TestReduceLine:
+    def test_five_to_one(self):
+        line = np.array([[10, 10, 10]] * 5, dtype=np.float64)
+        out = reduce_line(line)
+        assert out.shape == (1, 3)
+        assert np.allclose(out, 10.0)
+
+    def test_thirteen_to_five(self):
+        line = np.zeros((13, 3))
+        assert reduce_line(line).shape == (5, 3)
+
+    def test_matches_explicit_convolution(self):
+        rng = np.random.default_rng(7)
+        line = rng.uniform(0, 255, size=(29, 3))
+        kernel = generating_kernel(DEFAULT_A)
+        out = reduce_line(line)
+        expected = np.stack(
+            [
+                sum(kernel[t] * line[2 * k + t] for t in range(5))
+                for k in range((29 - 5) // 2 + 1)
+            ]
+        )
+        assert np.allclose(out, expected)
+
+    def test_axis_parameter(self):
+        data = np.zeros((4, 13, 3))
+        out = reduce_line(data, axis=1)
+        assert out.shape == (4, 5, 3)
+
+    def test_axis_reduction_matches_axis0(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 255, size=(13, 6, 3))
+        via_axis0 = reduce_line(data, axis=0)
+        via_axis1 = np.swapaxes(reduce_line(np.swapaxes(data, 0, 1), axis=1), 0, 1)
+        assert np.allclose(via_axis0, via_axis1)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 12, 14])
+    def test_rejects_non_size_set_lengths(self, n):
+        with pytest.raises(DimensionError):
+            reduce_line(np.zeros((n, 3)))
+
+    def test_rejects_length_one(self):
+        with pytest.raises(DimensionError):
+            reduce_line(np.zeros((1, 3)))
+
+    @given(st.sampled_from([5, 13, 29, 61]), st.floats(min_value=0, max_value=255))
+    def test_constant_input_constant_output(self, n, value):
+        line = np.full((n, 3), value)
+        out = reduce_line(line)
+        assert np.allclose(out, value)
+
+    @given(st.sampled_from([5, 13, 29]))
+    def test_linearity(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.uniform(0, 255, size=(n, 3))
+        y = rng.uniform(0, 255, size=(n, 3))
+        assert np.allclose(
+            reduce_line(x + y), reduce_line(x) + reduce_line(y)
+        )
+
+    @given(st.sampled_from([5, 13, 29, 61]))
+    def test_output_within_input_range(self, n):
+        """Convex weights: output bounded by input min/max."""
+        rng = np.random.default_rng(n + 1)
+        line = rng.uniform(0, 255, size=(n, 3))
+        out = reduce_line(line)
+        assert out.min() >= line.min() - 1e-9
+        assert out.max() <= line.max() + 1e-9
+
+
+class TestSchedule:
+    def test_paper_sequence(self):
+        assert reduction_schedule(125) == [125, 61, 29, 13, 5, 1]
+
+    def test_single(self):
+        assert reduction_schedule(1) == [1]
+
+    def test_rejects_non_member(self):
+        with pytest.raises(DimensionError):
+            reduction_schedule(12)
+
+
+class TestStripReduction:
+    def test_figure3_shape_13x5(self):
+        """The paper's illustration: a 13x5 TBA -> signature of 13 -> sign."""
+        strip = np.random.default_rng(0).uniform(0, 255, size=(5, 13, 3))
+        signature = reduce_strip_to_signature(strip)
+        assert signature.shape == (13, 3)
+        signature2, sign = signature_and_sign(strip)
+        assert np.allclose(signature, signature2)
+        assert sign.shape == (3,)
+
+    def test_real_tba_shape(self):
+        strip = np.zeros((13, 253, 3))
+        assert reduce_strip_to_signature(strip).shape == (253, 3)
+
+    def test_reduce_to_sign_on_foa(self):
+        region = np.full((125, 125, 3), 77.0)
+        sign = reduce_to_sign(region)
+        assert sign.shape == (3,)
+        assert np.allclose(sign, 77.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DimensionError):
+            reduce_strip_to_signature(np.zeros((5, 13)))
+
+    def test_sign_consistent_with_signature_reduction(self):
+        rng = np.random.default_rng(5)
+        strip = rng.uniform(0, 255, size=(13, 61, 3))
+        signature, sign = signature_and_sign(strip)
+        assert np.allclose(sign, reduce_to_sign(strip))

@@ -1,0 +1,168 @@
+"""Tests for the impression query language (repro.vdbms.query_language)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.vdbms.query_language import (
+    IMPRESSION_LEVELS,
+    ImpressionQuery,
+    execute,
+    parse_query,
+)
+
+
+class TestParsing:
+    def test_qualitative_levels(self):
+        query = parse_query("background calm, foreground busy")
+        assert query.var_ba == IMPRESSION_LEVELS["calm"]
+        assert query.var_oa == IMPRESSION_LEVELS["busy"]
+        assert not query.is_example
+
+    def test_order_free(self):
+        query = parse_query("foreground still background frantic")
+        assert query.var_ba == IMPRESSION_LEVELS["frantic"]
+        assert query.var_oa == IMPRESSION_LEVELS["still"]
+
+    def test_numeric_levels(self):
+        query = parse_query("background ~16, foreground 100.5")
+        assert query.var_ba == 16.0
+        assert query.var_oa == 100.5
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("BACKGROUND Calm FOREGROUND Busy LIMIT 2")
+        assert query.limit == 2
+
+    def test_example_form(self):
+        query = parse_query('like shot 12 of "Wag the Dog"')
+        assert query.is_example
+        assert query.example_video == "Wag the Dog"
+        assert query.example_shot == 12
+
+    def test_category_clause(self):
+        query = parse_query("background calm foreground calm in genre comedy")
+        assert query.category is not None
+        assert query.category.genres == ("comedy",)
+        assert query.category.forms == ("feature",)  # default form
+
+    def test_multiword_genre_and_form(self):
+        query = parse_query(
+            "background calm foreground calm "
+            "in genre science fiction form television series"
+        )
+        assert query.category.genres == ("science fiction",)
+        assert query.category.forms == ("television series",)
+
+    def test_limit_clause(self):
+        assert parse_query("background calm foreground calm limit 7").limit == 7
+
+    def test_all_clauses_together(self):
+        query = parse_query(
+            'like shot 3 of "Simon Birch", in genre adaptation, limit 5'
+        )
+        assert query.is_example and query.limit == 5
+        assert query.category.genres == ("adaptation",)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "background calm",                      # missing foreground
+            "background calm background busy",      # duplicate area
+            "background sideways foreground calm",  # unknown level
+            "like shot x of m",                     # bad shot number
+            "background calm foreground calm limit 0",
+            "background calm foreground calm in genre jazzercise",
+            "background calm foreground calm in genre comedy form betamax",
+            "background calm foreground calm frobnicate",
+            'like shot 3 of "unterminated',
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(QueryError):
+            parse_query(text)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def db(self, figure5):
+        from repro.vdbms.database import VideoDatabase
+
+        clip, _ = figure5
+        database = VideoDatabase()
+        database.ingest(clip)
+        return database
+
+    def test_impression_query_runs(self, db):
+        answer = db.ask("background still, foreground calm, limit 5")
+        # The static A/B/C shots have Var^BA ~ 0: they match.
+        assert len(answer.matches) >= 1
+        assert all(m.features.var_ba < 5 for m in answer.matches)
+
+    def test_example_query_runs(self, db):
+        answer = db.ask("like shot 9 of figure5, limit 3")
+        assert all(
+            not (m.video_id == "figure5" and m.shot_number == 9)
+            for m in answer.matches
+        )
+
+    def test_execute_function_equals_method(self, db):
+        text = "background still foreground calm limit 2"
+        via_method = db.ask(text)
+        via_function = execute(db, text)
+        assert [m.shot_id for m in via_method.matches] == [
+            m.shot_id for m in via_function.matches
+        ]
+
+    def test_dataclass_shape(self):
+        query = ImpressionQuery(var_ba=1.0, var_oa=2.0)
+        assert not query.is_example
+
+
+class TestParsingProperties:
+    """Property-style round trips through the parser."""
+
+    def test_every_level_name_parses(self):
+        for level, value in IMPRESSION_LEVELS.items():
+            query = parse_query(f"background {level} foreground {level}")
+            assert query.var_ba == value
+            assert query.var_oa == value
+
+    def test_numeric_round_trip(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(25):
+            ba = round(rng.uniform(0, 500), 2)
+            oa = round(rng.uniform(0, 500), 2)
+            limit = rng.randint(1, 50)
+            query = parse_query(
+                f"background {ba} foreground {oa} limit {limit}"
+            )
+            assert query.var_ba == ba
+            assert query.var_oa == oa
+            assert query.limit == limit
+
+    def test_every_known_genre_parses(self):
+        from repro.workloads.taxonomy import GENRES
+
+        for genre in GENRES:
+            query = parse_query(
+                f"background calm foreground calm in genre {genre}"
+            )
+            assert query.category.genres == (genre,)
+
+    def test_every_known_form_parses(self):
+        from repro.workloads.taxonomy import FORMS, GENRES
+
+        for form in FORMS:
+            query = parse_query(
+                f"background calm foreground calm in genre {GENRES[0]} form {form}"
+            )
+            assert query.category.forms == (form,)
+
+    def test_quoted_video_names_round_trip(self):
+        for name in ("Wag the Dog", "a 'quoted' name", "夜のニュース"):
+            query = parse_query(f'like shot 4 of "{name}"')
+            assert query.example_video == name

@@ -1,0 +1,237 @@
+"""Tests for repro.sbd (shots, stage tests, the detector)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SBDConfig
+from repro.errors import ShotError
+from repro.sbd.detector import CameraTrackingDetector, validate_shots_cover
+from repro.sbd.shots import Shot, shots_from_boundaries
+from repro.sbd.stages import (
+    longest_match_run,
+    stage1_sign_test,
+    stage2_signature_test,
+    stage3_shift_match,
+)
+from repro.video.clip import VideoClip
+
+
+class TestShot:
+    def test_paper_numbering(self):
+        shot = Shot(index=0, start=0, stop=75)
+        assert shot.number == 1
+        assert shot.start_frame_number == 1
+        assert shot.end_frame_number == 75
+        assert len(shot) == 75
+
+    def test_contains(self):
+        shot = Shot(index=1, start=75, stop=100)
+        assert 75 in shot and 99 in shot
+        assert 100 not in shot and 74 not in shot
+
+    def test_frame_slice(self):
+        shot = Shot(index=0, start=3, stop=7)
+        data = np.arange(10)
+        assert np.array_equal(data[shot.frame_slice], [3, 4, 5, 6])
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ShotError):
+            Shot(index=0, start=5, stop=5)
+
+
+class TestShotsFromBoundaries:
+    def test_basic(self):
+        shots = shots_from_boundaries(10, [4, 7])
+        assert [(s.start, s.stop) for s in shots] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_no_boundaries_single_shot(self):
+        shots = shots_from_boundaries(5, [])
+        assert [(s.start, s.stop) for s in shots] == [(0, 5)]
+
+    def test_duplicate_and_zero_boundaries_ignored(self):
+        shots = shots_from_boundaries(10, [0, 4, 4])
+        assert [(s.start, s.stop) for s in shots] == [(0, 4), (4, 10)]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShotError):
+            shots_from_boundaries(10, [10])
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.lists(st.integers(min_value=1, max_value=199), max_size=20),
+    )
+    def test_property_tiles_clip(self, n_frames, raw):
+        boundaries = [b for b in raw if b < n_frames]
+        shots = shots_from_boundaries(n_frames, boundaries)
+        validate_shots_cover(shots, n_frames)
+        assert sum(len(s) for s in shots) == n_frames
+
+
+class TestStageTests:
+    def test_stage1_accepts_close_signs(self):
+        assert stage1_sign_test(np.array([100, 100, 100]), np.array([110, 90, 100]), 0.10)
+
+    def test_stage1_rejects_far_signs(self):
+        assert not stage1_sign_test(np.array([100, 100, 100]), np.array([140, 100, 100]), 0.10)
+
+    def test_stage2_positional(self):
+        a = np.full((61, 3), 100.0)
+        b = a + 5.0
+        assert stage2_signature_test(a, b, 0.10)
+        c = a + 30.0
+        assert not stage2_signature_test(a, c, 0.10)
+
+    def test_stage2_rejects_mismatched_shapes(self):
+        with pytest.raises(Exception):
+            stage2_signature_test(np.zeros((13, 3)), np.zeros((29, 3)), 0.1)
+
+    def test_longest_run_identical(self):
+        sig = np.tile(np.arange(61)[:, None] * 4.0, (1, 3))
+        assert longest_match_run(sig, sig, 0.10) == 61
+
+    def test_longest_run_disjoint(self):
+        a = np.zeros((13, 3))
+        b = np.full((13, 3), 200.0)
+        assert longest_match_run(a, b, 0.10) == 0
+
+    def test_longest_run_tracks_shift(self):
+        """A shifted copy of a smooth unique ramp matches on a diagonal."""
+        base = np.tile((np.arange(80) * 3.0)[:, None], (1, 3))
+        a, b = base[:61], base[10 : 10 + 61]  # b is a shifted view
+        run = longest_match_run(a, b, 0.02)
+        assert run >= 45  # 61 - shift of 10, with tolerance slack
+
+    def test_max_shift_restricts_search(self):
+        base = np.tile((np.arange(80) * 3.0)[:, None], (1, 3))
+        a, b = base[:61], base[30 : 30 + 61]
+        unrestricted = longest_match_run(a, b, 0.02)
+        restricted = longest_match_run(a, b, 0.02, max_shift=5)
+        assert unrestricted > restricted
+
+    def test_stage3_threshold(self):
+        sig = np.tile(np.arange(61)[:, None] * 4.0, (1, 3))
+        assert stage3_shift_match(sig, sig, 0.10, min_run_fraction=0.9)
+        far = sig + 250.0
+        assert not stage3_shift_match(sig, np.clip(far, 0, 255), 0.10, 0.3)
+
+    @given(st.integers(min_value=0, max_value=250))
+    def test_property_run_symmetricish(self, offset):
+        """Swapping arguments never changes the longest run."""
+        rng = np.random.default_rng(offset)
+        a = rng.uniform(0, 255, size=(29, 3))
+        b = rng.uniform(0, 255, size=(29, 3))
+        assert longest_match_run(a, b, 0.1) == longest_match_run(b, a, 0.1)
+
+
+def _cut_clip():
+    frames = np.zeros((24, 120, 160, 3), dtype=np.uint8)
+    frames[:8] = 60
+    frames[8:16] = 160
+    frames[16:] = 230
+    return VideoClip("cuts", frames, fps=3.0)
+
+
+class TestDetector:
+    def test_detects_hard_cuts(self):
+        result = CameraTrackingDetector().detect(_cut_clip())
+        assert result.boundaries == [8, 16]
+        assert result.n_shots == 3
+
+    def test_single_frame_clip(self):
+        clip = VideoClip("one", np.zeros((1, 60, 80, 3), dtype=np.uint8))
+        result = CameraTrackingDetector().detect(clip)
+        assert result.n_shots == 1
+        assert result.boundaries == []
+
+    def test_uniform_clip_single_shot(self):
+        frames = np.full((12, 60, 80, 3), 128, dtype=np.uint8)
+        result = CameraTrackingDetector().detect(VideoClip("flat", frames))
+        assert result.n_shots == 1
+        assert result.stage_counts.stage1_same == 11
+
+    def test_shots_cover_clip(self):
+        result = CameraTrackingDetector().detect(_cut_clip())
+        validate_shots_cover(result.shots, 24)
+
+    def test_stage_counts_total(self):
+        result = CameraTrackingDetector().detect(_cut_clip())
+        assert result.stage_counts.total_pairs == 23
+
+    def test_min_shot_length_filter(self):
+        """A 1-frame flash between two long shots must not survive as a shot."""
+        frames = np.zeros((21, 120, 160, 3), dtype=np.uint8)
+        frames[:10] = 60
+        frames[10] = 255          # flash frame
+        frames[11:] = 60
+        result = CameraTrackingDetector().detect(VideoClip("flash", frames))
+        assert all(len(s) >= 3 for s in result.shots)
+
+    def test_min_shot_filter_disabled(self):
+        frames = np.zeros((21, 120, 160, 3), dtype=np.uint8)
+        frames[:10] = 60
+        frames[10] = 255
+        frames[11:] = 60
+        config = SBDConfig(min_shot_frames=1)
+        result = CameraTrackingDetector(config=config).detect(VideoClip("flash", frames))
+        assert any(len(s) == 1 for s in result.shots)
+
+    def test_shot_sign_accessors(self):
+        result = CameraTrackingDetector().detect(_cut_clip())
+        shot = result.shots[0]
+        assert result.shot_signs_ba(shot).shape == (8, 3)
+        assert result.shot_signs_oa(shot).shape == (8, 3)
+
+    def test_detect_from_features_reuses_extraction(self):
+        from repro.signature.extract import SignatureExtractor
+
+        clip = _cut_clip()
+        features = SignatureExtractor.for_clip(clip).extract_clip(clip)
+        result = CameraTrackingDetector().detect_from_features(features, "cuts")
+        assert result.boundaries == [8, 16]
+
+    def test_pan_does_not_split_shot(self):
+        """Slow panning over a smooth world is one camera operation."""
+        world = np.zeros((200, 400, 3), dtype=np.float64)
+        world[:, :, 0] = np.linspace(40, 200, 400)[None, :]
+        world[:, :, 1] = 120.0
+        world[:, :, 2] = np.linspace(200, 40, 400)[None, :]
+        frames = np.stack(
+            [
+                world[:120, k * 3 : k * 3 + 160].astype(np.uint8)
+                for k in range(12)
+            ]
+        )
+        result = CameraTrackingDetector().detect(VideoClip("pan", frames))
+        assert result.n_shots == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=4))
+    def test_property_n_boundaries_matches_planted_cuts(self, n_cuts):
+        """Clips with k well-separated high-contrast cuts yield k boundaries."""
+        seg = 6
+        levels = [30, 90, 150, 210, 250]
+        frames = np.concatenate(
+            [
+                np.full((seg, 60, 80, 3), levels[k], dtype=np.uint8)
+                for k in range(n_cuts + 1)
+            ]
+        )
+        result = CameraTrackingDetector().detect(VideoClip("k-cuts", frames))
+        assert result.boundaries == [seg * (k + 1) for k in range(n_cuts)]
+
+
+class TestValidateShotsCover:
+    def test_rejects_gap(self):
+        shots = [Shot(0, 0, 4), Shot(1, 5, 10)]
+        with pytest.raises(ShotError):
+            validate_shots_cover(shots, 10)
+
+    def test_rejects_wrong_total(self):
+        shots = [Shot(0, 0, 4)]
+        with pytest.raises(ShotError):
+            validate_shots_cover(shots, 10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShotError):
+            validate_shots_cover([], 5)

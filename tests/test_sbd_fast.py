@@ -1,0 +1,92 @@
+"""Tests for the frame-skipping detector (repro.sbd.fast)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShotError
+from repro.eval.sbd_metrics import score_boundaries
+from repro.sbd.detector import CameraTrackingDetector
+from repro.sbd.fast import SkippingCameraTrackingDetector
+from repro.video.clip import VideoClip
+
+
+def _clip(levels, seg_len=8, rows=60, cols=80):
+    frames = np.concatenate(
+        [np.full((seg_len, rows, cols, 3), v, dtype=np.uint8) for v in levels]
+    )
+    return VideoClip("fast", frames)
+
+
+class TestSkippingDetector:
+    def test_step_one_equals_exact(self, figure5):
+        clip, _ = figure5
+        exact = CameraTrackingDetector().detect(clip)
+        fast = SkippingCameraTrackingDetector(step=1).detect(clip)
+        assert fast.boundaries == exact.boundaries
+
+    def test_finds_clean_cuts_at_any_step(self):
+        clip = _clip([40, 140, 240, 90])
+        for step in (2, 3, 4, 6):
+            result = SkippingCameraTrackingDetector(step=step).detect(clip)
+            assert result.boundaries == [8, 16, 24], step
+
+    def test_extraction_savings_on_quiet_material(self):
+        """A single long shot needs only every step-th frame."""
+        frames = np.full((64, 60, 80, 3), 128, dtype=np.uint8)
+        clip = VideoClip("quiet", frames)
+        result = SkippingCameraTrackingDetector(step=8).detect(clip)
+        assert result.n_shots == 1
+        assert result.extraction_fraction < 0.25
+        assert result.windows_refined == 0
+
+    def test_refinement_localizes_exactly(self):
+        """A cut mid-window is placed on the exact frame."""
+        clip = _clip([40, 200], seg_len=13)
+        result = SkippingCameraTrackingDetector(step=5).detect(clip)
+        assert result.boundaries == [13]
+        assert result.windows_refined >= 1
+
+    def test_shots_tile_clip(self):
+        clip = _clip([40, 140, 240])
+        result = SkippingCameraTrackingDetector(step=4).detect(clip)
+        assert result.shots[0].start == 0
+        assert result.shots[-1].stop == len(clip)
+        assert sum(len(s) for s in result.shots) == len(clip)
+
+    def test_short_shot_can_be_stepped_over(self):
+        """The documented trade-off: a shot shorter than the step whose
+        content returns to the surrounding shot is invisible."""
+        frames = np.full((30, 60, 80, 3), 70, dtype=np.uint8)
+        frames[12:15] = 250  # a 3-frame insert
+        clip = VideoClip("insert", frames)
+        exact = CameraTrackingDetector().detect(clip)
+        fast = SkippingCameraTrackingDetector(step=16).detect(clip)
+        assert len(exact.boundaries) >= len(fast.boundaries)
+
+    def test_accuracy_close_to_exact_on_genre_clip(self):
+        from repro.synth.genres import GENRE_MODELS, generate_genre_clip
+
+        clip, truth = generate_genre_clip(
+            GENRE_MODELS["news"], "n", n_shots=15, seed=4
+        )
+        exact_score = score_boundaries(
+            truth.boundaries,
+            CameraTrackingDetector().detect(clip).boundaries,
+            1,
+        )
+        fast_score = score_boundaries(
+            truth.boundaries,
+            SkippingCameraTrackingDetector(step=4).detect(clip).boundaries,
+            1,
+        )
+        assert fast_score.recall >= exact_score.recall - 0.15
+        assert fast_score.precision >= exact_score.precision - 0.15
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ShotError):
+            SkippingCameraTrackingDetector(step=0)
+
+    def test_single_frame_clip(self):
+        clip = VideoClip("one", np.zeros((1, 60, 80, 3), dtype=np.uint8))
+        result = SkippingCameraTrackingDetector(step=4).detect(clip)
+        assert result.n_shots == 1

@@ -1,0 +1,146 @@
+"""Tests for camera-motion classification (repro.sbd.motion)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.sbd import CameraTrackingDetector
+from repro.sbd.motion import (
+    CameraMotion,
+    best_alignment_shift,
+    classify_shot_motion,
+    segment_shift_profile,
+)
+from repro.synth.camera import CameraSpec
+from repro.synth.shotgen import ShotSpec, render_shot
+from repro.synth.textures import BackgroundSpec
+from repro.video.clip import VideoClip
+
+
+def _detect(camera: CameraSpec, detail_seed: int = 5, n_frames: int = 16):
+    background = BackgroundSpec(
+        kind="blotches", base_color=(140.0, 100.0, 90.0), detail_seed=detail_seed
+    )
+    spec = ShotSpec(
+        n_frames=n_frames,
+        background=background,
+        camera=camera,
+        noise=1.0,
+        noise_seed=9,
+        margin=96,
+    )
+    frames = render_shot(spec, 120, 160)
+    return CameraTrackingDetector().detect(VideoClip("m", frames))
+
+
+class TestBestAlignmentShift:
+    def test_zero_for_identical(self):
+        sig = np.tile(np.arange(61)[:, None] * 4.0, (1, 3))
+        assert best_alignment_shift(sig, sig) == 0
+
+    def test_recovers_known_shift(self):
+        """Convention: a positive estimate means b's content comes from
+        further right in a (``a[i + s] == b[i]``)."""
+        rng = np.random.default_rng(1)
+        base = rng.uniform(0, 255, size=(80, 3))
+        a = base[10 : 10 + 61]
+        for displacement in (-7, -3, 4, 9):
+            b = base[10 + displacement : 10 + displacement + 61]
+            measured = best_alignment_shift(a, b, 0.02)
+            assert measured == displacement
+
+    def test_prefers_smaller_shift_on_tie(self):
+        flat = np.full((61, 3), 100.0)
+        assert best_alignment_shift(flat, flat, 0.10) == 0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            best_alignment_shift(np.zeros((10, 3)), np.zeros((12, 3)))
+
+
+class TestSegmentProfile:
+    def test_shape(self):
+        result = _detect(CameraSpec(kind="static"))
+        signatures = result.features.signatures_ba
+        profile = segment_shift_profile(signatures, result.features.geometry)
+        assert profile.shape == (len(signatures) - 4, 4)
+
+    def test_single_frame_empty(self):
+        result = _detect(CameraSpec(kind="static"), n_frames=1)
+        profile = segment_shift_profile(
+            result.features.signatures_ba, result.features.geometry
+        )
+        assert profile.shape == (0, 4)
+
+    def test_static_profile_near_zero(self):
+        result = _detect(CameraSpec(kind="static", jitter=0.2, jitter_seed=3))
+        profile = segment_shift_profile(
+            result.features.signatures_ba, result.features.geometry
+        )
+        assert np.abs(profile).mean() < 0.5
+
+
+class TestClassification:
+    def test_static_always_recognized(self):
+        for seed in (5, 9, 13, 21):
+            result = _detect(CameraSpec(kind="static", jitter=0.3, jitter_seed=1), seed)
+            estimate = classify_shot_motion(result, result.shots[0])
+            assert estimate.motion is CameraMotion.STATIC, seed
+
+    def test_pan_direction_sign(self):
+        result = _detect(CameraSpec(kind="pan", speed=2.5, direction=1, jitter=0.2))
+        estimate = classify_shot_motion(result, result.shots[0])
+        assert estimate.mean_global_shift > 0.5
+        result = _detect(CameraSpec(kind="pan", speed=2.5, direction=-1, jitter=0.2))
+        estimate = classify_shot_motion(result, result.shots[0])
+        assert estimate.mean_global_shift < -0.5
+
+    def test_tilt_produces_column_signal(self):
+        result = _detect(CameraSpec(kind="tilt", speed=2.5, direction=1, jitter=0.2))
+        estimate = classify_shot_motion(result, result.shots[0])
+        assert abs(estimate.mean_column_shift) > 0.8
+
+    def test_single_frame_shot_is_static(self):
+        result = _detect(CameraSpec(kind="static"), n_frames=1)
+        estimate = classify_shot_motion(result, result.shots[0])
+        assert estimate.motion is CameraMotion.STATIC
+        assert estimate.n_pairs == 0
+
+    def test_battery_accuracy(self):
+        """Aggregate accuracy over a textured battery; the classifier is
+        a documented heuristic (aperture problem), so we require >= 75 %
+        overall rather than perfection."""
+        battery = []
+        for seed in (5, 9, 13):
+            battery.extend(
+                [
+                    (CameraSpec(kind="static", jitter=0.3, jitter_seed=1), {"static"}, seed),
+                    (CameraSpec(kind="pan", speed=2.5, direction=1, jitter=0.2, jitter_seed=2), {"pan"}, seed),
+                    (CameraSpec(kind="pan", speed=2.5, direction=-1, jitter=0.2, jitter_seed=3), {"pan"}, seed),
+                    (CameraSpec(kind="tilt", speed=2.5, direction=1, jitter=0.2, jitter_seed=4), {"tilt"}, seed),
+                    (CameraSpec(kind="tilt", speed=2.5, direction=-1, jitter=0.2, jitter_seed=6), {"tilt"}, seed),
+                    (CameraSpec(kind="zoom", speed=0.03, direction=1, jitter=0.2, jitter_seed=5), {"zoom", "other"}, seed),
+                    (CameraSpec(kind="zoom", speed=0.03, direction=-1, jitter=0.2, jitter_seed=7), {"zoom", "other"}, seed),
+                ]
+            )
+        correct = 0
+        for camera, expected, seed in battery:
+            result = _detect(camera, seed)
+            estimate = classify_shot_motion(result, result.shots[0])
+            correct += estimate.motion.value in expected
+        assert correct / len(battery) >= 0.75
+
+    def test_works_on_genre_clip_shots(self):
+        """Classification runs over every shot of a realistic clip."""
+        from repro.synth.genres import GENRE_MODELS, generate_genre_clip
+
+        clip, _ = generate_genre_clip(
+            GENRE_MODELS["sports"], "s", n_shots=8, seed=3
+        )
+        result = CameraTrackingDetector().detect(clip)
+        estimates = [
+            classify_shot_motion(result, shot) for shot in result.shots
+        ]
+        assert len(estimates) == result.n_shots
+        kinds = {e.motion for e in estimates}
+        assert kinds <= set(CameraMotion)

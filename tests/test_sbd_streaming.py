@@ -1,0 +1,135 @@
+"""Tests for the streaming detector (repro.sbd.streaming)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SBDConfig
+from repro.errors import EmptyClipError, FrameError
+from repro.sbd.detector import CameraTrackingDetector
+from repro.sbd.streaming import StreamingCameraTrackingDetector
+from repro.video.clip import VideoClip
+
+
+def _clip_from_levels(levels, seg_len=6, rows=60, cols=80):
+    frames = np.concatenate(
+        [np.full((seg_len, rows, cols, 3), v, dtype=np.uint8) for v in levels]
+    )
+    return VideoClip("stream", frames)
+
+
+class TestStreamingBasics:
+    def test_emits_shots_incrementally(self):
+        clip = _clip_from_levels([40, 140, 240])
+        detector = StreamingCameraTrackingDetector(60, 80)
+        emitted = []
+        for k, frame in enumerate(clip.frames):
+            shot = detector.push(frame)
+            if shot is not None:
+                emitted.append((k, shot.shot.start, shot.shot.stop))
+        final = detector.finish()
+        assert final is not None
+        ranges = [(s, e) for _, s, e in emitted] + [(final.shot.start, final.shot.stop)]
+        assert ranges == [(0, 6), (6, 12), (12, 18)]
+        # The first shot closes before the clip ends (truly streaming).
+        assert emitted[0][0] < len(clip) - 1
+
+    def test_single_shot_stream(self):
+        clip = _clip_from_levels([100])
+        detector = StreamingCameraTrackingDetector(60, 80)
+        shots = list(detector.process_frames(iter(clip.frames)))
+        assert [(s.shot.start, s.shot.stop) for s in shots] == [(0, 6)]
+
+    def test_empty_stream_rejected(self):
+        detector = StreamingCameraTrackingDetector(60, 80)
+        with pytest.raises(EmptyClipError):
+            list(detector.process_frames(iter([])))
+
+    def test_finish_twice_rejected(self):
+        detector = StreamingCameraTrackingDetector(60, 80)
+        detector.push(np.zeros((60, 80, 3), dtype=np.uint8))
+        detector.finish()
+        with pytest.raises(FrameError):
+            detector.finish()
+
+    def test_push_after_finish_rejected(self):
+        detector = StreamingCameraTrackingDetector(60, 80)
+        detector.push(np.zeros((60, 80, 3), dtype=np.uint8))
+        detector.finish()
+        with pytest.raises(FrameError):
+            detector.push(np.zeros((60, 80, 3), dtype=np.uint8))
+
+    def test_finish_with_no_frames(self):
+        detector = StreamingCameraTrackingDetector(60, 80)
+        assert detector.finish() is None
+
+    def test_sign_streams_carried(self):
+        clip = _clip_from_levels([50, 200])
+        detector = StreamingCameraTrackingDetector(60, 80)
+        shots = list(detector.process_frames(iter(clip.frames)))
+        assert shots[0].signs_ba.shape == (6, 3)
+        assert np.all(shots[0].signs_ba == 50)
+        assert np.all(shots[1].signs_ba == 200)
+
+
+class TestStreamingEqualsBatch:
+    """The load-bearing property: streaming == batch, bit for bit."""
+
+    def _compare(self, clip, config=None):
+        batch = CameraTrackingDetector(config=config).detect(clip)
+        stream = StreamingCameraTrackingDetector(
+            clip.rows, clip.cols, config=config
+        )
+        shots = list(stream.process_frames(iter(clip.frames)))
+        assert [(s.shot.start, s.shot.stop) for s in shots] == [
+            (s.start, s.stop) for s in batch.shots
+        ]
+        for streamed, batch_shot in zip(shots, batch.shots):
+            assert np.array_equal(streamed.signs_ba, batch.shot_signs_ba(batch_shot))
+            assert np.array_equal(streamed.signs_oa, batch.shot_signs_oa(batch_shot))
+        assert stream.stage_counts.total_pairs == batch.stage_counts.total_pairs
+        assert stream.stage_counts.stage1_same == batch.stage_counts.stage1_same
+
+    def test_on_genre_clip(self):
+        from repro.synth.genres import GENRE_MODELS, generate_genre_clip
+
+        clip, _ = generate_genre_clip(
+            GENRE_MODELS["sitcom"], "s", n_shots=18, seed=21
+        )
+        self._compare(clip)
+
+    def test_on_figure5(self, figure5):
+        clip, _ = figure5
+        self._compare(clip)
+
+    def test_with_flash_frames(self):
+        """Short flash shots exercise the min-length merging path."""
+        frames = np.full((20, 60, 80, 3), 70, dtype=np.uint8)
+        frames[9] = 250
+        frames[15:] = 180
+        self._compare(VideoClip("flash", frames))
+
+    def test_min_shot_frames_one(self):
+        frames = np.full((12, 60, 80, 3), 70, dtype=np.uint8)
+        frames[5] = 250
+        self._compare(VideoClip("f", frames), config=SBDConfig(min_shot_frames=1))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([30, 90, 150, 210, 250]),
+                st.integers(min_value=1, max_value=7),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_property_random_segmentations(self, segments):
+        frames = np.concatenate(
+            [
+                np.full((n, 40, 48, 3), v, dtype=np.uint8)
+                for v, n in segments
+            ]
+        )
+        self._compare(VideoClip("prop", frames))

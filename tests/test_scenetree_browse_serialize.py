@@ -1,0 +1,141 @@
+"""Tests for browsing sessions and scene-tree serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneTreeError
+from repro.scenetree.browse import BrowsingSession
+from repro.scenetree.builder import SceneTreeBuilder
+from repro.scenetree.serialize import scene_tree_from_dict, scene_tree_to_dict
+
+
+def _tree():
+    base = {"A": 200, "B": 120, "C": 60, "D": 20}
+    spec = [("A", 0), ("B", 0), ("A", 1), ("B", 1), ("C", 0),
+            ("A", 2), ("C", 1), ("D", 0), ("D", 1), ("D", 2)]
+    signs = [
+        np.full((5 + k, 3), base[letter] + v * 8, dtype=np.uint8)
+        for k, (letter, v) in enumerate(spec)
+    ]
+    return SceneTreeBuilder().build(signs, clip_name="nav")
+
+
+class TestBrowsingSession:
+    def test_starts_at_root(self):
+        tree = _tree()
+        session = BrowsingSession(tree)
+        assert session.current is tree.root
+
+    def test_descend_ascend(self):
+        session = BrowsingSession(_tree())
+        child = session.descend(0)
+        assert child.parent is session.tree.root
+        assert session.ascend() is session.tree.root
+
+    def test_descend_out_of_range(self):
+        session = BrowsingSession(_tree())
+        with pytest.raises(SceneTreeError):
+            session.descend(99)
+
+    def test_descend_from_leaf_rejected(self):
+        session = BrowsingSession(_tree())
+        while not session.current.is_leaf:
+            session.descend(0)
+        with pytest.raises(SceneTreeError):
+            session.descend(0)
+
+    def test_ascend_from_root_rejected(self):
+        session = BrowsingSession(_tree())
+        with pytest.raises(SceneTreeError):
+            session.ascend()
+
+    def test_sibling_navigation(self):
+        session = BrowsingSession(_tree())
+        session.descend(0)
+        first = session.current
+        second = session.sibling(1)
+        assert second is not first
+        assert session.sibling(-1) is first
+
+    def test_sibling_of_root_rejected(self):
+        session = BrowsingSession(_tree())
+        with pytest.raises(SceneTreeError):
+            session.sibling()
+
+    def test_jump_to_label(self):
+        tree = _tree()
+        session = BrowsingSession(tree)
+        target = tree.leaves[4].label
+        assert session.jump_to(target) is tree.leaves[4]
+
+    def test_back_undoes_moves(self):
+        session = BrowsingSession(_tree())
+        root = session.current
+        session.descend(0)
+        session.descend(0)
+        session.back()
+        session.back()
+        assert session.current is root
+
+    def test_back_without_history_rejected(self):
+        with pytest.raises(SceneTreeError):
+            BrowsingSession(_tree()).back()
+
+    def test_storyboard_ordered_top_down(self):
+        session = BrowsingSession(_tree())
+        board = session.storyboard()
+        levels = [int(label.rsplit("^", 1)[1]) for label, _ in board]
+        assert levels == sorted(levels, reverse=True)
+        # Every tree node appears exactly once.
+        assert len(board) == len(session.tree.nodes())
+
+    def test_storyboard_with_floor(self):
+        session = BrowsingSession(_tree())
+        board = session.storyboard(max_level=1)
+        assert all(int(label.rsplit("^", 1)[1]) >= 1 for label, _ in board)
+
+    def test_path_from_root(self):
+        tree = _tree()
+        session = BrowsingSession(tree)
+        session.descend(0)
+        path = session.path_from_root()
+        assert path[0] == tree.root.label
+        assert path[-1] == session.current.label
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        tree = _tree()
+        payload = scene_tree_to_dict(tree)
+        rebuilt = scene_tree_from_dict(payload)
+        rebuilt.validate()
+        assert rebuilt.clip_name == tree.clip_name
+        assert rebuilt.n_shots == tree.n_shots
+        assert [n.label for n in rebuilt.nodes()] == [n.label for n in tree.nodes()]
+        assert [n.representative_frame for n in rebuilt.nodes()] == [
+            n.representative_frame for n in tree.nodes()
+        ]
+
+    def test_json_compatible(self):
+        import json
+
+        payload = scene_tree_to_dict(_tree())
+        assert scene_tree_from_dict(json.loads(json.dumps(payload))).n_shots == 10
+
+    def test_rejects_unknown_version(self):
+        payload = scene_tree_to_dict(_tree())
+        payload["version"] = 99
+        with pytest.raises(SceneTreeError):
+            scene_tree_from_dict(payload)
+
+    def test_rejects_multiple_roots(self):
+        payload = scene_tree_to_dict(_tree())
+        payload["nodes"][1]["parent"] = None  # orphan a subtree
+        with pytest.raises(SceneTreeError):
+            scene_tree_from_dict(payload)
+
+    def test_rejects_bad_parent_position(self):
+        payload = scene_tree_to_dict(_tree())
+        payload["nodes"][1]["parent"] = 10_000
+        with pytest.raises(SceneTreeError):
+            scene_tree_from_dict(payload)

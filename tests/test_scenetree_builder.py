@@ -1,0 +1,178 @@
+"""Tests for the scene-tree construction algorithm (Sec. 3.1, Fig. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SceneTreeConfig
+from repro.errors import SceneTreeError
+from repro.scenetree.builder import SceneTreeBuilder
+
+
+def _stream(value, n=6):
+    return np.full((n, 3), value, dtype=np.uint8)
+
+
+def _figure5_signs():
+    """Ten constant sign streams mirroring the Fig. 5 groups.
+
+    Same scene letter → values within the 10 % tolerance; different
+    letters → far apart.
+    """
+    base = {"A": 200, "B": 120, "C": 60, "D": 20}
+    spec = [("A", 0), ("B", 0), ("A", 1), ("B", 1), ("C", 0),
+            ("A", 2), ("C", 1), ("D", 0), ("D", 1), ("D", 2)]
+    lengths = [10, 6, 8, 7, 12, 9, 11, 10, 8, 9]
+    return [
+        _stream(base[letter] + variant * 8, n)
+        for (letter, variant), n in zip(spec, lengths)
+    ]
+
+
+class TestFigure6Reproduction:
+    """The paper's complete worked example, node by node."""
+
+    @pytest.fixture()
+    def built(self):
+        builder = SceneTreeBuilder()
+        tree = builder.build(_figure5_signs(), clip_name="fig5")
+        return builder, tree
+
+    def test_trace_matches_paper(self, built):
+        builder, _ = built
+        measured = [
+            (s.shot_index + 1, None if s.related_to is None else s.related_to + 1, s.scenario)
+            for s in builder.trace
+        ]
+        assert measured == [
+            (3, 1, 1), (4, 2, 2), (5, None, 0), (6, 3, 3),
+            (7, 5, 2), (8, None, 0), (9, 8, 2), (10, 8, 2),
+        ]
+
+    def test_shot9_used_fallback(self, built):
+        builder, _ = built
+        step9 = builder.trace[6]
+        assert step9.shot_index == 8 and step9.via_fallback
+
+    def test_en1_groups_shots_1_to_4(self, built):
+        _, tree = built
+        parent = tree.node_for_shot(0).parent
+        members = [leaf.shot_index for leaf in parent.children]
+        assert members == [0, 1, 2, 3]
+
+    def test_en2_groups_shots_5_to_7(self, built):
+        _, tree = built
+        parent = tree.node_for_shot(4).parent
+        assert [leaf.shot_index for leaf in parent.children] == [4, 5, 6]
+
+    def test_en4_groups_shots_8_to_10(self, built):
+        _, tree = built
+        parent = tree.node_for_shot(7).parent
+        assert [leaf.shot_index for leaf in parent.children] == [7, 8, 9]
+
+    def test_en3_joins_en1_and_en2(self, built):
+        _, tree = built
+        en1 = tree.node_for_shot(0).parent
+        en2 = tree.node_for_shot(4).parent
+        assert en1.parent is en2.parent
+        assert en1.parent.level == 2
+
+    def test_root_joins_en3_and_en4(self, built):
+        _, tree = built
+        en3 = tree.node_for_shot(0).parent.parent
+        en4 = tree.node_for_shot(7).parent
+        assert en3.parent is tree.root and en4.parent is tree.root
+        assert tree.root.level == 3
+
+    def test_naming_longest_run(self, built):
+        """EN2 is named for shot#5 (12-frame constant run, the longest)."""
+        _, tree = built
+        en2 = tree.node_for_shot(4).parent
+        assert en2.label == "SN_5^1"
+
+    def test_tree_validates(self, built):
+        _, tree = built
+        tree.validate()
+
+
+class TestEdgeCases:
+    def test_single_shot(self):
+        tree = SceneTreeBuilder().build([_stream(50)], clip_name="one")
+        assert tree.n_shots == 1
+        assert tree.height == 1
+        assert tree.leaves[0].parent is tree.root
+
+    def test_two_unrelated_shots(self):
+        tree = SceneTreeBuilder().build([_stream(20), _stream(200)])
+        assert tree.root.level == 1
+        assert [leaf.parent for leaf in tree.leaves] == [tree.root, tree.root]
+
+    def test_all_related_shots_single_scene(self):
+        signs = [_stream(100 + k) for k in range(5)]
+        tree = SceneTreeBuilder().build(signs)
+        # One scene node over all leaves; no extra root layer on top.
+        assert tree.height == 1
+        assert len(tree.root.children) == 5
+
+    def test_all_unrelated_shots(self):
+        values = [10, 60, 110, 160, 210, 255]
+        signs = [_stream(v) for v in values]
+        tree = SceneTreeBuilder().build(signs)
+        tree.validate()
+        assert tree.n_shots == 6
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SceneTreeError):
+            SceneTreeBuilder().build([])
+
+    def test_fallback_disabled(self):
+        """Without the i-1 fallback, shots 8-10 of Fig. 5 do not group."""
+        config = SceneTreeConfig(compare_with_previous_fallback=False)
+        builder = SceneTreeBuilder(config=config)
+        tree = builder.build(_figure5_signs())
+        # Shot #9 (index 8) finds no related shot among 1..7.
+        step9 = [s for s in builder.trace if s.shot_index == 8][0]
+        assert step9.related_to is None
+        tree.validate()
+
+    def test_exhaustive_relationship_mode(self):
+        tree = SceneTreeBuilder(exhaustive_relationship=True).build(
+            _figure5_signs()
+        )
+        tree.validate()
+        assert tree.n_shots == 10
+
+    def test_representative_frames_propagate(self):
+        signs = [_stream(100), _stream(110), _stream(105)]
+        tree = SceneTreeBuilder().build(signs)
+        for node in tree.nodes():
+            assert node.representative_frame is not None
+
+    def test_build_from_detection_offsets_rep_frames(self, figure5_detection):
+        tree = SceneTreeBuilder().build_from_detection(figure5_detection)
+        tree.validate()
+        for leaf, shot in zip(tree.leaves, figure5_detection.shots):
+            assert leaf.representative_frame is not None
+            assert shot.start <= leaf.representative_frame < shot.stop
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),   # scene id
+                st.integers(min_value=1, max_value=8),   # length
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_property_always_valid_tree(self, scene_spec):
+        """Any shot sequence yields a structurally valid tree covering
+        every shot exactly once."""
+        values = [20, 70, 120, 170, 220]
+        signs = [_stream(values[scene], n) for scene, n in scene_spec]
+        tree = SceneTreeBuilder().build(signs)
+        tree.validate()
+        assert tree.n_shots == len(scene_spec)
+        leaf_ids = [n.node_id for n in tree.nodes() if n.is_leaf]
+        assert sorted(leaf_ids) == sorted(leaf.node_id for leaf in tree.leaves)

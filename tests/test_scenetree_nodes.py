@@ -1,0 +1,112 @@
+"""Tests for SceneNode/SceneTree structure and invariants."""
+
+import pytest
+
+from repro.errors import SceneTreeError
+from repro.scenetree.nodes import SceneNode, SceneTree
+
+
+def _leaf(node_id, shot):
+    return SceneNode(node_id=node_id, shot_index=shot, level=0, representative_frame=0)
+
+
+def _small_tree():
+    """root(level 2) -> [scene(level 1) -> [leaf0, leaf1], leaf2]."""
+    leaves = [_leaf(0, 0), _leaf(1, 1), _leaf(2, 2)]
+    scene = SceneNode(node_id=3, shot_index=0, level=1, representative_frame=0)
+    root = SceneNode(node_id=4, shot_index=0, level=2, representative_frame=0)
+    leaves[0].attach_to(scene)
+    leaves[1].attach_to(scene)
+    scene.attach_to(root)
+    leaves[2].attach_to(root)
+    return SceneTree(root=root, leaves=leaves, clip_name="t"), leaves, scene, root
+
+
+class TestSceneNode:
+    def test_labels(self):
+        assert _leaf(0, 0).label == "SN_1^0"
+        empty = SceneNode(node_id=7)
+        assert empty.label == "EN7"
+        assert not empty.is_named
+
+    def test_attach_and_ancestors(self):
+        _, leaves, scene, root = _small_tree()
+        assert [n.label for n in leaves[0].ancestors()] == [scene.label, root.label]
+        assert leaves[0].oldest_ancestor() is root
+
+    def test_attach_twice_rejected(self):
+        _, leaves, scene, _ = _small_tree()
+        with pytest.raises(SceneTreeError):
+            leaves[0].attach_to(scene)
+
+    def test_attach_to_self_rejected(self):
+        node = _leaf(0, 0)
+        with pytest.raises(SceneTreeError):
+            node.attach_to(node)
+
+    def test_subtree_iteration_preorder(self):
+        _, _, scene, root = _small_tree()
+        labels = [n.label for n in root.iter_subtree()]
+        assert labels[0] == root.label
+        assert labels[1] == scene.label
+
+    def test_leaf_descendants_temporal(self):
+        _, leaves, _, root = _small_tree()
+        assert root.leaf_descendants() == leaves
+
+
+class TestSceneTree:
+    def test_queries(self):
+        tree, leaves, scene, root = _small_tree()
+        assert tree.n_shots == 3
+        assert tree.height == 2
+        assert tree.node_for_shot(1) is leaves[1]
+        assert tree.find("SN_1^1") is scene
+        assert len(tree.level_nodes(0)) == 3
+
+    def test_node_for_shot_out_of_range(self):
+        tree, *_ = _small_tree()
+        with pytest.raises(SceneTreeError):
+            tree.node_for_shot(5)
+
+    def test_find_unknown_label(self):
+        tree, *_ = _small_tree()
+        with pytest.raises(SceneTreeError):
+            tree.find("SN_9^9")
+
+    def test_largest_scene_with_representative(self):
+        tree, leaves, scene, root = _small_tree()
+        # All nodes carry rep frame 0; the largest is the root.
+        assert tree.largest_scene_with_representative(0) is root
+        assert tree.largest_scene_with_representative(42) is None
+
+    def test_validate_passes_on_good_tree(self):
+        tree, *_ = _small_tree()
+        tree.validate()
+
+    def test_validate_rejects_unnamed(self):
+        leaves = [_leaf(0, 0)]
+        root = SceneNode(node_id=1)  # never named
+        leaves[0].attach_to(root)
+        tree = SceneTree.__new__(SceneTree)
+        tree.root = root
+        tree.leaves = leaves
+        tree.clip_name = "bad"
+        with pytest.raises(SceneTreeError):
+            tree.validate()
+
+    def test_validate_rejects_level_inversion(self):
+        leaf = _leaf(0, 0)
+        root = SceneNode(node_id=1, shot_index=0, level=0, representative_frame=0)
+        leaf.attach_to(root)
+        tree = SceneTree.__new__(SceneTree)
+        tree.root = root
+        tree.leaves = [leaf]
+        tree.clip_name = "bad"
+        with pytest.raises(SceneTreeError):
+            tree.validate()
+
+    def test_root_with_parent_rejected(self):
+        _, leaves, scene, root = _small_tree()
+        with pytest.raises(SceneTreeError):
+            SceneTree(root=scene, leaves=leaves, clip_name="bad")

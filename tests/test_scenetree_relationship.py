@@ -1,0 +1,118 @@
+"""Tests for algorithm RELATIONSHIP (Sec. 3.1, Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import SceneTreeConfig
+from repro.errors import SceneTreeError
+from repro.scenetree.relationship import related_shots, relationship
+
+
+def _stream(values):
+    """Build an (n, 3) sign stream from per-frame gray levels."""
+    return np.array([[v, v, v] for v in values], dtype=np.uint8)
+
+
+class TestRelationship:
+    def test_identical_streams_related(self):
+        signs = _stream([100, 100, 100])
+        result = relationship(signs, signs)
+        assert result.related
+        assert result.frame_a == 0 and result.frame_b == 0
+        assert result.pairs_examined == 1
+
+    def test_within_ten_percent_related(self):
+        a = _stream([100] * 5)
+        b = _stream([125] * 5)  # diff 25 < 25.6
+        assert related_shots(a, b)
+
+    def test_beyond_ten_percent_unrelated(self):
+        a = _stream([100] * 5)
+        b = _stream([126] * 5)  # diff 26 > 25.6
+        assert not related_shots(a, b)
+
+    def test_eq2_uses_max_channel(self):
+        a = np.array([[100, 100, 100]], dtype=np.uint8)
+        b = np.array([[100, 100, 180]], dtype=np.uint8)  # only blue far
+        assert not related_shots(a, b)
+
+    def test_diagonal_scan_order(self):
+        """The paper's loop pairs frame i of A with frame i mod |B| of B."""
+        a = _stream([0, 0, 0, 0, 50])
+        b = _stream([200, 50])
+        # Pairs: (0,200) (0,50) (0,200) (0,50) (50,200) -> no hit within
+        # tolerance until pair 2: (0,50)? diff 50 -> no. Actually no
+        # diagonal pair matches; exhaustive would find (4, 1).
+        result = relationship(a, b)
+        assert not result.related
+        exhaustive = relationship(a, b, exhaustive=True)
+        assert exhaustive.related
+        assert (exhaustive.frame_a, exhaustive.frame_b) == (4, 1)
+
+    def test_diagonal_hit_reports_pair(self):
+        a = _stream([0, 0, 60])
+        b = _stream([200, 200, 65])
+        result = relationship(a, b)
+        assert result.related
+        assert (result.frame_a, result.frame_b) == (2, 2)
+        assert result.pairs_examined == 3
+
+    def test_min_difference_reported_on_miss(self):
+        a = _stream([0])
+        b = _stream([128])
+        result = relationship(a, b)
+        assert not result.related
+        assert result.min_difference_percent == pytest.approx(50.0)
+
+    def test_exhaustive_examines_all_pairs(self):
+        a = _stream([0, 10, 20])
+        b = _stream([200, 210])
+        result = relationship(a, b, exhaustive=True)
+        assert result.pairs_examined == 6
+
+    def test_max_frames_compared_cap(self):
+        config = SceneTreeConfig(max_frames_compared=2)
+        a = _stream([0, 0, 0, 0, 50])
+        b = _stream([60] * 5)
+        result = relationship(a, b, config=config)
+        assert result.pairs_examined <= 2
+        assert not result.related  # the hit at i=4 is beyond the cap
+
+    def test_custom_tolerance(self):
+        config = SceneTreeConfig(relationship_tolerance=0.25)
+        a = _stream([100])
+        b = _stream([160])  # 60/256 = 23.4% < 25%
+        assert related_shots(a, b, config=config)
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(SceneTreeError):
+            relationship(np.zeros((0, 3)), _stream([1]))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SceneTreeError):
+            relationship(np.zeros((4, 2)), _stream([1]))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=30),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=30),
+    )
+    def test_property_symmetric_when_equal_lengths(self, xs, ys):
+        """For equal-length streams the diagonal scan is symmetric."""
+        n = min(len(xs), len(ys))
+        a, b = _stream(xs[:n]), _stream(ys[:n])
+        assert related_shots(a, b) == related_shots(b, a)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=30))
+    def test_property_reflexive(self, xs):
+        signs = _stream(xs)
+        assert related_shots(signs, signs)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=15),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=15),
+    )
+    def test_property_diagonal_hit_implies_exhaustive_hit(self, xs, ys):
+        a, b = _stream(xs), _stream(ys)
+        if related_shots(a, b):
+            assert related_shots(a, b, exhaustive=True)

@@ -1,0 +1,100 @@
+"""Tests for representative-frame selection (Table 2 semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShotError
+from repro.scenetree.representative import (
+    longest_constant_run,
+    most_frequent_sign_frame,
+    representative_frames,
+)
+
+#: The paper's Table 2 sign stream (frames 1-20, 0-indexed here).
+TABLE2 = np.array(
+    [(219, 152, 142)] * 6
+    + [(226, 164, 172)] * 2
+    + [(213, 149, 134)] * 4
+    + [(200, 137, 123)] * 2
+    + [(228, 160, 149)] * 6,
+    dtype=np.uint8,
+)
+
+
+class TestMostFrequent:
+    def test_paper_table2_selects_frame_one(self):
+        """Frames 1-6 and 15-20 tie at six; the earlier group wins."""
+        assert most_frequent_sign_frame(TABLE2) == 0
+
+    def test_single_frame(self):
+        assert most_frequent_sign_frame(np.array([[1, 2, 3]], dtype=np.uint8)) == 0
+
+    def test_majority_wins(self):
+        signs = np.array([[9, 9, 9], [5, 5, 5], [5, 5, 5]], dtype=np.uint8)
+        assert most_frequent_sign_frame(signs) == 1
+
+    def test_non_contiguous_repetitions_counted(self):
+        """Frequency counts all frames with the value, not just runs."""
+        signs = np.array(
+            [[5, 5, 5], [9, 9, 9], [5, 5, 5], [9, 9, 9], [5, 5, 5]],
+            dtype=np.uint8,
+        )
+        assert most_frequent_sign_frame(signs) == 0  # value 5 occurs 3x
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShotError):
+            most_frequent_sign_frame(np.zeros((0, 3), dtype=np.uint8))
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=40))
+    def test_property_selected_frame_has_max_count(self, values):
+        signs = np.array([[v, v, v] for v in values], dtype=np.uint8)
+        chosen = most_frequent_sign_frame(signs)
+        chosen_count = values.count(values[chosen])
+        assert chosen_count == max(values.count(v) for v in values)
+        # Earliest frame of that value.
+        assert values.index(values[chosen]) == chosen
+
+
+class TestLongestRun:
+    def test_paper_table2_run_is_six(self):
+        assert longest_constant_run(TABLE2) == 6
+
+    def test_all_distinct(self):
+        signs = np.array([[k, k, k] for k in range(5)], dtype=np.uint8)
+        assert longest_constant_run(signs) == 1
+
+    def test_all_same(self):
+        signs = np.full((7, 3), 4, dtype=np.uint8)
+        assert longest_constant_run(signs) == 7
+
+    def test_run_at_end(self):
+        signs = np.array([[1, 1, 1], [2, 2, 2], [2, 2, 2], [2, 2, 2]], dtype=np.uint8)
+        assert longest_constant_run(signs) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+    def test_property_matches_naive(self, values):
+        signs = np.array([[v, v, v] for v in values], dtype=np.uint8)
+        best = cur = 1
+        for a, b in zip(values, values[1:]):
+            cur = cur + 1 if a == b else 1
+            best = max(best, cur)
+        assert longest_constant_run(signs) == best
+
+
+class TestMultipleRepresentatives:
+    def test_gs_extension_on_table2(self):
+        """g(s)=2 picks the two six-frame values, earliest first."""
+        frames = representative_frames(TABLE2, count=2)
+        assert frames == [0, 14]
+
+    def test_count_larger_than_distinct_values(self):
+        signs = np.array([[1, 1, 1], [2, 2, 2]], dtype=np.uint8)
+        assert representative_frames(signs, count=5) == [0, 1]
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ShotError):
+            representative_frames(TABLE2, count=0)
+
+    def test_first_equals_single_selection(self):
+        assert representative_frames(TABLE2, count=1)[0] == most_frequent_sign_frame(TABLE2)

@@ -1,0 +1,93 @@
+"""Tests for video summarization (repro.scenetree.summarize)."""
+
+import pytest
+
+from repro.errors import SceneTreeError
+from repro.scenetree.builder import SceneTreeBuilder
+from repro.scenetree.summarize import (
+    default_g,
+    scene_representatives,
+    summarize_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def built(figure5_detection):
+    tree = SceneTreeBuilder().build_from_detection(figure5_detection)
+    return tree, figure5_detection
+
+
+class TestDefaultG:
+    @pytest.mark.parametrize("shots,expected", [(1, 1), (2, 2), (4, 2), (9, 3), (16, 4)])
+    def test_sqrt_growth(self, shots, expected):
+        assert default_g(shots) == expected
+
+    def test_at_least_one(self):
+        assert default_g(0) == 1
+
+
+class TestSceneRepresentatives:
+    def test_leaf_gives_its_own_representative(self, built):
+        tree, detection = built
+        leaf = tree.node_for_shot(0)
+        frames = scene_representatives(leaf, detection)
+        assert len(frames) == 1
+        assert frames[0] == leaf.representative_frame
+
+    def test_scene_node_pools_its_shots(self, built):
+        tree, detection = built
+        scene = tree.node_for_shot(0).parent  # EN1: shots 1-4
+        frames = scene_representatives(scene, detection)
+        assert len(frames) == default_g(4) == 2
+        # Every frame lies inside the scene's span.
+        for frame in frames:
+            assert 0 <= frame < detection.shots[3].stop
+
+    def test_custom_g(self, built):
+        tree, detection = built
+        frames = scene_representatives(tree.root, detection, g=lambda s: 5)
+        assert len(frames) == 5
+        assert len(set(frames)) == 5
+
+    def test_frames_in_clip_coordinates(self, built):
+        tree, detection = built
+        d_scene = tree.node_for_shot(7).parent  # EN4: shots 8-10
+        frames = scene_representatives(d_scene, detection)
+        assert all(frame >= detection.shots[7].start for frame in frames)
+
+
+class TestSummarizeTree:
+    def test_budget_respected(self, built):
+        tree, _ = built
+        for budget in (1, 3, 8):
+            summary = summarize_tree(tree, budget)
+            assert len(summary) <= budget
+
+    def test_no_duplicate_frames(self, built):
+        tree, _ = built
+        summary = summarize_tree(tree, 50)
+        frames = [frame for _, frame in summary]
+        assert len(frames) == len(set(frames))
+
+    def test_top_down_order(self, built):
+        tree, _ = built
+        summary = summarize_tree(tree, 50)
+        levels = [int(label.rsplit("^", 1)[1]) for label, _ in summary]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_budget_one_gives_root_view(self, built):
+        tree, _ = built
+        summary = summarize_tree(tree, 1)
+        assert summary[0][0] == tree.root.label
+
+    def test_rejects_zero_budget(self, built):
+        tree, _ = built
+        with pytest.raises(SceneTreeError):
+            summarize_tree(tree, 0)
+
+    def test_deeper_budget_adds_new_content(self, built):
+        tree, _ = built
+        small = {frame for _, frame in summarize_tree(tree, 2)}
+        large = {frame for _, frame in summarize_tree(tree, 10)}
+        assert small <= large
+        assert len(large) > len(small)

@@ -1,0 +1,170 @@
+"""Tests for repro.signature (signs, distances, batched extraction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import RegionConfig
+from repro.errors import EmptyClipError, FrameError
+from repro.signature.extract import SignatureExtractor
+from repro.signature.sign import (
+    Sign,
+    max_channel_difference,
+    sign_difference_percent,
+    signs_equal,
+    signs_match,
+)
+from repro.video.clip import VideoClip
+
+
+class TestSign:
+    def test_round_trip_array(self):
+        sign = Sign(219, 152, 142)
+        assert Sign.from_array(sign.to_array()) == sign
+
+    def test_from_array_rounds(self):
+        assert Sign.from_array(np.array([1.4, 2.6, 254.9])) == Sign(1, 3, 255)
+
+    def test_from_array_clips(self):
+        assert Sign.from_array(np.array([-5.0, 300.0, 128.0])) == Sign(0, 255, 128)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(FrameError):
+            Sign(-1, 0, 0)
+        with pytest.raises(FrameError):
+            Sign(0, 256, 0)
+
+    def test_hashable_for_counting(self):
+        counts = {Sign(1, 2, 3): 5}
+        assert counts[Sign(1, 2, 3)] == 5
+
+    def test_difference_percent_eq2(self):
+        """Eq. 2: D_s = max channel diff / 256 * 100."""
+        a, b = Sign(219, 152, 142), Sign(226, 164, 172)
+        assert a.difference_percent(b) == pytest.approx(30 / 256 * 100)
+
+
+class TestSignArrayOps:
+    def test_max_channel_difference_broadcast(self):
+        stream = np.array([[10, 20, 30], [15, 20, 30], [10, 60, 30]], dtype=np.uint8)
+        ref = np.array([10, 20, 30], dtype=np.uint8)
+        diff = max_channel_difference(stream, ref)
+        assert np.allclose(diff, [0, 5, 40])
+
+    def test_no_uint8_wraparound(self):
+        a = np.array([0, 0, 0], dtype=np.uint8)
+        b = np.array([255, 255, 255], dtype=np.uint8)
+        assert max_channel_difference(a, b) == 255.0
+
+    def test_signs_match_threshold(self):
+        a = np.array([100, 100, 100])
+        b = np.array([100, 100, 125])
+        assert signs_match(a, b, 0.10)          # 25 < 25.6
+        c = np.array([100, 100, 126])
+        assert not signs_match(a, c, 0.10)      # 26 > 25.6
+
+    def test_signs_equal(self):
+        assert signs_equal(np.array([1, 2, 3]), np.array([1, 2, 3]))
+        assert not signs_equal(np.array([1, 2, 3]), np.array([1, 2, 4]))
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_self_difference_zero(self, v):
+        sign = np.array([v, v, v])
+        assert sign_difference_percent(sign, sign) == 0.0
+
+
+class TestSignatureExtractor:
+    def test_geometry_binding(self):
+        ex = SignatureExtractor(120, 160)
+        assert ex.geometry.tba_shape == (13, 253)
+
+    def test_constant_frame_gives_constant_features(self):
+        ex = SignatureExtractor(120, 160)
+        frame = np.full((120, 160, 3), 90, dtype=np.uint8)
+        features = ex.extract_frame(frame)
+        assert np.all(features.sign_ba == 90)
+        assert np.all(features.sign_oa == 90)
+        assert np.all(features.signature_ba == 90)
+
+    def test_shapes(self):
+        ex = SignatureExtractor(120, 160)
+        frames = np.zeros((4, 120, 160, 3), dtype=np.uint8)
+        features = ex.extract_frames(frames)
+        assert features.signatures_ba.shape == (4, 253, 3)
+        assert features.signs_ba.shape == (4, 3)
+        assert features.signs_oa.shape == (4, 3)
+        assert len(features) == 4
+
+    def test_sign_ba_sees_only_background(self):
+        """Painting the FOA must not move Sign^BA."""
+        ex = SignatureExtractor(120, 160)
+        w = ex.geometry.w_est
+        base = np.full((120, 160, 3), 50, dtype=np.uint8)
+        painted = base.copy()
+        painted[w:, w : 160 - w] = 250
+        f_base = ex.extract_frame(base)
+        f_painted = ex.extract_frame(painted)
+        assert np.array_equal(f_base.sign_ba, f_painted.sign_ba)
+        assert not np.array_equal(f_base.sign_oa, f_painted.sign_oa)
+
+    def test_sign_oa_sees_only_object_area(self):
+        """Painting the background strip must not move Sign^OA."""
+        ex = SignatureExtractor(120, 160)
+        w = ex.geometry.w_est
+        base = np.full((120, 160, 3), 50, dtype=np.uint8)
+        painted = base.copy()
+        painted[:w, :, :] = 250
+        painted[:, :w, :] = 250
+        painted[:, 160 - w :, :] = 250
+        f_base = ex.extract_frame(base)
+        f_painted = ex.extract_frame(painted)
+        assert np.array_equal(f_base.sign_oa, f_painted.sign_oa)
+        assert not np.array_equal(f_base.sign_ba, f_painted.sign_ba)
+
+    def test_batch_equals_per_frame(self):
+        rng = np.random.default_rng(9)
+        frames = rng.integers(0, 255, size=(5, 120, 160, 3)).astype(np.uint8)
+        ex = SignatureExtractor(120, 160)
+        batch = ex.extract_frames(frames)
+        for k in range(5):
+            single = ex.extract_frame(frames[k])
+            assert np.array_equal(single.sign_ba, batch.signs_ba[k])
+            assert np.array_equal(single.sign_oa, batch.signs_oa[k])
+            assert np.array_equal(single.signature_ba, batch.signatures_ba[k])
+
+    def test_for_clip_and_extract_clip(self):
+        frames = np.zeros((3, 60, 80, 3), dtype=np.uint8)
+        clip = VideoClip("tiny", frames)
+        ex = SignatureExtractor.for_clip(clip)
+        features = ex.extract_clip(clip)
+        assert len(features) == 3
+
+    def test_frame_accessor(self):
+        ex = SignatureExtractor(60, 80)
+        frames = np.zeros((2, 60, 80, 3), dtype=np.uint8)
+        features = ex.extract_frames(frames)
+        single = features.frame(1)
+        assert single.sign_ba.shape == (3,)
+
+    def test_rejects_wrong_size(self):
+        ex = SignatureExtractor(120, 160)
+        with pytest.raises(FrameError):
+            ex.extract_frames(np.zeros((2, 60, 80, 3), dtype=np.uint8))
+
+    def test_rejects_empty_stack(self):
+        ex = SignatureExtractor(120, 160)
+        with pytest.raises((EmptyClipError, FrameError)):
+            ex.extract_frames(np.zeros((0, 120, 160, 3), dtype=np.uint8))
+
+    def test_custom_region_config(self):
+        ex = SignatureExtractor(120, 160, config=RegionConfig(width_fraction=0.2))
+        assert ex.geometry.w_est == 32
+        assert ex.geometry.w == 29
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_property_constant_stack_quantizes_exactly(self, v):
+        ex = SignatureExtractor(60, 80)
+        frames = np.full((2, 60, 80, 3), v, dtype=np.uint8)
+        features = ex.extract_frames(frames)
+        assert np.all(features.signs_ba == v)
+        assert np.all(features.signs_oa == v)

@@ -1,0 +1,354 @@
+"""Tests for the synthetic video substrate (repro.synth)."""
+
+import numpy as np
+import pytest
+from repro.errors import WorkloadError
+from repro.synth.camera import CameraSpec, camera_offsets
+from repro.synth.canvas import (
+    add_noise,
+    checkerboard,
+    draw_ellipse,
+    draw_rect,
+    fill,
+    horizontal_gradient,
+    new_canvas,
+    stripes,
+    vertical_gradient,
+)
+from repro.synth.objects import ObjectSpec, draw_objects
+from repro.synth.scripts import ClipScript, ScriptedShot, render_clip
+from repro.synth.shotgen import ShotSpec, render_shot
+from repro.synth.textures import BackgroundSpec, render_background
+
+
+class TestCanvas:
+    def test_new_canvas_filled(self):
+        canvas = new_canvas(4, 6, (10.0, 20.0, 30.0))
+        assert canvas.shape == (4, 6, 3)
+        assert np.all(canvas[..., 2] == 30.0)
+
+    def test_fill(self):
+        canvas = new_canvas(3, 3)
+        fill(canvas, (1.0, 2.0, 3.0))
+        assert np.all(canvas[..., 0] == 1.0)
+
+    def test_horizontal_gradient_endpoints(self):
+        canvas = new_canvas(2, 10)
+        horizontal_gradient(canvas, (0.0, 0.0, 0.0), (90.0, 90.0, 90.0))
+        assert np.allclose(canvas[:, 0], 0.0)
+        assert np.allclose(canvas[:, -1], 90.0)
+        assert np.all(np.diff(canvas[0, :, 0]) >= 0)
+
+    def test_vertical_gradient_endpoints(self):
+        canvas = new_canvas(10, 2)
+        vertical_gradient(canvas, (200.0,) * 3, (100.0,) * 3)
+        assert np.allclose(canvas[0], 200.0)
+        assert np.allclose(canvas[-1], 100.0)
+
+    def test_draw_rect_clipped(self):
+        canvas = new_canvas(10, 10)
+        draw_rect(canvas, top=-5, left=-5, height=8, width=8, color=(9.0,) * 3)
+        assert np.all(canvas[:3, :3] == 9.0)
+        assert np.all(canvas[4:, 4:] == 0.0)
+
+    def test_draw_ellipse_inside_bbox(self):
+        canvas = new_canvas(20, 20)
+        draw_ellipse(canvas, 10, 10, 5, 3, (7.0,) * 3)
+        assert canvas[10, 10, 0] == 7.0     # center painted
+        assert canvas[10, 14, 0] == 0.0     # outside col radius
+        assert canvas[4, 10, 0] == 0.0      # outside row radius
+
+    def test_ellipse_fully_off_canvas(self):
+        canvas = new_canvas(10, 10)
+        draw_ellipse(canvas, 100, 100, 3, 3, (7.0,) * 3)
+        assert np.all(canvas == 0.0)
+
+    def test_stripes_alternate(self):
+        canvas = new_canvas(2, 32)
+        stripes(canvas, (0.0,) * 3, (10.0,) * 3, period=8)
+        assert np.all(canvas[:, :8] == 0.0)
+        assert np.all(canvas[:, 8:16] == 10.0)
+
+    def test_checkerboard(self):
+        canvas = new_canvas(16, 16)
+        checkerboard(canvas, (0.0,) * 3, (10.0,) * 3, period=8)
+        assert canvas[0, 0, 0] != canvas[0, 8, 0]
+        assert canvas[0, 0, 0] == canvas[8, 8, 0]
+
+    def test_noise_bounded_and_seeded(self):
+        rng = np.random.default_rng(0)
+        canvas = new_canvas(8, 8, (128.0,) * 3)
+        add_noise(canvas, rng, 5.0)
+        assert np.all(canvas >= 123.0) and np.all(canvas <= 133.0)
+
+    def test_zero_noise_identity(self):
+        canvas = new_canvas(4, 4, (50.0,) * 3)
+        add_noise(canvas, np.random.default_rng(0), 0.0)
+        assert np.all(canvas == 50.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(WorkloadError):
+            add_noise(new_canvas(2, 2), np.random.default_rng(0), -1.0)
+
+
+class TestTextures:
+    @pytest.mark.parametrize("kind", BackgroundSpec.__dataclass_fields__ and
+                             ("flat", "hgradient", "vgradient", "stripes",
+                              "checker", "blotches", "hgradient_bars",
+                              "vgradient_bars"))
+    def test_all_kinds_render(self, kind):
+        spec = BackgroundSpec(kind=kind, base_color=(120.0, 100.0, 80.0))
+        world = render_background(spec, rows=24, cols=32, margin=8)
+        assert world.shape == (40, 48, 3)
+        assert world.min() >= 0 and world.max() <= 255
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            BackgroundSpec(kind="plaid")
+
+    def test_color_shift_clips(self):
+        spec = BackgroundSpec(base_color=(250.0, 5.0, 128.0))
+        shifted = spec.with_color_shift((20.0, -20.0, 0.0))
+        assert shifted.base_color == (255.0, 0.0, 128.0)
+
+    def test_blotches_deterministic_by_seed(self):
+        spec = BackgroundSpec(kind="blotches", detail_seed=7)
+        a = render_background(spec, 20, 20, margin=4)
+        b = render_background(spec, 20, 20, margin=4)
+        assert np.array_equal(a, b)
+
+    def test_blotches_differ_across_seeds(self):
+        a = render_background(BackgroundSpec(kind="blotches", detail_seed=1), 20, 20, 4)
+        b = render_background(BackgroundSpec(kind="blotches", detail_seed=2), 20, 20, 4)
+        assert not np.array_equal(a, b)
+
+
+class TestCamera:
+    def test_static_stays_at_start_offset(self):
+        spec = CameraSpec(kind="static", start_offset=(3.0, -4.0))
+        rows, cols, zooms = camera_offsets(spec, 5, margin=10)
+        assert np.allclose(rows, 3.0) and np.allclose(cols, -4.0)
+        assert np.allclose(zooms, 1.0)
+
+    def test_pan_drifts_linearly(self):
+        spec = CameraSpec(kind="pan", speed=2.0, direction=1)
+        _, cols, _ = camera_offsets(spec, 4, margin=100)
+        assert np.allclose(cols, [0, 2, 4, 6])
+
+    def test_tilt_direction(self):
+        spec = CameraSpec(kind="tilt", speed=1.0, direction=-1)
+        rows, _, _ = camera_offsets(spec, 3, margin=100)
+        assert np.allclose(rows, [0, -1, -2])
+
+    def test_diagonal_components(self):
+        spec = CameraSpec(kind="diagonal", speed=np.sqrt(2), direction=1)
+        rows, cols, _ = camera_offsets(spec, 3, margin=100)
+        assert np.allclose(rows, cols)
+        assert rows[-1] == pytest.approx(2.0)
+
+    def test_zoom_changes_scale(self):
+        spec = CameraSpec(kind="zoom", speed=0.05, direction=1)
+        _, _, zooms = camera_offsets(spec, 4, margin=10)
+        assert zooms[0] == 1.0
+        assert np.all(np.diff(zooms) < 0)  # zooming in shrinks the window
+
+    def test_offsets_clipped_to_margin(self):
+        spec = CameraSpec(kind="pan", speed=50.0, direction=1)
+        _, cols, _ = camera_offsets(spec, 10, margin=30)
+        assert cols.max() <= 30.0
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(WorkloadError):
+            CameraSpec(direction=0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            CameraSpec(kind="orbit")
+
+
+class TestObjects:
+    def test_position_linear_motion(self):
+        spec = ObjectSpec(start=(10.0, 20.0), velocity=(1.0, 2.0))
+        assert spec.position_at(0) == (10.0, 20.0)
+        assert spec.position_at(5) == (15.0, 30.0)
+
+    def test_wobble_returns_to_start_each_period(self):
+        spec = ObjectSpec(start=(50.0, 50.0), wobble=5.0, wobble_period=8)
+        r0, _ = spec.position_at(0)
+        r8, _ = spec.position_at(8)
+        assert r0 == pytest.approx(r8)
+
+    def test_draw_objects_paints(self):
+        frame = np.zeros((40, 40, 3), dtype=np.float64)
+        spec = ObjectSpec(shape="rect", color=(9.0,) * 3, size=(10, 10), start=(20, 20))
+        draw_objects(frame, (spec,), frame_index=0)
+        assert frame[20, 20, 0] == 9.0
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(WorkloadError):
+            ObjectSpec(shape="triangle")
+
+
+class TestShotGen:
+    def test_shape_and_dtype(self):
+        spec = ShotSpec(n_frames=4)
+        frames = render_shot(spec, 30, 40)
+        assert frames.shape == (4, 30, 40, 3)
+        assert frames.dtype == np.uint8
+
+    def test_deterministic(self):
+        spec = ShotSpec(n_frames=3, noise=2.0, noise_seed=9)
+        a = render_shot(spec, 20, 20)
+        b = render_shot(spec, 20, 20)
+        assert np.array_equal(a, b)
+
+    def test_static_noiseless_shot_constant(self):
+        spec = ShotSpec(
+            n_frames=3,
+            background=BackgroundSpec(base_color=(50.0, 60.0, 70.0)),
+            noise=0.0,
+        )
+        frames = render_shot(spec, 20, 20)
+        assert np.array_equal(frames[0], frames[1])
+        assert np.all(frames[0, 0, 0] == [50, 60, 70])
+
+    def test_flash_frame_brighter(self):
+        spec = ShotSpec(
+            n_frames=3,
+            background=BackgroundSpec(base_color=(50.0,) * 3),
+            noise=0.0,
+            flash_frames=(1,),
+            flash_gain=100.0,
+        )
+        frames = render_shot(spec, 16, 16)
+        assert frames[1].mean() > frames[0].mean() + 90
+
+    def test_flash_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            ShotSpec(n_frames=3, flash_frames=(5,))
+
+    def test_light_profile_interpolates(self):
+        spec = ShotSpec(
+            n_frames=5,
+            background=BackgroundSpec(base_color=(100.0,) * 3),
+            noise=0.0,
+            light_profile=((0, 0.0), (4, 40.0)),
+        )
+        frames = render_shot(spec, 16, 16)
+        means = frames.reshape(5, -1).mean(axis=1)
+        assert np.all(np.diff(means) > 0)
+        assert means[-1] == pytest.approx(140.0, abs=1.0)
+
+    def test_light_profile_unsorted_rejected(self):
+        with pytest.raises(WorkloadError):
+            ShotSpec(n_frames=5, light_profile=((3, 0.0), (1, 5.0)))
+
+    def test_pan_moves_content(self):
+        spec = ShotSpec(
+            n_frames=2,
+            background=BackgroundSpec(
+                kind="hgradient",
+                base_color=(0.0,) * 3,
+                accent_color=(255.0,) * 3,
+            ),
+            camera=CameraSpec(kind="pan", speed=20.0, direction=1),
+            noise=0.0,
+        )
+        frames = render_shot(spec, 20, 30)
+        assert frames[1].astype(int).mean() > frames[0].astype(int).mean()
+
+
+class TestScripts:
+    def _script(self, transitions=("cut", "cut")):
+        shots = [
+            ScriptedShot(
+                spec=ShotSpec(
+                    n_frames=6,
+                    background=BackgroundSpec(base_color=(v,) * 3),
+                    noise=0.0,
+                ),
+                group=g,
+                transition=t,
+            )
+            for v, g, t in zip((40.0, 140.0, 240.0), "abc", ("cut",) + tuple(transitions[:2]))
+        ]
+        return ClipScript(name="s", shots=tuple(shots), rows=16, cols=20)
+
+    def test_cut_ground_truth(self):
+        clip, truth = render_clip(self._script())
+        assert len(clip) == 18
+        assert truth.boundaries == (6, 12)
+        assert truth.shot_ranges == ((0, 6), (6, 12), (12, 18))
+        assert truth.groups == ("a", "b", "c")
+
+    def test_dissolve_inserts_frames(self):
+        clip, truth = render_clip(self._script(transitions=("dissolve", "cut")))
+        assert len(clip) == 18 + 3  # default 3 dissolve frames
+        assert truth.boundaries == (9, 15)
+        # Dissolve frames belong to the preceding shot's range.
+        assert truth.shot_ranges[0] == (0, 9)
+
+    def test_dissolve_frames_are_intermediate(self):
+        clip, truth = render_clip(self._script(transitions=("dissolve", "cut")))
+        blend = clip.frames[6:9].astype(float).mean(axis=(1, 2, 3))
+        assert np.all(blend > 40.0) and np.all(blend < 140.0)
+        assert np.all(np.diff(blend) > 0)
+
+    def test_group_of_frame(self):
+        _, truth = render_clip(self._script())
+        assert truth.group_of_frame(0) == "a"
+        assert truth.group_of_frame(17) == "c"
+        with pytest.raises(WorkloadError):
+            truth.group_of_frame(99)
+
+    def test_archetypes_for_ranges_by_overlap(self):
+        _, truth = render_clip(self._script())
+        object.__setattr__(truth, "archetypes", ("x", None, "z"))
+        # Detected ranges merge the first two scripted shots.
+        labels = truth.archetypes_for_ranges([(0, 12), (12, 18)])
+        assert labels == {0: "x", 1: "z"}
+
+    def test_metadata_carries_ground_truth(self):
+        clip, truth = render_clip(self._script())
+        assert clip.metadata["ground_truth"] is truth
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(WorkloadError):
+            ClipScript(name="x", shots=())
+
+
+class TestFadeTransition:
+    def _clip(self):
+        shots = tuple(
+            ScriptedShot(
+                spec=ShotSpec(
+                    n_frames=6,
+                    background=BackgroundSpec(base_color=(v,) * 3),
+                    noise=0.0,
+                ),
+                group=g,
+                transition=t,
+                transition_frames=3,
+            )
+            for v, g, t in [(40.0, "a", "cut"), (140.0, "b", "fade"), (240.0, "c", "cut")]
+        )
+        return render_clip(ClipScript(name="fade", shots=shots, rows=16, cols=20))
+
+    def test_ground_truth_ranges_tile(self):
+        clip, truth = self._clip()
+        assert len(clip) == 24  # 18 scripted + 3 fade-out + 3 fade-in
+        assert truth.boundaries == (9, 18)
+        assert truth.shot_ranges == ((0, 9), (9, 18), (18, 24))
+
+    def test_fade_reaches_black_then_recovers(self):
+        clip, truth = self._clip()
+        means = clip.frames.reshape(len(clip), -1).mean(axis=1)
+        nadir = means[6:12].min()
+        assert nadir < 5.0                      # passes through black
+        assert np.all(np.diff(means[5:9]) < 0)  # fading out
+        assert np.all(np.diff(means[9:13]) > 0)  # fading in
+
+    def test_fade_out_belongs_to_previous_shot(self):
+        _, truth = self._clip()
+        assert truth.group_of_frame(8) == "a"   # last fade-out frame
+        assert truth.group_of_frame(9) == "b"   # first fade-in frame

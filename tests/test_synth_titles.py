@@ -1,0 +1,112 @@
+"""Tests for bitmap text, title cards, and rolling credits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sbd import CameraTrackingDetector, classify_shot_motion
+from repro.sbd.motion import CameraMotion
+from repro.synth.canvas import new_canvas
+from repro.synth.shotgen import render_shot
+from repro.synth.text import GLYPH_COLS, GLYPH_ROWS, draw_text, text_extent
+from repro.synth.titles import rolling_credits_shot, title_card_shot
+from repro.video.clip import VideoClip
+
+
+class TestBitmapFont:
+    def test_extent(self):
+        rows, cols = text_extent("ABC", scale=1)
+        assert rows == GLYPH_ROWS
+        assert cols == 3 * (GLYPH_COLS + 1) - 1
+
+    def test_extent_scales(self):
+        rows1, cols1 = text_extent("HI", scale=1)
+        rows3, cols3 = text_extent("HI", scale=3)
+        assert rows3 == 3 * rows1 and cols3 == 3 * cols1
+
+    def test_draw_marks_pixels(self):
+        canvas = new_canvas(20, 40)
+        draw_text(canvas, "A", 2, 2, (255.0,) * 3)
+        assert (canvas > 0).any()
+        # 'A' has a hollow row-0 center-left pixel and solid crossbar.
+        assert canvas[5, 2, 0] == 255.0  # crossbar row (glyph row 3)
+
+    def test_unknown_characters_become_spaces(self):
+        canvas = new_canvas(20, 40)
+        draw_text(canvas, "@#%", 2, 2, (255.0,) * 3)
+        assert not (canvas > 0).any()
+
+    def test_lowercase_uppercased(self):
+        a = new_canvas(20, 40)
+        b = new_canvas(20, 40)
+        draw_text(a, "abc", 2, 2, (9.0,) * 3)
+        draw_text(b, "ABC", 2, 2, (9.0,) * 3)
+        assert np.array_equal(a, b)
+
+    def test_clipping_at_edges(self):
+        canvas = new_canvas(10, 10)
+        draw_text(canvas, "WWW", -3, -3, (9.0,) * 3, scale=2)  # mostly off-canvas
+        assert canvas.shape == (10, 10, 3)  # no crash, no resize
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            text_extent("A", scale=0)
+        with pytest.raises(WorkloadError):
+            draw_text(new_canvas(5, 5), "A", 0, 0, (1.0,) * 3, scale=0)
+
+
+class TestTitleCard:
+    def test_renders_text_content(self):
+        frames = render_shot(title_card_shot("THE BIG|PICTURE"), 120, 160)
+        bright = (frames[0] > 128).sum()
+        assert bright > 500          # text pixels present
+        assert bright < frames[0].size // 4  # mostly background
+
+    def test_static_single_shot(self):
+        frames = render_shot(title_card_shot("FIN"), 120, 160)
+        result = CameraTrackingDetector().detect(VideoClip("t", frames))
+        assert result.n_shots == 1
+
+    def test_cut_from_card_to_content_detected(self):
+        card = render_shot(title_card_shot("ACT ONE"), 120, 160)
+        content = np.full((9, 120, 160, 3), 150, dtype=np.uint8)
+        clip = VideoClip("movie", np.concatenate([card, content]))
+        result = CameraTrackingDetector().detect(clip)
+        assert result.boundaries == [len(card)]
+
+    def test_rejects_empty_text(self):
+        with pytest.raises(WorkloadError):
+            title_card_shot("  |  ")
+
+
+class TestRollingCredits:
+    @pytest.fixture(scope="class")
+    def credits_detection(self):
+        spec = rolling_credits_shot(
+            [f"CREW MEMBER {k}" for k in range(20)], n_frames=24
+        )
+        frames = render_shot(spec, 120, 160)
+        return CameraTrackingDetector().detect(VideoClip("credits", frames))
+
+    def test_roll_is_one_shot(self, credits_detection):
+        """The steady scroll must not fragment into false shots."""
+        assert credits_detection.n_shots == 1
+
+    def test_roll_classified_as_tilt(self, credits_detection):
+        estimate = classify_shot_motion(
+            credits_detection, credits_detection.shots[0]
+        )
+        assert estimate.motion is CameraMotion.TILT
+
+    def test_content_actually_scrolls(self):
+        spec = rolling_credits_shot(["ONLY LINE HERE"] * 20, n_frames=10)
+        frames = render_shot(spec, 120, 160)
+        assert not np.array_equal(frames[0], frames[-1])
+
+    def test_rejects_empty_lines(self):
+        with pytest.raises(WorkloadError):
+            rolling_credits_shot([])
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(WorkloadError):
+            rolling_credits_shot(["X"], scroll_speed=0.0)

@@ -1,0 +1,171 @@
+"""Tests for repro.video (frames, clips, .rvid container, resampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EmptyClipError, FrameError, VideoFormatError
+from repro.video.clip import VideoClip
+from repro.video.frame import frame_shape, validate_frame, validate_frames
+from repro.video.io import RVID_MAGIC, read_rvid, stream_rvid, write_rvid
+from repro.video.sampling import resample_fps, subsample_indices
+
+
+def _clip(n=6, rows=8, cols=10, fps=30.0, name="c"):
+    rng = np.random.default_rng(n)
+    frames = rng.integers(0, 255, size=(n, rows, cols, 3)).astype(np.uint8)
+    return VideoClip(name, frames, fps=fps)
+
+
+class TestFrameValidation:
+    def test_accepts_valid_frame(self):
+        frame = np.zeros((4, 5, 3), dtype=np.uint8)
+        assert validate_frame(frame) is frame
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.zeros((4, 5), dtype=np.uint8),          # not RGB
+            np.zeros((4, 5, 4), dtype=np.uint8),       # 4 channels
+            np.zeros((4, 5, 3), dtype=np.float64),     # wrong dtype
+            [[1, 2, 3]],                               # not an array
+        ],
+    )
+    def test_rejects_bad_frames(self, bad):
+        with pytest.raises(FrameError):
+            validate_frame(bad)
+
+    def test_frame_shape(self):
+        frames = np.zeros((2, 7, 9, 3), dtype=np.uint8)
+        assert frame_shape(frames) == (7, 9)
+
+    def test_validate_frames_rejects_3d(self):
+        with pytest.raises(FrameError):
+            validate_frames(np.zeros((7, 9, 3), dtype=np.uint8))
+
+
+class TestVideoClip:
+    def test_basic_properties(self):
+        clip = _clip(n=6, rows=8, cols=10, fps=3.0)
+        assert len(clip) == 6
+        assert clip.rows == 8
+        assert clip.cols == 10
+        assert clip.duration_seconds == pytest.approx(2.0)
+
+    def test_duration_label(self):
+        clip = _clip(n=75 * 3, fps=3.0)  # 75 seconds
+        assert clip.duration_label == "1:15"
+
+    def test_iteration_and_indexing(self):
+        clip = _clip(n=4)
+        assert np.array_equal(clip[2], clip.frames[2])
+        assert len(list(clip)) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptyClipError):
+            VideoClip("x", np.zeros((0, 4, 4, 3), dtype=np.uint8))
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(FrameError):
+            _clip(fps=0)
+
+    def test_slice_is_view(self):
+        clip = _clip(n=10)
+        sub = clip.slice(2, 5)
+        assert len(sub) == 3
+        assert np.shares_memory(sub.frames, clip.frames)
+
+    def test_slice_rejects_bad_range(self):
+        with pytest.raises(EmptyClipError):
+            _clip(n=10).slice(5, 5)
+
+    def test_with_metadata_merges(self):
+        clip = _clip().with_metadata(genre="drama")
+        assert clip.metadata["genre"] == "drama"
+
+
+class TestRvidContainer:
+    def test_round_trip(self, tmp_path):
+        clip = _clip(n=5, rows=12, cols=16, fps=3.0, name="round trip")
+        path = write_rvid(clip, tmp_path / "clip.rvid")
+        loaded = read_rvid(path)
+        assert loaded.name == "round trip"
+        assert loaded.fps == 3.0
+        assert np.array_equal(loaded.frames, clip.frames)
+
+    def test_streaming_matches_full_read(self, tmp_path):
+        clip = _clip(n=7)
+        path = write_rvid(clip, tmp_path / "clip.rvid")
+        streamed = list(stream_rvid(path))
+        assert len(streamed) == 7
+        for k, frame in enumerate(streamed):
+            assert np.array_equal(frame, clip.frames[k])
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.rvid"
+        path.write_bytes(b"NOTAVIDEO" + b"\x00" * 64)
+        with pytest.raises(VideoFormatError):
+            read_rvid(path)
+
+    def test_truncated_payload(self, tmp_path):
+        clip = _clip(n=5)
+        path = write_rvid(clip, tmp_path / "clip.rvid")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 100])
+        with pytest.raises(VideoFormatError):
+            read_rvid(path)
+
+    def test_truncated_stream_raises_midway(self, tmp_path):
+        clip = _clip(n=5)
+        path = write_rvid(clip, tmp_path / "clip.rvid")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(RVID_MAGIC) + 24 + 1 + 2 * 8 * 10 * 3])
+        with pytest.raises(VideoFormatError):
+            list(stream_rvid(path))
+
+    def test_unicode_name(self, tmp_path):
+        clip = VideoClip("café—夜", np.zeros((1, 4, 4, 3), dtype=np.uint8))
+        path = write_rvid(clip, tmp_path / "u.rvid")
+        assert read_rvid(path).name == "café—夜"
+
+
+class TestResampling:
+    def test_paper_rate_30_to_3(self):
+        """Sec. 5.1: 30 fps originals decimated to 3 fps."""
+        idx = subsample_indices(300, 30.0, 3.0)
+        assert len(idx) == 30
+        assert idx[0] == 0
+        assert idx[1] == 10  # every 10th frame
+
+    def test_identity_rate(self):
+        clip = _clip(n=10, fps=3.0)
+        assert resample_fps(clip, 3.0) is clip
+
+    def test_resample_clip(self):
+        clip = _clip(n=30, fps=30.0)
+        out = resample_fps(clip, 3.0)
+        assert len(out) == 3
+        assert out.fps == 3.0
+        assert out.metadata["source_fps"] == 30.0
+
+    def test_rejects_upsampling(self):
+        with pytest.raises(FrameError):
+            subsample_indices(10, 3.0, 30.0)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(FrameError):
+            subsample_indices(10, 0.0, 3.0)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=1.0, max_value=60.0),
+        st.floats(min_value=0.5, max_value=60.0),
+    )
+    def test_property_indices_valid_and_monotone(self, n, source, target):
+        if target > source:
+            source, target = target, source
+        idx = subsample_indices(n, source, target)
+        assert len(idx) >= 1
+        assert idx.min() >= 0 and idx.max() < n
+        assert np.all(np.diff(idx) >= 0)

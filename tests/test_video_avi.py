@@ -1,0 +1,115 @@
+"""Tests for the AVI (RIFF) container (repro.video.avi)."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VideoFormatError
+from repro.video.avi import read_avi, write_avi
+from repro.video.clip import VideoClip
+
+
+def _clip(n=4, rows=12, cols=16, fps=30.0):
+    rng = np.random.default_rng(n + rows + cols)
+    frames = rng.integers(0, 255, size=(n, rows, cols, 3)).astype(np.uint8)
+    return VideoClip("avi-test", frames, fps=fps)
+
+
+class TestAviRoundTrip:
+    def test_frames_exact(self, tmp_path):
+        clip = _clip()
+        path = write_avi(clip, tmp_path / "c.avi")
+        loaded = read_avi(path)
+        assert np.array_equal(loaded.frames, clip.frames)
+
+    def test_fps_preserved_to_microsecond(self, tmp_path):
+        clip = _clip(fps=30.0)
+        loaded = read_avi(write_avi(clip, tmp_path / "c.avi"))
+        assert loaded.fps == pytest.approx(30.0, abs=0.01)
+
+    def test_odd_width_row_padding(self, tmp_path):
+        """Widths not divisible by 4 exercise the DIB padding rules."""
+        clip = _clip(rows=9, cols=13)
+        loaded = read_avi(write_avi(clip, tmp_path / "odd.avi"))
+        assert np.array_equal(loaded.frames, clip.frames)
+
+    def test_name_from_filename(self, tmp_path):
+        clip = _clip()
+        loaded = read_avi(write_avi(clip, tmp_path / "my clip.avi"))
+        assert loaded.name == "my clip"
+
+    def test_riff_structure(self, tmp_path):
+        """The file leads with RIFF/AVI magic and a correct size field."""
+        path = write_avi(_clip(), tmp_path / "c.avi")
+        data = path.read_bytes()
+        assert data[:4] == b"RIFF"
+        assert data[8:12] == b"AVI "
+        (riff_size,) = struct.unpack_from("<I", data, 4)
+        assert riff_size == len(data) - 8
+        assert b"movi" in data and b"idx1" in data and b"00db" in data
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=4, max_value=24),
+        st.integers(min_value=4, max_value=24),
+    )
+    def test_property_round_trip_any_geometry(self, n, rows, cols):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(n * 1000 + rows * 31 + cols)
+        frames = rng.integers(0, 255, size=(n, rows, cols, 3)).astype(np.uint8)
+        clip = VideoClip("p", frames, fps=30.0)
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = read_avi(write_avi(clip, Path(tmp) / "p.avi"))
+        assert np.array_equal(loaded.frames, frames)
+
+
+class TestAviErrors:
+    def test_not_riff(self, tmp_path):
+        path = tmp_path / "x.avi"
+        path.write_bytes(b"JUNKJUNKJUNKJUNK")
+        with pytest.raises(VideoFormatError):
+            read_avi(path)
+
+    def test_riff_but_not_avi(self, tmp_path):
+        path = tmp_path / "x.avi"
+        path.write_bytes(b"RIFF" + struct.pack("<I", 4) + b"WAVE")
+        with pytest.raises(VideoFormatError):
+            read_avi(path)
+
+    def test_no_frames(self, tmp_path):
+        path = tmp_path / "x.avi"
+        path.write_bytes(b"RIFF" + struct.pack("<I", 4) + b"AVI ")
+        with pytest.raises(VideoFormatError):
+            read_avi(path)
+
+    def test_unsupported_bit_depth(self, tmp_path):
+        clip = _clip()
+        path = write_avi(clip, tmp_path / "c.avi")
+        data = bytearray(path.read_bytes())
+        pos = data.find(b"strf")
+        # biBitCount lives 22 bytes into the BITMAPINFOHEADER payload.
+        struct.pack_into("<H", data, pos + 8 + 14, 8)
+        path.write_bytes(bytes(data))
+        with pytest.raises(VideoFormatError):
+            read_avi(path)
+
+
+class TestInteropWithPipeline:
+    def test_avi_clip_flows_through_detection(self, tmp_path):
+        frames = np.zeros((12, 60, 80, 3), dtype=np.uint8)
+        frames[:6] = 60
+        frames[6:] = 200
+        clip = VideoClip("cutavi", frames, fps=30.0)
+        loaded = read_avi(write_avi(clip, tmp_path / "cut.avi"))
+        from repro.sbd import CameraTrackingDetector
+        from repro.video.sampling import resample_fps
+
+        decimated = resample_fps(loaded, 3.0)
+        assert len(decimated) == 1 or len(decimated) >= 1
+        result = CameraTrackingDetector().detect(loaded)
+        assert result.boundaries == [6]

@@ -1,0 +1,73 @@
+"""Tests for PPM export (repro.video.ppm)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.scenetree.builder import SceneTreeBuilder
+from repro.video.ppm import read_ppm, write_ppm, write_storyboard
+
+
+class TestPpmRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        frame = rng.integers(0, 255, size=(17, 23, 3)).astype(np.uint8)
+        path = write_ppm(frame, tmp_path / "f.ppm")
+        assert np.array_equal(read_ppm(path), frame)
+
+    def test_header_format(self, tmp_path):
+        frame = np.zeros((4, 6, 3), dtype=np.uint8)
+        path = write_ppm(frame, tmp_path / "f.ppm")
+        header = path.read_bytes()[:20]
+        assert header.startswith(b"P6\n6 4\n255\n")
+
+    def test_read_with_comment(self, tmp_path):
+        path = tmp_path / "c.ppm"
+        payload = bytes(range(12)) * 1
+        path.write_bytes(b"P6\n# a comment\n2 2\n255\n" + payload)
+        frame = read_ppm(path)
+        assert frame.shape == (2, 2, 3)
+        assert frame[0, 0, 2] == 2
+
+    def test_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"JUNK")
+        with pytest.raises(VideoFormatError):
+            read_ppm(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        frame = np.zeros((4, 6, 3), dtype=np.uint8)
+        path = write_ppm(frame, tmp_path / "f.ppm")
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(VideoFormatError):
+            read_ppm(path)
+
+    def test_rejects_16bit(self, tmp_path):
+        path = tmp_path / "deep.ppm"
+        path.write_bytes(b"P6\n1 1\n65535\n\x00\x00\x00\x00\x00\x00")
+        with pytest.raises(VideoFormatError):
+            read_ppm(path)
+
+
+class TestStoryboard:
+    def test_friends_storyboard(self, friends, friends_detection, tmp_path):
+        clip, _ = friends
+        tree = SceneTreeBuilder().build_from_detection(friends_detection)
+        path = write_storyboard(tree, clip, tmp_path / "board.ppm")
+        sheet = read_ppm(path)
+        # One row of thumbnails per tree level present in the tree.
+        levels = {node.level for node in tree.nodes()}
+        expected_rows = len(levels) * (60 + 4) + 4
+        assert sheet.shape[0] == expected_rows
+        # The sheet contains non-background content (thumbnails drawn).
+        assert (sheet != 24).any()
+
+    def test_thumbnail_grid_geometry(self, figure5, figure5_detection, tmp_path):
+        clip, _ = figure5
+        tree = SceneTreeBuilder().build_from_detection(figure5_detection)
+        path = write_storyboard(
+            tree, clip, tmp_path / "b.ppm", thumb_rows=30, thumb_cols=40, gap=2
+        )
+        sheet = read_ppm(path)
+        # Ten leaves dominate the widest row.
+        assert sheet.shape[1] == 10 * (40 + 2) + 2

@@ -1,0 +1,172 @@
+"""Tests for repro.workloads (figure5, friends, movies, table5, taxonomy)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, WorkloadError
+from repro.scenetree.relationship import related_shots
+from repro.synth.genres import GENRE_MODELS
+from repro.workloads.figure5 import FIGURE5_GROUPS, FIGURE5_SHOT_RANGES
+from repro.workloads.table5 import TABLE5_CLIPS, generate_table5_clip
+from repro.workloads.taxonomy import (
+    FORMS,
+    GENRES,
+    PAPER_CATEGORY_COUNT,
+    VideoCategory,
+)
+
+
+class TestFigure5Workload:
+    def test_frame_ranges_match_table3(self, figure5):
+        _, truth = figure5
+        measured = tuple((s + 1, e) for s, e in truth.shot_ranges)
+        assert measured == FIGURE5_SHOT_RANGES
+
+    def test_total_625_frames(self, figure5):
+        clip, _ = figure5
+        assert len(clip) == 625
+
+    def test_groups(self, figure5):
+        _, truth = figure5
+        assert truth.groups == FIGURE5_GROUPS
+
+    def test_detection_is_exact(self, figure5, figure5_detection):
+        _, truth = figure5
+        assert tuple(figure5_detection.boundaries) == truth.boundaries
+
+    def test_same_letter_shots_are_related(self, figure5_detection):
+        """A~A1~A2, B~B1, C~C1 per RELATIONSHIP."""
+        signs = [figure5_detection.shot_signs_ba(s) for s in figure5_detection.shots]
+        for i, j in [(0, 2), (2, 5), (0, 5), (1, 3), (4, 6)]:
+            assert related_shots(signs[i], signs[j]), (i, j)
+
+    def test_cross_letter_shots_unrelated(self, figure5_detection):
+        signs = [figure5_detection.shot_signs_ba(s) for s in figure5_detection.shots]
+        for i, j in [(0, 1), (0, 4), (1, 4), (0, 7), (4, 7), (1, 7)]:
+            assert not related_shots(signs[i], signs[j]), (i, j)
+
+    def test_d_takes_bridge_through_d1(self, figure5_detection):
+        """D~D1 and D1~D2 (the lighting overlap); D relates forward."""
+        signs = [figure5_detection.shot_signs_ba(s) for s in figure5_detection.shots]
+        assert related_shots(signs[8], signs[7])   # D1 ~ D
+        assert related_shots(signs[9], signs[8])   # D2 ~ D1
+
+
+class TestFriendsWorkload:
+    def test_twelve_shots(self, friends):
+        _, truth = friends
+        assert truth.n_shots == 12
+
+    def test_one_minute_at_3fps(self, friends):
+        clip, _ = friends
+        assert len(clip) == 180
+        assert clip.fps == 3.0
+
+    def test_detection_is_exact(self, friends, friends_detection):
+        _, truth = friends
+        assert tuple(friends_detection.boundaries) == truth.boundaries
+
+    def test_story_structure_groups(self, friends):
+        _, truth = friends
+        assert truth.groups.count("table") == 4
+        assert truth.groups.count("entrance") == 1
+
+
+class TestMovieCorpus:
+    def test_both_movies_present(self, small_movie_corpus):
+        names = [clip.name for clip, _ in small_movie_corpus]
+        assert names == ["Simon Birch", "Wag the Dog"]
+
+    def test_archetypes_labeled(self, small_movie_corpus):
+        for _, truth in small_movie_corpus:
+            labeled = [a for a in truth.archetypes if a is not None]
+            assert len(labeled) >= truth.n_shots // 3
+
+    def test_deterministic(self):
+        from repro.workloads.movies import make_wag_the_dog
+
+        a, _ = make_wag_the_dog(n_shots=5, seed=77)
+        b, _ = make_wag_the_dog(n_shots=5, seed=77)
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_consecutive_backgrounds_differ(self, small_movie_corpus):
+        """The resample loop keeps adjacent cuts decisive."""
+        for clip, truth in small_movie_corpus:
+            for (s1, e1), (s2, e2) in zip(truth.shot_ranges, truth.shot_ranges[1:]):
+                last = clip.frames[e1 - 1].astype(np.int16)
+                first = clip.frames[s2].astype(np.int16)
+                # Mean frame difference is visible (not a subtle step).
+                assert np.abs(last - first).mean() > 5.0
+
+
+class TestTable5Workload:
+    def test_twenty_two_clips(self):
+        assert len(TABLE5_CLIPS) == 22
+
+    def test_paper_metadata_totals(self):
+        assert sum(c.paper_shot_changes for c in TABLE5_CLIPS) == 3629
+
+    def test_six_categories(self):
+        assert len({c.category for c in TABLE5_CLIPS}) == 6
+
+    def test_genres_exist(self):
+        for clip in TABLE5_CLIPS:
+            assert clip.genre in GENRE_MODELS
+
+    def test_scaled_shot_counts(self):
+        clip = TABLE5_CLIPS[0]
+        assert clip.n_shots(1.0) == clip.paper_shot_changes + 1
+        assert clip.n_shots(0.001) == 8  # floor
+
+    def test_generate_one_clip(self):
+        clip_spec = TABLE5_CLIPS[5]  # the shortest clip
+        clip, truth = generate_table5_clip(clip_spec, scale=0.15)
+        assert truth.n_shots == clip_spec.n_shots(0.15)
+        assert clip.name == clip_spec.name
+
+    def test_generate_rejects_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            generate_table5_clip(TABLE5_CLIPS[0], scale=0.0)
+
+
+class TestTaxonomy:
+    def test_paper_capacity_argument(self):
+        assert PAPER_CATEGORY_COUNT == 4655
+
+    def test_vocabularies_nonempty_subsets(self):
+        assert 30 <= len(GENRES) <= 133
+        assert 10 <= len(FORMS) <= 35
+
+    def test_paper_example_brave_heart(self):
+        category = VideoCategory(
+            genres=("adventure", "biographical"), forms=("feature",)
+        )
+        assert category.label == "adventure and biographical feature"
+
+    def test_paper_example_dr_zhivago(self):
+        category = VideoCategory(
+            genres=("adaptation", "historical", "romance"), forms=("feature",)
+        )
+        assert category.label == "adaptation, historical, and romance feature"
+
+    def test_rejects_unknown_genre(self):
+        with pytest.raises(CatalogError):
+            VideoCategory(genres=("jazzercise",))
+
+    def test_rejects_empty_forms(self):
+        with pytest.raises(CatalogError):
+            VideoCategory(forms=())
+
+    def test_overlap_rules(self):
+        a = VideoCategory(genres=("comedy",), forms=("feature",))
+        b = VideoCategory(genres=("comedy", "romance"), forms=("feature",))
+        c = VideoCategory(genres=("western",), forms=("feature",))
+        d = VideoCategory(genres=("comedy",), forms=("animation",))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert not a.overlaps(d)  # same genre, disjoint forms
+
+    def test_genreless_category_overlaps_any_genre(self):
+        wildcard = VideoCategory(forms=("feature",))
+        specific = VideoCategory(genres=("war",), forms=("feature",))
+        assert wildcard.overlaps(specific)

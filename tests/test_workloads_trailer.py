@@ -1,0 +1,70 @@
+"""Tests for the trailer workload (titles + content + credits)."""
+
+import pytest
+
+from repro.eval.sbd_metrics import score_boundaries
+from repro.sbd import CameraTrackingDetector, classify_shot_motion
+from repro.sbd.motion import CameraMotion
+from repro.scenetree.builder import SceneTreeBuilder
+from repro.workloads.trailer import make_trailer_clip
+
+
+@pytest.fixture(scope="module")
+def trailer():
+    clip, truth = make_trailer_clip()
+    detection = CameraTrackingDetector().detect(clip)
+    return clip, truth, detection
+
+
+class TestTrailerStructure:
+    def test_six_scripted_shots(self, trailer):
+        _, truth, _ = trailer
+        assert truth.n_shots == 6
+        assert truth.groups[0] == "card"
+        assert truth.groups[-1] == "credits"
+
+    def test_fades_and_dissolves_present(self, trailer):
+        clip, truth, _ = trailer
+        # Fades insert extra frames beyond the scripted shot lengths.
+        assert len(clip) > sum(e - s for s, e in truth.shot_ranges) - 1
+
+    def test_deterministic(self):
+        a, _ = make_trailer_clip(seed=11)
+        b, _ = make_trailer_clip(seed=11)
+        import numpy as np
+
+        assert np.array_equal(a.frames, b.frames)
+
+
+class TestTrailerDetection:
+    def test_detection_quality(self, trailer):
+        _, truth, detection = trailer
+        score = score_boundaries(truth.boundaries, detection.boundaries, 1)
+        # Gradual transitions cost some recall; precision stays high.
+        assert score.recall >= 0.6
+        assert score.precision >= 0.8
+
+    def test_credit_roll_not_fragmented(self, trailer):
+        _, truth, detection = trailer
+        credits_start, credits_stop = truth.shot_ranges[-1]
+        inside = [
+            b for b in detection.boundaries if credits_start + 2 < b < credits_stop
+        ]
+        assert inside == []
+
+    def test_credits_classified_as_tilt(self, trailer):
+        _, truth, detection = trailer
+        last_shot = detection.shots[-1]
+        estimate = classify_shot_motion(detection, last_shot)
+        assert estimate.motion is CameraMotion.TILT
+
+    def test_title_cards_classified_static(self, trailer):
+        _, _, detection = trailer
+        first = classify_shot_motion(detection, detection.shots[0])
+        assert first.motion is CameraMotion.STATIC
+
+    def test_scene_tree_builds(self, trailer):
+        _, _, detection = trailer
+        tree = SceneTreeBuilder().build_from_detection(detection)
+        tree.validate()
+        assert tree.n_shots == detection.n_shots
