@@ -1,0 +1,107 @@
+"""Service bench: throughput/latency of the concurrent serving layer.
+
+Boots a real ``ThreadingHTTPServer`` on an ephemeral port, seeds it
+with synthetic clips, and drives it with the loadgen's mixed
+ingest/query workload — the end-to-end path a production deployment
+would exercise.  Asserts the acceptance bar (zero failed requests,
+nonzero cache hit rate) and attaches the throughput/latency summary.
+
+Run as a bench:
+
+    PYTHONPATH=src pytest benchmarks/bench_service.py --benchmark-only
+
+or standalone, writing ``BENCH_service.json``:
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.service.engine import ServiceEngine
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.server import create_server
+
+
+def run_service_workload(
+    n_requests: int = 400,
+    workers: int = 4,
+    ingests: int = 2,
+    seed_clips: int = 3,
+    seed: int = 42,
+) -> dict[str, Any]:
+    """One full serve + loadgen round trip; returns the loadgen report."""
+    engine = ServiceEngine(n_workers=2, cache_capacity=256)
+    try:
+        for k in range(seed_clips):
+            engine.submit_spec(
+                {
+                    "source": "synthetic",
+                    "video_id": f"bench-seed-{k}",
+                    "n_shots": 4,
+                    "frames_per_shot": 6,
+                    "seed": seed + k,
+                }
+            )
+        engine.drain(timeout=120)
+        server = create_server(engine)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            report = run_loadgen(
+                LoadgenConfig(
+                    base_url=f"http://{host}:{port}",
+                    n_requests=n_requests,
+                    workers=workers,
+                    ingests=ingests,
+                    seed=seed,
+                )
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+    finally:
+        engine.shutdown()
+    return report
+
+
+def _check(report: dict[str, Any]) -> None:
+    assert report["failed_requests"] == 0, report
+    assert not report["ingest_failures"], report["ingest_failures"]
+    cache = report["server_metrics"]["query_cache"]
+    assert cache["hits"] > 0, "query cache never hit"
+    assert cache["invalidations"] >= 1, "ingest did not invalidate the cache"
+    requests = report["server_metrics"]["requests"]
+    assert "POST /query" in requests and requests["POST /query"]["count"] > 0
+
+
+def bench_service_mixed_workload(benchmark):
+    """Mixed 4-worker query/browse/ingest workload against a live server."""
+    report = benchmark.pedantic(run_service_workload, rounds=1, iterations=1)
+    _check(report)
+    benchmark.extra_info["throughput_rps"] = report["throughput_rps"]
+    benchmark.extra_info["failed_requests"] = report["failed_requests"]
+    benchmark.extra_info["cache"] = report["server_metrics"]["query_cache"]
+    benchmark.extra_info["operations"] = report["operations"]
+
+
+def main() -> None:
+    report = run_service_workload()
+    _check(report)
+    out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"{report['total_requests']} requests, "
+        f"{report['throughput_rps']} req/s, "
+        f"{report['failed_requests']} failed -> {out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

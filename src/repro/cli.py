@@ -8,6 +8,8 @@
     python -m repro query "background calm, foreground busy, limit 5" --db ./videodb
     python -m repro storyboard myclip.rvid -o board.ppm
     python -m repro experiment table5 -- 0.2
+    python -m repro serve --db ./videodb --port 8080
+    python -m repro loadgen --url http://127.0.0.1:8080 --requests 500
 
 `ingest` accepts ``.avi`` (uncompressed 24-bit) and ``.rvid`` files and
 decimates to 3 fps before analysis, like the paper's pipeline.  The
@@ -267,6 +269,82 @@ def _cmd_storyboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a database over JSON/HTTP (see docs/SERVICE.md)."""
+    from .service.engine import ServiceEngine
+    from .service.server import create_server
+
+    db = None
+    if args.db:
+        storage = DatabaseStorage(args.db)
+        if storage.exists():
+            db = VideoDatabase.load(args.db)
+    engine = ServiceEngine(
+        db, n_workers=args.workers, cache_capacity=args.cache_size
+    )
+    if args.demo:
+        for source in ("figure5", "friends"):
+            if source not in engine.db.catalog:
+                engine.wait_for(
+                    engine.submit_spec({"source": source}).job_id, timeout=300
+                )
+    server = create_server(engine, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {len(engine.db.catalog)} videos "
+        f"({len(engine.db.index)} indexed shots) on http://{host}:{port}"
+    )
+    print("endpoints: /health /metrics /videos /query /ingest /jobs  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        engine.shutdown()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running server with a mixed ingest/query workload."""
+    import json
+
+    from .service.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        base_url=args.url,
+        n_requests=args.requests,
+        workers=args.workers,
+        ingests=args.ingests,
+        query_pool=args.query_pool,
+        seed=args.seed,
+    )
+    report = run_loadgen(config)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.output}")
+    print(
+        f"{report['total_requests']} requests in {report['wall_s']}s "
+        f"({report['throughput_rps']} req/s), "
+        f"{report['failed_requests']} failed"
+    )
+    for op, stats in report["operations"].items():
+        print(
+            f"  {op:14s} n={stats['count']:<5d} p50={stats['p50_ms']:.1f}ms "
+            f"p90={stats['p90_ms']:.1f}ms p99={stats['p99_ms']:.1f}ms"
+        )
+    cache = report.get("server_metrics", {}).get("query_cache")
+    if cache:
+        print(
+            f"  server cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {cache['hit_rate']:.0%}), "
+            f"{cache['invalidations']} invalidations"
+        )
+    return 0 if report["failed_requests"] == 0 and not report["ingest_failures"] else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -347,6 +425,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("video", help="path to an .avi or .rvid file")
     p.add_argument("-o", "--output", help="output .ppm path (default: alongside input)")
     p.set_defaults(func=_cmd_storyboard)
+
+    p = sub.add_parser(
+        "serve", help="serve a database over JSON/HTTP (docs/SERVICE.md)"
+    )
+    p.add_argument("--db", help="database directory to load (served in-memory when omitted)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    p.add_argument("--workers", type=int, default=2, help="ingest worker threads")
+    p.add_argument("--cache-size", type=int, default=256, help="query-cache entries")
+    p.add_argument(
+        "--demo", action="store_true", help="preload the paper's demo clips"
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="drive a running server with a mixed workload"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8080", help="server base URL")
+    p.add_argument("--requests", type=int, default=200, help="total client requests")
+    p.add_argument("--workers", type=int, default=4, help="client threads")
+    p.add_argument("--ingests", type=int, default=2, help="ingest jobs to interleave")
+    p.add_argument("--query-pool", type=int, default=8, help="distinct query points")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="write the full JSON report here")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument("name", help="table1..table5, figure6, figure7, figures8_10, sensitivity, retrieval_matrix")

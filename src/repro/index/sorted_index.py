@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import math
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -29,11 +30,31 @@ __all__ = ["SortedVarianceIndex"]
 _FORMAT_VERSION = 1
 
 
+def _checked(entry: IndexEntry) -> IndexEntry:
+    """Reject entries whose ``D^v`` is NaN.
+
+    A NaN key is poison for a sorted structure: NaN compares False
+    against everything, so ``bisect`` silently violates the ordering
+    invariant and later range scans drop arbitrary entries instead of
+    failing.  Rejecting at the boundary turns a corrupt-index heisenbug
+    into an immediate, attributable error.
+    """
+    if math.isnan(entry.d_v):
+        raise IndexError_(
+            f"entry {entry.shot_id} has NaN D^v "
+            f"(Var^BA={entry.features.var_ba}, Var^OA={entry.features.var_oa}); "
+            "NaN keys would corrupt the sorted index"
+        )
+    return entry
+
+
 class SortedVarianceIndex:
     """Entries kept sorted by ``D^v`` for sub-linear range queries."""
 
     def __init__(self, entries: Iterable[IndexEntry] = ()) -> None:
-        self._entries: list[IndexEntry] = sorted(entries, key=lambda e: e.d_v)
+        self._entries: list[IndexEntry] = sorted(
+            (_checked(entry) for entry in entries), key=lambda e: e.d_v
+        )
         self._keys: list[float] = [e.d_v for e in self._entries]
 
     # ------------------------------------------------------------------
@@ -46,7 +67,12 @@ class SortedVarianceIndex:
         return cls(table)
 
     def insert(self, entry: IndexEntry) -> None:
-        """Insert one entry, keeping the ``D^v`` order."""
+        """Insert one entry, keeping the ``D^v`` order.
+
+        Raises :class:`IndexError_` when the entry's ``D^v`` is NaN
+        (which would break the bisect ordering invariant).
+        """
+        _checked(entry)
         position = bisect.bisect_left(self._keys, entry.d_v)
         self._entries.insert(position, entry)
         self._keys.insert(position, entry.d_v)
@@ -74,6 +100,8 @@ class SortedVarianceIndex:
 
     def range_scan(self, low: float, high: float) -> list[IndexEntry]:
         """Entries with ``low <= D^v <= high`` (the Eq. 7 band)."""
+        if math.isnan(low) or math.isnan(high):
+            raise IndexError_(f"range bounds must not be NaN, got [{low}, {high}]")
         if high < low:
             raise IndexError_(f"empty range [{low}, {high}]")
         lo = bisect.bisect_left(self._keys, low)

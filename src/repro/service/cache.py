@@ -1,0 +1,114 @@
+"""LRU cache of query results, invalidated on every completed ingest.
+
+Impression queries are tiny (four floats) and highly repetitive — users
+probe the same "background calm, foreground busy" points — while the
+index they hit keeps growing under ingest.  The cache therefore keys on
+the full query identity ``(D_q/Var_q inputs, alpha, beta, limit,
+category)`` and is cleared whenever an ingest commits.
+
+Stale-fill protection: clearing alone is not enough under concurrency.
+A query thread can read the database *before* an ingest commits and
+reach :meth:`put` *after* the invalidation, re-inserting a pre-ingest
+answer into a supposedly fresh cache.  Every :meth:`invalidate` bumps a
+generation number; :meth:`put` takes the generation the reader observed
+(under the engine's read lock, so it cannot race the writer) and drops
+the fill when it is out of date.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["QueryResultCache"]
+
+
+class QueryResultCache:
+    """Thread-safe LRU mapping of query keys to response payloads."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def make_key(
+        var_ba: float,
+        var_oa: float,
+        alpha: float,
+        beta: float,
+        limit: int | None = None,
+        extra: Hashable = None,
+    ) -> Hashable:
+        """Canonical cache key for one impression query."""
+        return (float(var_ba), float(var_oa), float(alpha), float(beta), limit, extra)
+
+    @property
+    def generation(self) -> int:
+        """Current invalidation generation (bumped by :meth:`invalidate`)."""
+        with self._lock:
+            return self._generation
+
+    def get(self, key: Hashable) -> Any | None:
+        """Cached payload for ``key`` (refreshing its recency), or None."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any, generation: int | None = None) -> bool:
+        """Store a payload; returns False when the fill was rejected.
+
+        Pass the ``generation`` observed before computing ``value`` to
+        reject fills that straddled an invalidation (see module doc).
+        """
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return False
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return True
+
+    def invalidate(self) -> int:
+        """Drop every entry (an ingest committed); returns how many."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._generation += 1
+            self.invalidations += 1
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters and derived hit rate (JSON-compatible)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "generation": self._generation,
+            }

@@ -1,0 +1,569 @@
+"""The serving engine: shared database, reader-writer lock, ingest pool.
+
+Ingesting a clip runs the full Step 1-2-3 pipeline (seconds of CPU);
+queries are two binary searches plus a band filter (microseconds).  A
+plain mutex would stall every query behind every ingest, so the engine
+holds the :class:`~repro.vdbms.database.VideoDatabase` behind a
+reader-writer lock: any number of queries proceed concurrently, while
+an ingest takes the write side only for the final registration step
+(detection and tree building happen outside the lock — see
+``VideoDatabase.ingest``'s compute-then-publish structure).
+
+Ingest itself is asynchronous: ``submit_*`` enqueues a job on a
+``queue.Queue`` drained by a small pool of worker threads and returns a
+job id immediately; clients poll ``GET /jobs/<id>`` through the job
+lifecycle ``queued -> running -> done | failed``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..config import PipelineConfig, QueryConfig
+from ..errors import ReproError, WorkloadError
+from ..scenetree.serialize import scene_tree_to_dict
+from ..vdbms.database import QueryAnswer, VideoDatabase
+from ..video.clip import VideoClip
+from ..video.sampling import resample_fps
+from ..workloads.taxonomy import VideoCategory
+
+__all__ = [
+    "IngestJob",
+    "JobStatus",
+    "ReadWriteLock",
+    "ServiceEngine",
+    "clip_from_spec",
+]
+
+ANALYSIS_FPS = 3.0
+
+
+# ----------------------------------------------------------------------
+# reader-writer lock
+# ----------------------------------------------------------------------
+
+
+class ReadWriteLock:
+    """A writer-preferring reader-writer lock.
+
+    Readers share the lock; a writer is exclusive.  Arriving writers
+    block *new* readers (writer preference), so a steady query stream
+    cannot starve ingest registration — the opposite trade would leave
+    submitted clips invisible for unbounded time.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Take the shared side (blocks while a writer holds or waits)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Drop the shared side, waking a waiting writer when last out."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Take the exclusive side (blocks until all readers drain)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Drop the exclusive side, waking everyone waiting."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` — scoped shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` — scoped exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+# ----------------------------------------------------------------------
+# ingest jobs
+# ----------------------------------------------------------------------
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of an ingest job: queued -> running -> done | failed."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class IngestJob:
+    """One submitted ingest and its lifecycle state.
+
+    Fields other than ``done_event`` are only written by the worker
+    thread that runs the job; readers see a consistent record once
+    ``status`` says so.
+    """
+
+    job_id: str
+    description: str
+    status: JobStatus = JobStatus.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    report: dict[str, Any] | None = None
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``GET /jobs/<id>`` JSON document."""
+        payload: dict[str, Any] = {
+            "job_id": self.job_id,
+            "description": self.description,
+            "status": self.status.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.report is not None:
+            payload["report"] = self.report
+        return payload
+
+
+# ----------------------------------------------------------------------
+# clip specifications
+# ----------------------------------------------------------------------
+
+# Well-separated palette for synthetic multi-shot clips; adjacent picks
+# always differ by far more than the detector's 10% sign tolerance.
+_PALETTE: tuple[tuple[int, int, int], ...] = (
+    (230, 60, 40), (40, 200, 60), (50, 80, 220), (240, 220, 40),
+    (200, 40, 200), (40, 220, 220), (245, 245, 245), (15, 15, 15),
+    (120, 70, 20), (140, 20, 70), (20, 140, 120), (180, 180, 80),
+)
+
+
+def clip_from_spec(spec: dict[str, Any]) -> tuple[VideoClip, VideoCategory | None]:
+    """Materialize the clip described by an ingest request body.
+
+    Supported ``source`` values:
+
+    - ``"synthetic"`` (default): a deterministic multi-shot clip of
+      constant-color segments — ``video_id``, ``n_shots``,
+      ``frames_per_shot``, ``rows``, ``cols``, ``seed`` are honored.
+    - ``"figure5"`` / ``"friends"``: the paper's rendered demo clips,
+      optionally renamed via ``video_id``.
+    - ``"file"``: a server-local ``.avi``/``.rvid`` at ``path``,
+      decimated to the 3 fps analysis rate like the CLI.
+
+    An optional ``category`` object (``{"genres": [...], "forms":
+    [...]}``) classifies the clip for scoped queries.
+    """
+    if not isinstance(spec, dict):
+        raise WorkloadError(f"ingest spec must be an object, got {type(spec).__name__}")
+    source = spec.get("source", "synthetic")
+    category = None
+    raw_category = spec.get("category")
+    if raw_category is not None:
+        category = VideoCategory(
+            genres=tuple(raw_category.get("genres", ())),
+            forms=tuple(raw_category.get("forms", ("feature",))),
+        )
+
+    if source == "synthetic":
+        video_id = spec.get("video_id")
+        if not video_id:
+            raise WorkloadError("synthetic ingest spec requires a 'video_id'")
+        n_shots = int(spec.get("n_shots", 3))
+        frames_per_shot = int(spec.get("frames_per_shot", 6))
+        rows = int(spec.get("rows", 60))
+        cols = int(spec.get("cols", 80))
+        seed = int(spec.get("seed", 0))
+        if n_shots < 1 or frames_per_shot < 1:
+            raise WorkloadError(
+                f"synthetic spec needs n_shots>=1 and frames_per_shot>=1, "
+                f"got {n_shots}/{frames_per_shot}"
+            )
+        if rows < 16 or cols < 16:
+            raise WorkloadError(f"synthetic frames must be >= 16x16, got {rows}x{cols}")
+        frames = np.empty((n_shots * frames_per_shot, rows, cols, 3), dtype=np.uint8)
+        for shot in range(n_shots):
+            color = _PALETTE[(seed + shot) % len(_PALETTE)]
+            lo = shot * frames_per_shot
+            frames[lo : lo + frames_per_shot] = np.array(color, dtype=np.uint8)
+        return VideoClip(video_id, frames, fps=ANALYSIS_FPS), category
+
+    if source in ("figure5", "friends"):
+        if source == "figure5":
+            from ..workloads.figure5 import make_figure5_clip as maker
+        else:
+            from ..workloads.friends import make_friends_clip as maker
+        clip, _ = maker()
+        video_id = spec.get("video_id")
+        if video_id and video_id != clip.name:
+            clip = VideoClip(video_id, clip.frames, fps=clip.fps)
+        return clip, category
+
+    if source == "file":
+        path = spec.get("path")
+        if not path:
+            raise WorkloadError("file ingest spec requires a 'path'")
+        from pathlib import Path
+
+        from ..video.avi import read_avi
+        from ..video.io import read_rvid
+
+        suffix = Path(path).suffix.lower()
+        if suffix == ".avi":
+            clip = read_avi(path)
+        elif suffix == ".rvid":
+            clip = read_rvid(path)
+        else:
+            raise WorkloadError(
+                f"unsupported video format {suffix!r} (use .avi or .rvid)"
+            )
+        if clip.fps > ANALYSIS_FPS:
+            clip = resample_fps(clip, ANALYSIS_FPS)
+        return clip, category
+
+    raise WorkloadError(f"unknown ingest source {source!r}")
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+class ServiceEngine:
+    """One shared :class:`VideoDatabase` served to many threads.
+
+    Args:
+        db: an existing database to serve (a fresh one when omitted).
+        config: pipeline configuration for a fresh database.
+        n_workers: size of the ingest worker pool.
+        cache_capacity: LRU query-cache capacity (entries).
+    """
+
+    def __init__(
+        self,
+        db: VideoDatabase | None = None,
+        *,
+        config: PipelineConfig | None = None,
+        n_workers: int = 2,
+        cache_capacity: int = 256,
+    ) -> None:
+        from .cache import QueryResultCache
+        from .metrics import MetricsRegistry
+
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.db = db if db is not None else VideoDatabase(config)
+        self.lock = ReadWriteLock()
+        self.cache = QueryResultCache(cache_capacity)
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
+        self._jobs: dict[str, IngestJob] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_counter = itertools.count(1)
+        self._queue: queue.Queue = queue.Queue()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"ingest-worker-{k}", daemon=True
+            )
+            for k in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # ingest side
+    # ------------------------------------------------------------------
+
+    def submit_spec(self, spec: dict[str, Any]) -> IngestJob:
+        """Enqueue an ingest described by a JSON spec; returns the job.
+
+        The spec is validated eagerly (a malformed request fails at
+        submission with :class:`WorkloadError`), but the clip itself is
+        materialized inside the worker so submission stays O(1).
+        """
+        if not isinstance(spec, dict):
+            raise WorkloadError(
+                f"ingest spec must be an object, got {type(spec).__name__}"
+            )
+        source = spec.get("source", "synthetic")
+        if source not in ("synthetic", "figure5", "friends", "file"):
+            raise WorkloadError(f"unknown ingest source {source!r}")
+        if source == "synthetic" and not spec.get("video_id"):
+            raise WorkloadError("synthetic ingest spec requires a 'video_id'")
+        if source == "file" and not spec.get("path"):
+            raise WorkloadError("file ingest spec requires a 'path'")
+        description = spec.get("video_id") or spec.get("path") or source
+        return self._enqueue(f"ingest {description!r} ({source})", spec)
+
+    def submit_clip(
+        self, clip: VideoClip, category: VideoCategory | None = None
+    ) -> IngestJob:
+        """Enqueue an already-materialized clip (in-process callers)."""
+        return self._enqueue(f"ingest {clip.name!r} (clip)", (clip, category))
+
+    def _enqueue(self, description: str, payload: Any) -> IngestJob:
+        job = IngestJob(job_id=f"job-{next(self._job_counter)}", description=description)
+        with self._jobs_lock:
+            self._jobs[job.job_id] = job
+        self._queue.put((job, payload))
+        self.metrics.increment("ingest_submitted")
+        return job
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            job, payload = item
+            try:
+                self._run_job(job, payload)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: IngestJob, payload: Any) -> None:
+        job.status = JobStatus.RUNNING
+        job.started_at = time.time()
+        try:
+            if isinstance(payload, tuple):
+                clip, category = payload
+            else:
+                clip, category = clip_from_spec(payload)
+            # The pipeline (detect + tree + features) runs inside
+            # db.ingest but before it touches shared state; the write
+            # lock covers the whole call so a torn registration is
+            # never observable, and queries only stall on the final
+            # publish because they queue behind the waiting writer.
+            with self.lock.write_locked():
+                report = self.db.ingest(clip, category=category)
+                # Invalidate while still exclusive: readers that saw the
+                # pre-ingest database also saw the old generation, so
+                # their late put() calls are rejected (see cache.py).
+                self.cache.invalidate()
+            job.report = {
+                "video_id": report.video_id,
+                "n_frames": report.n_frames,
+                "n_shots": report.n_shots,
+                "tree_height": report.tree_height,
+                "indexed_entries": report.indexed_entries,
+            }
+            job.status = JobStatus.DONE
+            self.metrics.increment("ingest_completed")
+        except (ReproError, ValueError, OSError) as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = JobStatus.FAILED
+            self.metrics.increment("ingest_failed")
+        finally:
+            job.finished_at = time.time()
+            job.done_event.set()
+
+    def job(self, job_id: str) -> IngestJob:
+        """Look up one job record."""
+        with self._jobs_lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ReproError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> list[IngestJob]:
+        """Every job submitted to this engine, oldest first."""
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    def wait_for(self, job_id: str, timeout: float | None = None) -> IngestJob:
+        """Block until a job finishes (done or failed)."""
+        job = self.job(job_id)
+        if not job.done_event.wait(timeout):
+            raise ReproError(f"job {job_id!r} did not finish within {timeout}s")
+        return job
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Wait until every submitted job has finished."""
+        deadline = time.time() + timeout
+        for job in self.jobs():
+            remaining = deadline - time.time()
+            if remaining <= 0 or not job.done_event.wait(remaining):
+                raise ReproError(f"ingest queue did not drain within {timeout}s")
+
+    # ------------------------------------------------------------------
+    # query side
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        var_ba: float,
+        var_oa: float,
+        *,
+        limit: int | None = None,
+        alpha: float | None = None,
+        beta: float | None = None,
+        category: VideoCategory | None = None,
+    ) -> tuple[dict[str, Any], bool]:
+        """Answer one impression query; returns ``(payload, was_cached)``.
+
+        ``alpha``/``beta`` default to the engine's configured tolerances
+        (the paper's 1.0); the effective values are part of the cache
+        key, so per-request overrides never alias.
+        """
+        base = self.db.config.query
+        effective_alpha = base.alpha if alpha is None else float(alpha)
+        effective_beta = base.beta if beta is None else float(beta)
+        query_config = QueryConfig(alpha=effective_alpha, beta=effective_beta)
+        key = self.cache.make_key(
+            var_ba,
+            var_oa,
+            effective_alpha,
+            effective_beta,
+            limit,
+            category.label if category is not None else None,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.increment("query_cache_hits")
+            return cached, True
+        with self.lock.read_locked():
+            generation = self.cache.generation
+            answer = self.db.query(
+                var_ba, var_oa, limit=limit, category=category, config=query_config
+            )
+            payload = self._answer_payload(answer)
+        self.cache.put(key, payload, generation=generation)
+        return payload, False
+
+    @staticmethod
+    def _answer_payload(answer: QueryAnswer) -> dict[str, Any]:
+        matches = [
+            {
+                "video_id": entry.video_id,
+                "shot_number": entry.shot_number,
+                "shot_id": entry.shot_id,
+                "start_frame": entry.start_frame,
+                "end_frame": entry.end_frame,
+                "var_ba": entry.features.var_ba,
+                "var_oa": entry.features.var_oa,
+                "sqrt_var_ba": entry.sqrt_var_ba,
+                "d_v": entry.d_v,
+                "archetype": entry.archetype,
+            }
+            for entry in answer.matches
+        ]
+        routes = [
+            {
+                "shot_id": route.entry.shot_id,
+                "scene_node": route.node.label if route.node is not None else None,
+                "representative_frame": (
+                    route.node.representative_frame if route.node is not None else None
+                ),
+                "suggestion": route.suggestion,
+            }
+            for route in answer.routes
+        ]
+        return {"count": len(matches), "matches": matches, "routes": routes}
+
+    # ------------------------------------------------------------------
+    # read-only views
+    # ------------------------------------------------------------------
+
+    def catalog_payload(self) -> dict[str, Any]:
+        """The catalog listing served at ``GET /videos``."""
+        with self.lock.read_locked():
+            videos = [entry.to_dict() for entry in self.db.catalog]
+            indexed = len(self.db.index)
+        return {"count": len(videos), "indexed_shots": indexed, "videos": videos}
+
+    def shots_payload(self, video_id: str) -> dict[str, Any]:
+        """One video's indexed shots served at ``GET /videos/<id>/shots``."""
+        with self.lock.read_locked():
+            self.db.catalog.get(video_id)  # raises CatalogError when unknown
+            rows = sorted(
+                (e for e in self.db.index.entries if e.video_id == video_id),
+                key=lambda e: e.shot_number,
+            )
+            shots = [entry.to_row() for entry in rows]
+        return {"video_id": video_id, "count": len(shots), "shots": shots}
+
+    def tree_payload(self, video_id: str) -> dict[str, Any]:
+        """One video's scene tree served at ``GET /videos/<id>/tree``."""
+        with self.lock.read_locked():
+            tree = self.db.scene_tree(video_id)  # raises CatalogError when unknown
+            payload = scene_tree_to_dict(tree)
+            payload["height"] = tree.height
+            payload["n_shots"] = tree.n_shots
+        return payload
+
+    def health_payload(self) -> dict[str, Any]:
+        """The liveness document served at ``GET /health``."""
+        with self.lock.read_locked():
+            n_videos = len(self.db.catalog)
+            n_shots = len(self.db.index)
+        jobs = self.jobs()
+        by_status: dict[str, int] = {}
+        for job in jobs:
+            by_status[job.status.value] = by_status.get(job.status.value, 0) + 1
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "videos": n_videos,
+            "indexed_shots": n_shots,
+            "jobs": by_status,
+        }
+
+    def metrics_payload(self) -> dict[str, Any]:
+        """The observability document served at ``GET /metrics``."""
+        payload = self.metrics.snapshot()
+        payload["query_cache"] = self.cache.stats()
+        payload["uptime_s"] = round(time.time() - self.started_at, 3)
+        return payload
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop the worker pool (queued jobs finish first)."""
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout)

@@ -1,0 +1,247 @@
+"""A mixed ingest/query workload driver for the service.
+
+Simulates the serving pattern the ROADMAP targets: many clients firing
+impression queries (drawn from a small pool of query points, the way
+real users revisit the same impressions — which is what makes the
+result cache earn its keep), interleaved with catalog/browse reads and
+a few ingest jobs submitted mid-run and polled to completion.
+
+Stdlib-only (``urllib.request`` + threads).  The report carries
+per-operation latency percentiles, aggregate throughput, and the
+server's own ``/metrics`` snapshot so a single run substantiates the
+cache hit rate and histogram claims end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from urllib.parse import quote
+from typing import Any
+
+__all__ = ["LoadgenConfig", "run_loadgen"]
+
+
+@dataclass(frozen=True, slots=True)
+class LoadgenConfig:
+    """Parameters of one load-generation run.
+
+    Attributes:
+        base_url: server root, e.g. ``http://127.0.0.1:8080``.
+        n_requests: total client requests across all workers (ingest
+            submission/polling requests are counted on top).
+        workers: concurrent client threads.
+        ingests: synthetic ingest jobs submitted while queries run.
+        query_pool: number of distinct query points clients draw from
+            (smaller pool -> higher cache hit rate).
+        browse_every: every k-th request per worker is a catalog /
+            shots / tree read instead of a query.
+        seed: RNG seed for query points and browse choices.
+        timeout: per-request socket timeout in seconds.
+        job_timeout: max seconds to wait for each ingest job to finish.
+    """
+
+    base_url: str
+    n_requests: int = 200
+    workers: int = 4
+    ingests: int = 2
+    query_pool: int = 8
+    browse_every: int = 10
+    seed: int = 0
+    timeout: float = 30.0
+    job_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1 or self.workers < 1:
+            raise ValueError("n_requests and workers must be >= 1")
+        if self.query_pool < 1 or self.browse_every < 2:
+            raise ValueError("query_pool must be >= 1 and browse_every >= 2")
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """p-th percentile (nearest-rank) of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(p / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class _Client:
+    """Thread-safe HTTP client collecting per-operation latencies."""
+
+    def __init__(self, base_url: str, timeout: float) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self.samples: list[tuple[str, float, bool]] = []
+
+    def request(
+        self, op: str, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any] | None:
+        """Issue one request; records (op, seconds, ok); None on failure."""
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        started = time.perf_counter()
+        payload: dict[str, Any] | None = None
+        ok = False
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+                ok = 200 <= response.status < 300
+        except (urllib.error.URLError, OSError, json.JSONDecodeError):
+            ok = False
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.samples.append((op, elapsed, ok))
+        return payload if ok else None
+
+
+def _worker(
+    client: _Client, config: LoadgenConfig, worker_id: int, n_requests: int
+) -> None:
+    rng = random.Random(config.seed * 10_007 + worker_id)
+    # The shared query-point pool: every worker derives the same points
+    # from config.seed, so cross-worker repeats hit the cache too.
+    pool_rng = random.Random(config.seed)
+    # Half the pool probes the low-variance corner (where near-static
+    # shots live, so matches are nonempty), half sweeps the full range.
+    points = [
+        (round(pool_rng.uniform(0, high), 2), round(pool_rng.uniform(0, high), 2))
+        for k in range(config.query_pool)
+        for high in ((4.0,) if k % 2 == 0 else (400.0,))
+    ]
+    known_videos: list[str] = []
+    for k in range(n_requests):
+        if k % config.browse_every == 1:
+            listing = client.request("catalog", "GET", "/videos")
+            if listing:
+                known_videos = [v["video_id"] for v in listing["videos"]]
+        elif k % config.browse_every == 2 and known_videos:
+            video_id = rng.choice(known_videos)
+            leaf = rng.choice(("shots", "tree"))
+            client.request(
+                "browse",
+                "GET",
+                f"/videos/{quote(video_id, safe='')}/{leaf}",
+            )
+        else:
+            var_ba, var_oa = rng.choice(points)
+            client.request(
+                "query",
+                "POST",
+                "/query",
+                {"var_ba": var_ba, "var_oa": var_oa, "limit": 5},
+            )
+
+
+def _drive_ingests(client: _Client, config: LoadgenConfig, failures: list[str]) -> None:
+    """Submit synthetic ingest jobs and poll each to completion."""
+    for k in range(config.ingests):
+        submitted = client.request(
+            "ingest_submit",
+            "POST",
+            "/ingest",
+            {
+                "source": "synthetic",
+                "video_id": f"loadgen-clip-{config.seed}-{k}",
+                "n_shots": 3,
+                "frames_per_shot": 6,
+                "seed": config.seed + k,
+            },
+        )
+        if not submitted:
+            failures.append(f"ingest submission {k} failed")
+            continue
+        job_id = submitted["job_id"]
+        deadline = time.time() + config.job_timeout
+        while time.time() < deadline:
+            job = client.request("job_poll", "GET", f"/jobs/{job_id}")
+            if job is None:
+                failures.append(f"poll of {job_id} failed")
+                break
+            if job["status"] == "done":
+                break
+            if job["status"] == "failed":
+                failures.append(f"{job_id} failed: {job.get('error')}")
+                break
+            time.sleep(0.05)
+        else:
+            failures.append(f"{job_id} did not finish within {config.job_timeout}s")
+
+
+def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
+    """Run the mixed workload and return the throughput/latency report."""
+    client = _Client(config.base_url, config.timeout)
+    ingest_failures: list[str] = []
+    share, leftover = divmod(config.n_requests, config.workers)
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(client, config, worker_id, share + (1 if worker_id < leftover else 0)),
+            name=f"loadgen-{worker_id}",
+        )
+        for worker_id in range(config.workers)
+    ]
+    ingest_thread = threading.Thread(
+        target=_drive_ingests,
+        args=(client, config, ingest_failures),
+        name="loadgen-ingest",
+    )
+    started = time.perf_counter()
+    ingest_thread.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    ingest_thread.join()
+    wall_s = time.perf_counter() - started
+
+    by_op: dict[str, list[float]] = {}
+    failed = 0
+    for op, elapsed, ok in client.samples:
+        by_op.setdefault(op, []).append(elapsed)
+        if not ok:
+            failed += 1
+    operations = {}
+    for op, latencies in sorted(by_op.items()):
+        latencies.sort()
+        operations[op] = {
+            "count": len(latencies),
+            "mean_ms": round(sum(latencies) / len(latencies) * 1_000, 3),
+            "p50_ms": round(_percentile(latencies, 50) * 1_000, 3),
+            "p90_ms": round(_percentile(latencies, 90) * 1_000, 3),
+            "p99_ms": round(_percentile(latencies, 99) * 1_000, 3),
+            "max_ms": round(latencies[-1] * 1_000, 3),
+        }
+    total = len(client.samples)
+    report: dict[str, Any] = {
+        "config": {
+            "base_url": config.base_url,
+            "n_requests": config.n_requests,
+            "workers": config.workers,
+            "ingests": config.ingests,
+            "query_pool": config.query_pool,
+            "seed": config.seed,
+        },
+        "total_requests": total,
+        "failed_requests": failed,
+        "ingest_failures": ingest_failures,
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(total / wall_s, 2) if wall_s > 0 else 0.0,
+        "operations": operations,
+    }
+    server_metrics = client.request("metrics", "GET", "/metrics")
+    if server_metrics is not None:
+        report["server_metrics"] = server_metrics
+    return report

@@ -1,0 +1,156 @@
+"""Request counters and latency histograms for the ``/metrics`` endpoint.
+
+The registry is deliberately small: named monotonic counters plus one
+latency histogram per endpoint.  Histograms use fixed log-spaced bucket
+bounds (sub-millisecond to tens of seconds) so percentile estimates stay
+O(buckets) regardless of traffic volume — the server records millions of
+observations without ever storing them individually.
+
+Everything is thread-safe behind one lock; observations are a dict
+update and two additions, so the lock is never held long enough to
+matter next to the request work it measures.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["LatencyHistogram", "MetricsRegistry"]
+
+# Bucket upper bounds in milliseconds; the final +inf bucket is implicit.
+_BUCKET_BOUNDS_MS: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation.
+
+    Observations are recorded in seconds and reported in milliseconds.
+    Percentiles are estimated as the upper bound of the first bucket
+    whose cumulative count reaches the requested rank — an upper bound
+    on the true percentile, which is the conservative direction for a
+    latency SLO.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(_BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.min_ms = float("inf")
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        ms = seconds * 1_000.0
+        with self._lock:
+            self.count += 1
+            self.sum_ms += ms
+            self.min_ms = min(self.min_ms, ms)
+            self.max_ms = max(self.max_ms, ms)
+            for k, bound in enumerate(_BUCKET_BOUNDS_MS):
+                if ms <= bound:
+                    self._counts[k] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-th percentile in milliseconds (0 < p <= 100)."""
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = max(1, round(p / 100.0 * self.count))
+            cumulative = 0
+            for k, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    if k < len(_BUCKET_BOUNDS_MS):
+                        return min(_BUCKET_BOUNDS_MS[k], self.max_ms)
+                    return self.max_ms
+            return self.max_ms  # pragma: no cover - unreachable
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-compatible summary (counts, mean, p50/p90/p99, buckets)."""
+        with self._lock:
+            count = self.count
+            sum_ms = self.sum_ms
+            min_ms = self.min_ms if count else 0.0
+            max_ms = self.max_ms
+            buckets = {
+                f"le_{bound:g}ms": n
+                for bound, n in zip(_BUCKET_BOUNDS_MS, self._counts)
+                if n
+            }
+            if self._counts[-1]:
+                buckets["le_inf"] = self._counts[-1]
+        return {
+            "count": count,
+            "mean_ms": round(sum_ms / count, 3) if count else 0.0,
+            "min_ms": round(min_ms, 3),
+            "max_ms": round(max_ms, 3),
+            "p50_ms": round(self.percentile(50), 3),
+            "p90_ms": round(self.percentile(90), 3),
+            "p99_ms": round(self.percentile(99), 3),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named counters plus one request counter/histogram per endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._requests: dict[str, dict[str, Any]] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter (created on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of a named counter (0 when never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one served request: count, error count, latency.
+
+        ``endpoint`` should be the *route pattern* (``GET /videos/{id}``),
+        not the concrete path, so cardinality stays bounded.
+        """
+        with self._lock:
+            record = self._requests.get(endpoint)
+            if record is None:
+                record = {"count": 0, "errors": 0, "latency": LatencyHistogram()}
+                self._requests[endpoint] = record
+            record["count"] += 1
+            if status >= 400:
+                record["errors"] += 1
+            histogram = record["latency"]
+        histogram.observe(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full ``/metrics`` document (sans cache stats, merged by
+        the engine)."""
+        with self._lock:
+            counters = dict(self._counters)
+            requests = {
+                endpoint: (record["count"], record["errors"], record["latency"])
+                for endpoint, record in self._requests.items()
+            }
+        return {
+            "counters": counters,
+            "requests": {
+                endpoint: {
+                    "count": count,
+                    "errors": errors,
+                    "latency": histogram.snapshot(),
+                }
+                for endpoint, (count, errors, histogram) in sorted(requests.items())
+            },
+        }

@@ -1,0 +1,244 @@
+"""JSON-over-HTTP endpoints for the service engine.
+
+Built on the stdlib ``ThreadingHTTPServer`` (one thread per
+connection, HTTP/1.1 keep-alive) so the server needs nothing beyond
+the interpreter.  Every response is a JSON document; errors follow the
+same shape: ``{"error": "<message>"}`` with a 4xx/5xx status.
+
+    GET  /health                     liveness + corpus/job counts
+    GET  /metrics                    counters, latency histograms, cache
+    GET  /videos                     catalog listing
+    GET  /videos/<id>/shots          one video's indexed shots
+    GET  /videos/<id>/tree           one video's scene tree (JSON)
+    GET  /query?var_ba=..&var_oa=..  impression query (Eqs. 7-8)
+    POST /query                      same, JSON body
+    POST /ingest                     submit an ingest job -> 202 + job id
+    GET  /jobs                       every job and its status
+    GET  /jobs/<id>                  one job's lifecycle record
+
+Each handled request is timed and recorded against its *route
+pattern* (``GET /videos/{id}/shots``), keeping ``/metrics`` cardinality
+bounded no matter how many videos exist.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..errors import CatalogError, QueryError, ReproError, StorageError, WorkloadError
+from .engine import ServiceEngine
+
+__all__ = ["ServiceServer", "ServiceRequestHandler", "create_server"]
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` carrying the shared engine."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], engine: ServiceEngine) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.engine = engine
+
+
+class _HTTPProblem(Exception):
+    """Internal: abort the current request with a status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes JSON requests to the engine (see the module docstring)."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+    # Announced in logs and metrics; quieted by default (the loadgen
+    # would otherwise drown the terminal in access-log lines).
+    verbose = False
+
+    @property
+    def engine(self) -> ServiceEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Suppress per-request access logs unless ``verbose`` is set."""
+        if self.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        """Handle one GET request."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        """Handle one POST request."""
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        split = urlsplit(self.path)
+        segments = [unquote(part) for part in split.path.strip("/").split("/") if part]
+        # _route overwrites this with the resolved pattern before calling
+        # into the engine, so even error responses are recorded against a
+        # bounded route label rather than the concrete path.
+        self._route_pattern = f"{method} /<unrouted>"
+        try:
+            status, payload = self._route(method, segments, split.query)
+        except _HTTPProblem as problem:
+            status, payload = problem.status, {"error": str(problem)}
+        except (CatalogError, StorageError) as exc:
+            status, payload = 404, {"error": str(exc)}
+        except (QueryError, WorkloadError, ValueError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 500, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        self._send_json(status, payload)
+        self.engine.metrics.observe_request(
+            self._route_pattern, status, time.perf_counter() - started
+        )
+
+    def _route(
+        self, method: str, segments: list[str], query_string: str
+    ) -> tuple[int, dict[str, Any]]:
+        """Resolve one request to ``(status, payload)``."""
+        engine = self.engine
+        head = segments[0] if segments else ""
+
+        def pattern(route: str) -> None:
+            self._route_pattern = route
+
+        if method == "GET" and segments == ["health"]:
+            pattern("GET /health")
+            return 200, engine.health_payload()
+        if method == "GET" and segments == ["metrics"]:
+            pattern("GET /metrics")
+            return 200, engine.metrics_payload()
+        if method == "GET" and segments == ["videos"]:
+            pattern("GET /videos")
+            return 200, engine.catalog_payload()
+        if method == "GET" and len(segments) == 3 and head == "videos":
+            _, video_id, leaf = segments
+            if leaf == "shots":
+                pattern("GET /videos/{id}/shots")
+                return 200, engine.shots_payload(video_id)
+            if leaf == "tree":
+                pattern("GET /videos/{id}/tree")
+                return 200, engine.tree_payload(video_id)
+            raise _HTTPProblem(404, f"unknown video resource {leaf!r}")
+        if segments == ["query"]:
+            pattern(f"{method} /query")
+            if method == "GET":
+                params = self._query_params(query_string)
+            else:
+                params = self._json_body()
+            payload, was_cached = engine.query(
+                var_ba=self._float_param(params, "var_ba"),
+                var_oa=self._float_param(params, "var_oa"),
+                limit=self._int_param(params, "limit"),
+                alpha=self._optional_float(params, "alpha"),
+                beta=self._optional_float(params, "beta"),
+            )
+            return 200, dict(payload, cached=was_cached)
+        if method == "POST" and segments == ["ingest"]:
+            pattern("POST /ingest")
+            job = engine.submit_spec(self._json_body())
+            return 202, {"job_id": job.job_id, "status": job.status.value}
+        if method == "GET" and segments == ["jobs"]:
+            pattern("GET /jobs")
+            jobs = [job.to_dict() for job in engine.jobs()]
+            return 200, {"count": len(jobs), "jobs": jobs}
+        if method == "GET" and len(segments) == 2 and head == "jobs":
+            pattern("GET /jobs/{id}")
+            try:
+                job = engine.job(segments[1])
+            except ReproError as exc:
+                raise _HTTPProblem(404, str(exc)) from None
+            return 200, job.to_dict()
+        raise _HTTPProblem(404, f"no route for {method} /{'/'.join(segments)}")
+
+    # ------------------------------------------------------------------
+    # request parsing
+    # ------------------------------------------------------------------
+
+    def _json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _HTTPProblem(400, "request body must be a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HTTPProblem(400, f"malformed JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _HTTPProblem(400, "request body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _query_params(query_string: str) -> dict[str, Any]:
+        return {key: values[-1] for key, values in parse_qs(query_string).items()}
+
+    @staticmethod
+    def _float_param(params: dict[str, Any], name: str) -> float:
+        if name not in params:
+            raise _HTTPProblem(400, f"missing required parameter {name!r}")
+        try:
+            return float(params[name])
+        except (TypeError, ValueError):
+            raise _HTTPProblem(400, f"parameter {name!r} must be a number") from None
+
+    @staticmethod
+    def _optional_float(params: dict[str, Any], name: str) -> float | None:
+        if params.get(name) is None:
+            return None
+        try:
+            return float(params[name])
+        except (TypeError, ValueError):
+            raise _HTTPProblem(400, f"parameter {name!r} must be a number") from None
+
+    @staticmethod
+    def _int_param(params: dict[str, Any], name: str) -> int | None:
+        if params.get(name) is None:
+            return None
+        try:
+            return int(params[name])
+        except (TypeError, ValueError):
+            raise _HTTPProblem(400, f"parameter {name!r} must be an integer") from None
+
+    # ------------------------------------------------------------------
+    # response writing
+    # ------------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+
+
+def create_server(
+    engine: ServiceEngine, host: str = "127.0.0.1", port: int = 0
+) -> ServiceServer:
+    """Bind a service server (``port=0`` picks an ephemeral port).
+
+    The caller owns the serve loop::
+
+        server = create_server(engine, port=8080)
+        server.serve_forever()   # Ctrl-C to stop
+    """
+    return ServiceServer((host, port), engine)

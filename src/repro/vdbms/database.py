@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-from ..config import PipelineConfig
+from ..config import PipelineConfig, QueryConfig
 from ..errors import CatalogError
 from ..index.query import VarianceQuery
 from ..index.routing import SceneRoute, route_to_scene_nodes
@@ -108,6 +108,13 @@ class VideoDatabase:
         """
         if clip.name in self.catalog:
             raise CatalogError(f"video {clip.name!r} already ingested")
+        # Compute everything before touching shared state.  The pipeline
+        # (detect + tree + features) is the expensive part; deferring all
+        # mutation to the final publish below means a failure mid-ingest
+        # leaves the database untouched, and a concurrent reader that is
+        # serialized against ingest only at this publish step (as the
+        # service engine's reader-writer lock does) never observes a
+        # half-registered video.
         detection = self._detector.detect(clip)
         if callable(archetypes):
             archetypes = archetypes(
@@ -119,21 +126,22 @@ class VideoDatabase:
         entries = table.add_detection_result(
             detection, video_id=clip.name, archetypes=archetypes
         )
+        catalog_entry = CatalogEntry(
+            video_id=clip.name,
+            n_frames=len(clip),
+            rows=clip.rows,
+            cols=clip.cols,
+            fps=clip.fps,
+            n_shots=detection.n_shots,
+            category=category,
+        )
+        # Publish: catalog first (it re-checks uniqueness), then the
+        # derived structures.
+        self.catalog.add(catalog_entry)
         for entry in entries:
             self.index.insert(entry)
         self.trees[clip.name] = tree
         self.detections[clip.name] = detection
-        self.catalog.add(
-            CatalogEntry(
-                video_id=clip.name,
-                n_frames=len(clip),
-                rows=clip.rows,
-                cols=clip.cols,
-                fps=clip.fps,
-                n_shots=detection.n_shots,
-                category=category,
-            )
-        )
         return IngestReport(
             video_id=clip.name,
             n_frames=len(clip),
@@ -153,16 +161,19 @@ class VideoDatabase:
         limit: int | None = None,
         category: VideoCategory | None = None,
         exclude_shot: tuple[str, int] | None = None,
+        config: QueryConfig | None = None,
     ) -> QueryAnswer:
         """Impression query: "how much is changing" in each area.
 
         With ``category`` given, only videos whose classification
         overlaps it are considered (the Sec. 4.1 retrieval-scoping
-        assumption).
+        assumption).  ``config`` overrides the configured alpha/beta
+        tolerances for this query only (used by the service layer for
+        per-request tolerances).
         """
         query = VarianceQuery(var_ba=var_ba, var_oa=var_oa)
         matches = self.index.search(
-            query, config=self.config.query, exclude_shot=exclude_shot
+            query, config=config or self.config.query, exclude_shot=exclude_shot
         )
         if category is not None:
             allowed = {entry.video_id for entry in self.catalog.in_category(category)}

@@ -12,6 +12,7 @@ a half-written catalog or index behind.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -29,8 +30,19 @@ __all__ = ["DatabaseStorage"]
 
 
 def _safe_id(video_id: str) -> str:
-    """File-system-safe rendering of a video id."""
-    return "".join(c if c.isalnum() or c in "-_ ." else "_" for c in video_id)
+    """File-system-safe, collision-free rendering of a video id.
+
+    Sanitizing alone is not injective — distinct ids like ``a/b`` and
+    ``a_b`` both sanitize to ``a_b`` and would silently overwrite each
+    other's files.  A short content hash of the *raw* id is therefore
+    always appended, so two ids share a filename only on a blake2s
+    collision, while the sanitized prefix keeps filenames readable.
+    """
+    sanitized = "".join(
+        c if c.isalnum() or c in "-_ ." else "_" for c in video_id
+    )
+    digest = hashlib.blake2s(video_id.encode("utf-8"), digest_size=4).hexdigest()
+    return f"{sanitized}-{digest}"
 
 
 class DatabaseStorage:

@@ -176,3 +176,56 @@ class TestRemoveCommand:
 
     def test_remove_unknown(self, demo_db, capsys):
         assert main(["remove", "nope", "--db", demo_db]) == 1
+
+
+class TestServeAndLoadgen:
+    """End-to-end acceptance: `repro serve` + `repro loadgen` round trip."""
+
+    def test_round_trip(self, tmp_path, capsys):
+        import json
+        import os
+        import re
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(
+            __import__("pathlib").Path(__file__).resolve().parent.parent / "src"
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"on (http://[\d.]+:\d+)", banner)
+            assert match, f"no server banner in {banner!r}"
+            base_url = match.group(1)
+            report_path = tmp_path / "loadgen.json"
+            code = main(
+                [
+                    "loadgen",
+                    "--url", base_url,
+                    "--requests", "60",
+                    "--workers", "3",
+                    "--ingests", "1",
+                    "--seed", "5",
+                    "-o", str(report_path),
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0, out
+            assert "0 failed" in out
+            assert "server cache:" in out
+            report = json.loads(report_path.read_text())
+            assert report["failed_requests"] == 0
+            assert report["ingest_failures"] == []
+            assert report["server_metrics"]["query_cache"]["hits"] > 0
+            assert report["server_metrics"]["requests"]["POST /query"]["count"] > 0
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -199,3 +199,37 @@ class TestRouting:
         routes = route_to_scene_nodes([_entry()], {})
         assert routes[0].node is None
         assert "<no scene tree>" in routes[0].suggestion
+
+
+class TestNaNGuard:
+    """NaN ``D^v`` keys would silently break the bisect ordering
+    invariant; the index must reject them at the boundary instead."""
+
+    def _nan_entry(self):
+        # Bypass FeatureVector's __post_init__ range check the same way
+        # a buggy feature extractor would: NaN compares False against
+        # everything, so ``var < 0`` never fires.
+        return _entry(var_ba=float("nan"), var_oa=1.0)
+
+    def test_insert_rejects_nan(self):
+        index = SortedVarianceIndex([_entry()])
+        with pytest.raises(IndexError_, match="NaN"):
+            index.insert(self._nan_entry())
+        assert len(index) == 1  # rejected before any mutation
+
+    def test_construction_rejects_nan(self):
+        with pytest.raises(IndexError_, match="NaN"):
+            SortedVarianceIndex([_entry(), self._nan_entry()])
+
+    def test_from_dict_rejects_nan(self):
+        payload = SortedVarianceIndex([_entry()]).to_dict()
+        payload["entries"][0]["var_oa"] = float("nan")
+        with pytest.raises(IndexError_, match="NaN"):
+            SortedVarianceIndex.from_dict(payload)
+
+    def test_range_scan_rejects_nan_bounds(self):
+        index = SortedVarianceIndex([_entry()])
+        with pytest.raises(IndexError_, match="NaN"):
+            index.range_scan(float("nan"), 1.0)
+        with pytest.raises(IndexError_, match="NaN"):
+            index.range_scan(0.0, float("nan"))

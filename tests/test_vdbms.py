@@ -229,10 +229,11 @@ class TestRemove:
     def test_save_prunes_stale_tree_files(self, figure5, friends, tmp_path):
         db = self._db(figure5, friends)
         root = db.save(tmp_path / "db")
-        assert (root / "trees" / "figure5.json").exists()
+        tree_file = DatabaseStorage(root).tree_path("figure5")
+        assert tree_file.exists()
         db.remove("figure5")
         db.save(root)
-        assert not (root / "trees" / "figure5.json").exists()
+        assert not tree_file.exists()
         loaded = VideoDatabase.load(root)
         assert loaded.catalog.ids() == ["friends-restaurant"]
 
@@ -241,3 +242,42 @@ class TestRemove:
         db.remove("figure5")
         report = db.ingest(figure5[0])
         assert report.n_shots == 10
+
+
+class TestSafeIdInjective:
+    """Regression: ids like ``a/b`` and ``a_b`` used to sanitize to the
+    same filename and silently overwrite each other's trees/videos."""
+
+    def test_colliding_ids_get_distinct_paths(self, tmp_path):
+        storage = DatabaseStorage(tmp_path)
+        for left, right in [("a/b", "a_b"), ("a b", "a_b"), ("x:y", "x_y")]:
+            assert storage.tree_path(left) != storage.tree_path(right)
+            assert storage.video_path(left) != storage.video_path(right)
+
+    def test_same_id_is_stable(self, tmp_path):
+        storage = DatabaseStorage(tmp_path)
+        assert storage.tree_path("a/b") == storage.tree_path("a/b")
+
+    def test_colliding_videos_both_survive(self, tmp_path):
+        storage = DatabaseStorage(tmp_path)
+        frames_a = np.full((3, 20, 20, 3), 10, dtype=np.uint8)
+        frames_b = np.full((3, 20, 20, 3), 200, dtype=np.uint8)
+        storage.save_video(VideoClip("a/b", frames_a))
+        storage.save_video(VideoClip("a_b", frames_b))
+        assert np.array_equal(storage.load_video("a/b").frames, frames_a)
+        assert np.array_equal(storage.load_video("a_b").frames, frames_b)
+
+    def test_database_save_load_with_slashy_ids(self, tmp_path):
+        db = VideoDatabase()
+        for name, level in [("team/clip", 40), ("team_clip", 220)]:
+            frames = np.zeros((12, 60, 80, 3), dtype=np.uint8)
+            frames[:6] = level
+            frames[6:] = 255 - level
+            db.ingest(VideoClip(name, frames, fps=3.0))
+        db.save(tmp_path / "db")
+        loaded = VideoDatabase.load(tmp_path / "db")
+        assert set(loaded.catalog.ids()) == {"team/clip", "team_clip"}
+        # Each id keeps its own scene tree (previously one overwrote the
+        # other on disk).
+        assert loaded.scene_tree("team/clip").clip_name == "team/clip"
+        assert loaded.scene_tree("team_clip").clip_name == "team_clip"
