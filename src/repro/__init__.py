@@ -22,6 +22,7 @@ reproduced tables and figures.
 """
 
 from .config import (
+    ExtractionConfig,
     PipelineConfig,
     QueryConfig,
     RegionConfig,
@@ -47,6 +48,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "ExtractionConfig",
     "PipelineConfig",
     "RegionConfig",
     "SBDConfig",

@@ -1,0 +1,90 @@
+"""Small thread-safe keyed LRU caches with hit/miss statistics.
+
+Unlike :func:`functools.lru_cache` these caches expose snapshot
+statistics (surfaced by the service's ``/metrics`` endpoint), accept a
+per-call factory so the cached value's construction arguments need not
+be re-derivable from the key alone, and never hold their lock while the
+factory runs — factories here build extractors and operator matrices,
+which can take milliseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["KeyedLRU"]
+
+_MISSING = object()
+
+
+class KeyedLRU:
+    """A bounded, thread-safe map with least-recently-used eviction.
+
+    Args:
+        capacity: maximum number of entries kept (>= 1).
+        name: label reported in :meth:`stats` so multiple caches can be
+            told apart in one metrics payload.
+    """
+
+    def __init__(self, capacity: int = 32, name: str = "lru") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on a miss.
+
+        The factory runs outside the lock; if two threads race on the
+        same missing key, one of the built values wins and both callers
+        receive it.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value
+            self._misses += 1
+        value = factory()
+        with self._lock:
+            existing = self._entries.get(key, _MISSING)
+            if existing is not _MISSING:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of occupancy and hit/miss counters."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            total = hits + misses
+            return {
+                "name": self.name,
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": hits,
+                "misses": misses,
+                "evictions": self._evictions,
+                "hit_rate": round(hits / total, 4) if total else 0.0,
+            }

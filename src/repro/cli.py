@@ -23,6 +23,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .config import ExtractionConfig, PipelineConfig
 from .errors import ReproError
 from .experiments.report import format_table
 from .scenetree.nodes import SceneNode
@@ -38,11 +39,29 @@ __all__ = ["main"]
 ANALYSIS_FPS = 3.0
 
 
-def _load_or_create(db_dir: str) -> VideoDatabase:
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig | None:
+    """Build a config from the extraction flags (None = library defaults)."""
+    kwargs = {}
+    if getattr(args, "legacy_extract", False):
+        kwargs["use_fused"] = False
+    chunk = getattr(args, "chunk_frames", None)
+    if chunk is not None:
+        kwargs["chunk_frames"] = None if chunk == 0 else chunk
+    workers = getattr(args, "extract_workers", None)
+    if workers is not None:
+        kwargs["workers"] = workers
+    if not kwargs:
+        return None
+    return PipelineConfig(extraction=ExtractionConfig(**kwargs))
+
+
+def _load_or_create(
+    db_dir: str, config: PipelineConfig | None = None
+) -> VideoDatabase:
     storage = DatabaseStorage(db_dir)
     if storage.exists():
-        return VideoDatabase.load(db_dir)
-    return VideoDatabase()
+        return VideoDatabase.load(db_dir, config=config)
+    return VideoDatabase(config)
 
 
 def _load_existing(db_dir: str) -> VideoDatabase:
@@ -69,7 +88,7 @@ def _read_clip(path: str):
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    db = _load_or_create(args.db)
+    db = _load_or_create(args.db, config=_pipeline_config(args))
     clip = _read_clip(args.video)
     if clip.fps > ANALYSIS_FPS:
         clip = resample_fps(clip, ANALYSIS_FPS)
@@ -91,7 +110,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from .workloads.figure5 import make_figure5_clip
     from .workloads.friends import make_friends_clip
 
-    db = _load_or_create(args.db)
+    db = _load_or_create(args.db, config=_pipeline_config(args))
     for maker in (make_figure5_clip, make_friends_clip):
         clip, _ = maker()
         if clip.name in db.catalog:
@@ -274,13 +293,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.engine import ServiceEngine
     from .service.server import create_server
 
+    config = _pipeline_config(args)
     db = None
     if args.db:
         storage = DatabaseStorage(args.db)
         if storage.exists():
-            db = VideoDatabase.load(args.db)
+            db = VideoDatabase.load(args.db, config=config)
     engine = ServiceEngine(
-        db, n_workers=args.workers, cache_capacity=args.cache_size
+        db, config=config, n_workers=args.workers, cache_capacity=args.cache_size
     )
     if args.demo:
         for source in ("figure5", "friends"):
@@ -379,15 +399,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_extraction_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--chunk-frames",
+            type=int,
+            default=None,
+            metavar="N",
+            help="extraction chunk size in frames; 0 disables chunking "
+            "(default: 256, see docs/PERFORMANCE.md)",
+        )
+        parser.add_argument(
+            "--extract-workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="threads extracting chunks concurrently (default: 1)",
+        )
+        parser.add_argument(
+            "--legacy-extract",
+            action="store_true",
+            help="use the multi-pass reference extraction instead of the "
+            "fused operators (identical output, slower)",
+        )
+
     p = sub.add_parser("ingest", help="analyze a video file into the database")
     p.add_argument("video", help="path to an .avi or .rvid file")
     p.add_argument("--db", required=True, help="database directory")
     p.add_argument("--genre", action="append", default=[], help="genre label (repeatable)")
     p.add_argument("--form", default="feature", help="form label (default: feature)")
+    add_extraction_flags(p)
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("demo", help="build a demo database from the paper's clips")
     p.add_argument("--db", required=True)
+    add_extraction_flags(p)
     p.set_defaults(func=_cmd_demo)
 
     p = sub.add_parser("info", help="show the catalog")
@@ -437,6 +482,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--demo", action="store_true", help="preload the paper's demo clips"
     )
+    add_extraction_flags(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

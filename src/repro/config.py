@@ -23,6 +23,7 @@ from .errors import DimensionError, QueryError
 
 __all__ = [
     "RegionConfig",
+    "ExtractionConfig",
     "SBDConfig",
     "SceneTreeConfig",
     "QueryConfig",
@@ -56,6 +57,41 @@ class RegionConfig:
     def estimated_strip_width(self, frame_width: int) -> int:
         """Return ``w' = floor(c * width_fraction)`` (at least 1)."""
         return max(1, int(frame_width * self.width_fraction))
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionConfig:
+    """Execution knobs of the signature-extraction fast path.
+
+    None of these change the extracted features — the fused and the
+    multi-pass reference path are byte-identical after quantization,
+    and chunking/parallelism only reorder the same computations.  See
+    docs/PERFORMANCE.md for how to choose values.
+
+    Attributes:
+        use_fused: apply the precompiled fused linear operators (one
+            GEMM per region) instead of the multi-pass REDUCE chain.
+            The default; disable only to cross-check the fast path.
+        chunk_frames: process clips in blocks of at most this many
+            frames, bounding peak intermediate memory on long clips.
+            None extracts the whole clip in one block.
+        workers: number of threads extracting chunks concurrently
+            (>= 2 enables a thread pool; numpy releases the GIL in the
+            underlying GEMMs).  Only effective when chunking splits the
+            clip into multiple blocks.
+    """
+
+    use_fused: bool = True
+    chunk_frames: int | None = 256
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chunk_frames is not None and self.chunk_frames < 1:
+            raise QueryError(
+                f"chunk_frames must be >= 1 or None, got {self.chunk_frames}"
+            )
+        if self.workers < 1:
+            raise QueryError(f"workers must be >= 1, got {self.workers}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -171,6 +207,7 @@ class PipelineConfig:
     """
 
     region: RegionConfig = field(default_factory=RegionConfig)
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
     sbd: SBDConfig = field(default_factory=SBDConfig)
     scene_tree: SceneTreeConfig = field(default_factory=SceneTreeConfig)
     query: QueryConfig = field(default_factory=QueryConfig)

@@ -16,6 +16,13 @@ from .reduce import (
     reduction_schedule,
     signature_and_sign,
 )
+from .fused import (
+    FusedOperators,
+    collapse_vector,
+    fold_resample,
+    operator_cache_stats,
+    reduction_matrix,
+)
 
 __all__ = [
     "DEFAULT_A",
@@ -25,4 +32,9 @@ __all__ = [
     "reduce_to_sign",
     "reduction_schedule",
     "signature_and_sign",
+    "FusedOperators",
+    "collapse_vector",
+    "fold_resample",
+    "operator_cache_stats",
+    "reduction_matrix",
 ]

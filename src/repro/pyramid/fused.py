@@ -1,0 +1,218 @@
+"""Precompiled fused linear operators for signature/sign extraction.
+
+Every step from the raw frame to the three features is linear:
+
+* cropping the FBA strips and the FOA is a selection of pixels,
+* the FBA → TBA unfolding (rotate + concatenate) is a permutation,
+* uniform size-set resampling is a gather (each output column copies
+  one input column),
+* each Gaussian REDUCE pass is a banded matrix (the 5-tap kernel slid
+  with stride 2, :func:`reduction_matrix`).
+
+Composing the per-pass matrices of a full REDUCE chain collapses a
+length-``n`` size-set axis to a single weight vector
+(:func:`collapse_vector`), and pushing that vector *through* the
+resampling gather folds the two steps into one weighted sum over the
+raw axis (:func:`fold_resample`).  The FOA sign is the bilinear form
+``v_h^T · FOA · v_b`` of two such vectors.  The result: signature,
+``Sign^BA`` and ``Sign^OA`` each become one small GEMM over the frame
+batch instead of ~log-many strided passes over clip-sized stacks.
+
+The factored vectors are what the hot path applies;
+:meth:`FusedOperators.signature_operator` and friends materialize the
+equivalent dense matrices (flattened region pixels → feature) for the
+exact-equivalence tests.  Operators are cached process-wide in a keyed
+LRU — building them walks the full reduction schedule, but every clip
+of the same frame geometry reuses the same arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..caching import KeyedLRU
+from ..errors import DimensionError
+from ..geometry.regions import FrameGeometry
+from .kernel import DEFAULT_A, generating_kernel
+from .reduce import reduction_schedule
+
+__all__ = [
+    "reduction_matrix",
+    "collapse_vector",
+    "fold_resample",
+    "FusedOperators",
+    "operators_for",
+    "operator_cache_stats",
+    "clear_operator_cache",
+]
+
+
+def reduction_matrix(n: int, a: float = DEFAULT_A) -> np.ndarray:
+    """The ``(out, n)`` matrix of one REDUCE pass on a length-``n`` axis.
+
+    Row ``i`` holds the 5-tap kernel at offset ``2 * i`` — applying this
+    matrix is exactly :func:`~repro.pyramid.reduce.reduce_line`.
+    """
+    if n <= 1:
+        raise DimensionError(f"cannot REDUCE a line of length {n}")
+    schedule = reduction_schedule(n)  # validates size-set membership
+    out_n = schedule[1]
+    kernel = generating_kernel(a)
+    matrix = np.zeros((out_n, n), dtype=np.float64)
+    for i in range(out_n):
+        matrix[i, 2 * i : 2 * i + 5] = kernel
+    return matrix
+
+
+def collapse_vector(n: int, a: float = DEFAULT_A) -> np.ndarray:
+    """Weights of the full REDUCE chain ``n`` → 1, shape ``(n,)``.
+
+    ``collapse_vector(n) @ line`` equals reducing ``line`` to a single
+    pixel with repeated REDUCE passes (up to float summation order;
+    differences are ~1e-13 on the uint8 pixel scale).
+    """
+    composed = np.eye(n, dtype=np.float64)
+    length = n
+    while length > 1:
+        composed = reduction_matrix(length, a) @ composed
+        length = composed.shape[0]
+    return composed[0]
+
+
+def fold_resample(
+    weights: np.ndarray, indices: np.ndarray, input_size: int
+) -> np.ndarray:
+    """Push collapse ``weights`` through a resampling gather.
+
+    ``gather[k] = raw[indices[k]]`` followed by ``weights @ gather`` is
+    the same linear map as ``folded @ raw`` where ``folded`` accumulates
+    each weight onto its source position.  Returns ``(input_size,)``.
+    """
+    return np.bincount(
+        np.asarray(indices), weights=np.asarray(weights), minlength=input_size
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class FusedOperators:
+    """The precompiled operators of one ``(FrameGeometry, kernel_a)``.
+
+    The factored form (what :class:`~repro.signature.extract.
+    SignatureExtractor` applies per frame batch):
+
+    Attributes:
+        geometry: the frame geometry the operators were built for.
+        kernel_a: central kernel weight used for every REDUCE chain.
+        tba_row_weights: ``(w_est,)`` — row collapse of the raw TBA
+            with the ``w' → w`` row resample folded in.
+        tba_col_idx: ``(L,)`` — column gather ``L' → L`` applied to the
+            row-collapsed line to obtain the signature.
+        signature_collapse: ``(L,)`` — collapse of the signature to
+            ``Sign^BA``.
+        foa_row_weights: ``(h_est,)`` — row collapse of the raw FOA
+            with the ``h' → h`` resample folded in.
+        foa_col_weights: ``(b_est,)`` — column collapse with the
+            ``b' → b`` resample folded in; ``Sign^OA`` is the bilinear
+            form ``foa_row_weights^T · FOA · foa_col_weights``.
+    """
+
+    geometry: FrameGeometry
+    kernel_a: float
+    tba_row_weights: np.ndarray
+    tba_col_idx: np.ndarray
+    signature_collapse: np.ndarray
+    foa_row_weights: np.ndarray
+    foa_col_weights: np.ndarray
+
+    # ------------------------------------------------------------------
+    # dense forms — used by the equivalence tests, not the hot path
+    # ------------------------------------------------------------------
+
+    def signature_operator(self) -> np.ndarray:
+        """Dense ``(L, w_est * L_est)`` map: flat raw TBA → signature.
+
+        ``signature[j] = sum_r tba_row_weights[r] * raw[r, tba_col_idx[j]]``
+        per channel, so row ``j`` is nonzero only in column block
+        ``tba_col_idx[j]``.
+        """
+        g = self.geometry
+        dense = np.zeros((g.l, g.w_est, g.l_est), dtype=np.float64)
+        rows = np.arange(g.l)[:, None]
+        strip = np.arange(g.w_est)[None, :]
+        dense[rows, strip, self.tba_col_idx[:, None]] = self.tba_row_weights[None, :]
+        return dense.reshape(g.l, g.w_est * g.l_est)
+
+    def sign_ba_operator(self) -> np.ndarray:
+        """Dense ``(w_est * L_est,)`` map: flat raw TBA → ``Sign^BA``."""
+        return self.signature_collapse @ self.signature_operator()
+
+    def sign_oa_operator(self) -> np.ndarray:
+        """Dense ``(h_est * b_est,)`` map: flat raw FOA → ``Sign^OA``."""
+        return np.outer(self.foa_row_weights, self.foa_col_weights).ravel()
+
+
+def _build_operators(
+    geometry: FrameGeometry,
+    kernel_a: float,
+    tba_row_idx: np.ndarray,
+    tba_col_idx: np.ndarray,
+    foa_row_idx: np.ndarray,
+    foa_col_idx: np.ndarray,
+) -> FusedOperators:
+    """Compose the collapse chains and fold the resampling gathers."""
+    g = geometry
+    return FusedOperators(
+        geometry=g,
+        kernel_a=kernel_a,
+        tba_row_weights=fold_resample(
+            collapse_vector(g.w, kernel_a), tba_row_idx, g.w_est
+        ),
+        tba_col_idx=np.asarray(tba_col_idx).copy(),
+        signature_collapse=collapse_vector(g.l, kernel_a),
+        foa_row_weights=fold_resample(
+            collapse_vector(g.h, kernel_a), foa_row_idx, g.h_est
+        ),
+        foa_col_weights=fold_resample(
+            collapse_vector(g.b, kernel_a), foa_col_idx, g.b_est
+        ),
+    )
+
+
+_OPERATOR_CACHE = KeyedLRU(capacity=64, name="fused_operators")
+
+
+def operators_for(
+    geometry: FrameGeometry,
+    kernel_a: float = DEFAULT_A,
+    *,
+    tba_row_idx: np.ndarray,
+    tba_col_idx: np.ndarray,
+    foa_row_idx: np.ndarray,
+    foa_col_idx: np.ndarray,
+) -> FusedOperators:
+    """Fetch (or build and cache) the operators of one geometry.
+
+    The resample index vectors are supplied by the caller (they are a
+    pure function of the geometry, so they are deliberately *not* part
+    of the cache key).  Raises :class:`DimensionError` when the snapped
+    dimensions are not size-set members (``snap_to_size_set=False``
+    geometries cannot be collapsed).
+    """
+    return _OPERATOR_CACHE.get_or_create(
+        (geometry, kernel_a),
+        lambda: _build_operators(
+            geometry, kernel_a, tba_row_idx, tba_col_idx, foa_row_idx, foa_col_idx
+        ),
+    )
+
+
+def operator_cache_stats() -> dict:
+    """Statistics of the process-wide operator cache (for ``/metrics``)."""
+    return _OPERATOR_CACHE.stats()
+
+
+def clear_operator_cache() -> None:
+    """Drop all cached operators (test isolation hook)."""
+    _OPERATOR_CACHE.clear()

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import RegionConfig, SBDConfig
+from ..config import ExtractionConfig, RegionConfig, SBDConfig
 from ..errors import ShotError
 from ..signature.extract import ClipFeatures, SignatureExtractor
 from ..video.clip import VideoClip
@@ -88,6 +88,9 @@ class CameraTrackingDetector:
         region_config: background/object area geometry.
         max_shift: optional bound on the stage-3 alignment search; None
             (default) searches all shifts like the paper.
+        extraction: execution knobs of the feature-extraction fast
+            path (fused operators, chunking, workers); results are
+            identical for every setting.
     """
 
     def __init__(
@@ -95,10 +98,12 @@ class CameraTrackingDetector:
         config: SBDConfig | None = None,
         region_config: RegionConfig | None = None,
         max_shift: int | None = None,
+        extraction: ExtractionConfig | None = None,
     ) -> None:
         self.config = config or SBDConfig()
         self.region_config = region_config or RegionConfig()
         self.max_shift = max_shift
+        self.extraction = extraction or ExtractionConfig()
 
     def detect(self, clip: VideoClip) -> DetectionResult:
         """Segment ``clip`` into shots.
@@ -108,7 +113,7 @@ class CameraTrackingDetector:
         post-filter.
         """
         extractor = SignatureExtractor.for_clip(clip, config=self.region_config)
-        features = extractor.extract_clip(clip)
+        features = extractor.extract_clip(clip, extraction=self.extraction)
         return self.detect_from_features(features, clip_name=clip.name)
 
     def detect_from_features(
@@ -162,12 +167,16 @@ class CameraTrackingDetector:
         counts.stage2_same = int(stage2_pass.sum())
         boundaries: list[int] = []
         min_run = cfg.min_match_run_fraction * signatures.shape[1]
+        # Stage 3 on the raw uint8 signatures: the matcher compares
+        # them in int16 (exact) and prunes diagonals against min_run.
+        sig_u8 = features.signatures_ba
         for pair in pending[~stage2_pass]:
             run = longest_match_run(
-                signatures[pair],
-                signatures[pair + 1],
+                sig_u8[pair],
+                sig_u8[pair + 1],
                 cfg.pixel_match_tolerance,
                 max_shift=self.max_shift,
+                min_run=min_run,
             )
             if run >= min_run:
                 counts.stage3_same += 1

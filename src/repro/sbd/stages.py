@@ -9,11 +9,17 @@ same shot? — at increasing cost:
   run of matching pixels over every alignment (the camera-tracking
   step proper).
 
-Stage 3 is implemented as a dynamic program over the pairwise match
-matrix: ``run[i, j] = (run[i-1, j-1] + 1) * match[i, j]``.  Every
-diagonal of the matrix corresponds to one shift, so the global maximum
-of ``run`` *is* the running maximum over all shifts that the paper
-describes, at O(L^2) total instead of O(L^3).
+Stage 3 walks the diagonals of the pairwise match matrix: every
+diagonal corresponds to one shift, and the longest run of consecutive
+matches along any diagonal *is* the running maximum over all shifts
+that the paper describes.  :func:`longest_match_run` lays the kept
+diagonals out as columns of a band and finds every column's longest
+``True`` run in one vectorized prefix-maximum pass — no Python loop
+over rows — after pruning diagonals that ``max_shift`` excludes or
+that are too short to ever reach ``min_run``.  The original row-by-row
+dynamic program (``run[i, j] = (run[i-1, j-1] + 1) * match[i, j]``) is
+kept as :func:`longest_match_run_dp`, the independently-derived
+reference the fast matcher is tested against.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ __all__ = [
     "stage1_sign_test",
     "stage2_signature_test",
     "longest_match_run",
+    "longest_match_run_dp",
     "stage3_shift_match",
     "classify_pair",
 ]
@@ -64,11 +71,25 @@ def stage2_signature_test(
     return bool(mean_diff < tolerance * 256.0)
 
 
+def _validate_signature_pair(
+    signature_a: np.ndarray, signature_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(signature_a)
+    b = np.asarray(signature_b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise DimensionError(
+            f"signatures must be (L, channels) with equal channels, "
+            f"got {a.shape} and {b.shape}"
+        )
+    return a, b
+
+
 def longest_match_run(
     signature_a: np.ndarray,
     signature_b: np.ndarray,
     pixel_tolerance: float,
     max_shift: int | None = None,
+    min_run: float | None = None,
 ) -> int:
     """Longest run of matching pixels over all relative shifts.
 
@@ -78,16 +99,90 @@ def longest_match_run(
     main one), modelling a bound on inter-frame camera motion; None
     searches every alignment, as in the paper.
 
-    Returns the length of the longest matching run (0 when nothing
-    matches).
+    ``min_run`` is a pruning hint: diagonals too short to ever reach it
+    are skipped before any pixel is compared.  The result is then
+    *decision-exact* — it is ``>= min_run`` iff the true maximum is —
+    and value-exact whenever it is ``>= min_run``; below the threshold
+    it may undershoot the true maximum (only runs that were already too
+    short are dropped).  With ``min_run=None`` the result is always the
+    exact maximum and agrees with :func:`longest_match_run_dp`.
+
+    uint8 signatures are compared in int16 (exact, and much cheaper
+    than the float64 path).  Returns the run length (0 when nothing
+    matches or every diagonal is pruned).
     """
-    a = np.asarray(signature_a, dtype=np.float64)
-    b = np.asarray(signature_b, dtype=np.float64)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
-        raise DimensionError(
-            f"signatures must be (L, channels) with equal channels, "
-            f"got {a.shape} and {b.shape}"
+    a, b = _validate_signature_pair(signature_a, signature_b)
+    if max_shift is not None and max_shift < 0:
+        raise DimensionError(f"max_shift must be >= 0, got {max_shift}")
+    la, lb = a.shape[0], b.shape[0]
+    threshold = pixel_tolerance * 256.0
+    # The kept shifts always form one contiguous interval [lo, hi]:
+    # pixel i of a aligns with pixel i + s of b.
+    lo, hi = -(la - 1), lb - 1
+    if max_shift is not None:
+        lo, hi = max(lo, -max_shift), min(hi, max_shift)
+    if min_run is not None and min_run > 1:
+        # A diagonal at shift s has min(la, lb - s) - max(0, -s) pixels;
+        # it can only host a run >= min_run when that length allows it.
+        need = int(np.ceil(min_run))
+        if need > min(la, lb):
+            return 0
+        lo, hi = max(lo, need - la), min(hi, lb - need)
+    if lo > hi or la == 0 or lb == 0:
+        return 0
+    if a.dtype == np.uint8 and b.dtype == np.uint8:
+        a_cmp, b_cmp = a.astype(np.int16), b.astype(np.int16)
+    else:
+        a_cmp = np.asarray(a, dtype=np.float64)
+        b_cmp = np.asarray(b, dtype=np.float64)
+    n_shifts = hi - lo + 1
+    # band[i, k] == match[i, i + lo + k]: column k is the diagonal at
+    # shift lo + k, padded with False where it leaves the matrix.
+    if n_shifts < lb:
+        # Narrow band (max_shift and/or min_run pruned most diagonals):
+        # gather just the needed pixels of b per (row, shift).
+        j = np.arange(la)[:, None] + np.arange(lo, hi + 1)[None, :]
+        valid = (j >= 0) & (j < lb)
+        gathered = b_cmp[np.clip(j, 0, lb - 1)]
+        diff = np.abs(a_cmp[:, None, :] - gathered).max(axis=-1)
+        band = (diff < threshold) & valid
+    else:
+        # Wide band: one full match matrix is cheaper than gathering
+        # (almost) every entry three channels at a time.  lo <= 0 here:
+        # the min_run prune guarantees lo <= need - la <= 0 and
+        # max_shift only ever raises lo toward 0.
+        diff = np.abs(a_cmp[:, None, :] - b_cmp[None, :, :]).max(axis=-1)
+        padded = np.zeros((la, n_shifts + la - 1), dtype=bool)
+        padded[:, -lo : -lo + lb] = diff < threshold
+        stride_i, stride_k = padded.strides
+        band = np.lib.stride_tricks.as_strided(
+            padded, shape=(la, n_shifts), strides=(stride_i + stride_k, stride_k)
         )
+    # Longest True-run per column in one prefix-maximum sweep: each
+    # False row marks itself, the running maximum carries the most
+    # recent False downward, and row minus last-False is the length of
+    # the run ending at that row.
+    idx = np.arange(la, dtype=np.int32)[:, None]
+    last_false = np.maximum.accumulate(np.where(band, np.int32(-1), idx), axis=0)
+    return int((idx - last_false).max(initial=0))
+
+
+def longest_match_run_dp(
+    signature_a: np.ndarray,
+    signature_b: np.ndarray,
+    pixel_tolerance: float,
+    max_shift: int | None = None,
+) -> int:
+    """Reference row-by-row dynamic program for the stage-3 matcher.
+
+    ``run[i, j] = (run[i-1, j-1] + 1) * match[i, j]`` over the full
+    match matrix.  Independently derived from (and tested against)
+    :func:`longest_match_run`; kept for the equivalence tests and as
+    executable documentation of the recurrence.
+    """
+    a, b = _validate_signature_pair(signature_a, signature_b)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
     la, lb = a.shape[0], b.shape[0]
     # match[i, j] == True when pixel i of a matches pixel j of b.
     diff = np.abs(a[:, None, :] - b[None, :, :]).max(axis=-1)
@@ -98,7 +193,6 @@ def longest_match_run(
         i_idx = np.arange(la)[:, None]
         j_idx = np.arange(lb)[None, :]
         match &= np.abs(i_idx - j_idx) <= max_shift
-    # Diagonal run-length DP, one row at a time (vectorized across j).
     best = 0
     prev = np.zeros(lb, dtype=np.int64)
     for i in range(la):
@@ -124,11 +218,12 @@ def stage3_shift_match(
     The threshold is ``min_run_fraction`` of the shorter signature
     length, so the test is symmetric in its arguments.
     """
-    run = longest_match_run(
-        signature_a, signature_b, pixel_tolerance, max_shift=max_shift
-    )
     length = min(np.asarray(signature_a).shape[0], np.asarray(signature_b).shape[0])
-    return run >= min_run_fraction * length
+    min_run = min_run_fraction * length
+    run = longest_match_run(
+        signature_a, signature_b, pixel_tolerance, max_shift=max_shift, min_run=min_run
+    )
+    return run >= min_run
 
 
 def classify_pair(
@@ -167,10 +262,15 @@ def classify_pair(
         if counts is not None:
             counts.stage2_same += 1
         return True
+    min_run = config.min_match_run_fraction * np.asarray(signature_a).shape[0]
     run = longest_match_run(
-        signature_a, signature_b, config.pixel_match_tolerance, max_shift=max_shift
+        signature_a,
+        signature_b,
+        config.pixel_match_tolerance,
+        max_shift=max_shift,
+        min_run=min_run,
     )
-    if run >= config.min_match_run_fraction * np.asarray(signature_a).shape[0]:
+    if run >= min_run:
         if counts is not None:
             counts.stage3_same += 1
         return True

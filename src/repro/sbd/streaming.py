@@ -70,7 +70,7 @@ class StreamingCameraTrackingDetector:
     ) -> None:
         self.config = config or SBDConfig()
         self.max_shift = max_shift
-        self._extractor = SignatureExtractor(rows, cols, config=region_config)
+        self._extractor = SignatureExtractor.cached(rows, cols, config=region_config)
         self.stage_counts = StageCounts()
         self._finished = False
         # Current *confirmed* shot under construction.

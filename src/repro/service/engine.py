@@ -552,8 +552,13 @@ class ServiceEngine:
 
     def metrics_payload(self) -> dict[str, Any]:
         """The observability document served at ``GET /metrics``."""
+        from ..pyramid.fused import operator_cache_stats
+        from ..signature.extract import SignatureExtractor
+
         payload = self.metrics.snapshot()
         payload["query_cache"] = self.cache.stats()
+        payload["extractor_cache"] = SignatureExtractor.cache_stats()
+        payload["fused_operator_cache"] = operator_cache_stats()
         payload["uptime_s"] = round(time.time() - self.started_at, 3)
         return payload
 

@@ -1,22 +1,34 @@
 """Batched extraction of signatures and signs from frames and clips.
 
 :class:`SignatureExtractor` binds the region geometry of one frame size
-(Sec. 2.2) and converts frames into their features.  Whole clips are
-processed in a single vectorized pass: region crops, the FBA → TBA
-unfolding, size-set resampling and every Gaussian REDUCE step all
-carry the frame axis along, so a thousand-frame clip costs a handful of
-numpy calls rather than a Python loop per frame.
+(Sec. 2.2) and converts frames into their features.  Two execution
+paths produce byte-identical :class:`ClipFeatures`:
+
+* the **fused** path (default) applies the precompiled linear
+  operators of :mod:`repro.pyramid.fused` — one GEMM per region over
+  the whole frame batch, reading the uint8 region views directly;
+* the **reference** path runs the original multi-pass pipeline
+  (crop → unfold → resample → repeated Gaussian REDUCE), kept as the
+  independently-derived ground truth the fast path is tested against.
+
+Long clips can be processed in bounded-memory chunks, optionally across
+a thread pool (:class:`~repro.config.ExtractionConfig`); extractors
+themselves are memoized per ``(rows, cols, RegionConfig, kernel_a)`` so
+concurrent service ingest workers share geometry and operators.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import RegionConfig
+from ..caching import KeyedLRU
+from ..config import ExtractionConfig, RegionConfig
 from ..errors import EmptyClipError, FrameError
 from ..geometry.regions import FrameGeometry, compute_frame_geometry
+from ..pyramid.fused import FusedOperators, operators_for
 from ..pyramid.kernel import DEFAULT_A
 from ..pyramid.reduce import reduce_line
 from ..video.clip import VideoClip
@@ -24,10 +36,26 @@ from ..video.frame import validate_frame, validate_frames
 
 __all__ = ["FrameFeatures", "ClipFeatures", "SignatureExtractor"]
 
+#: Tie-break nudge for half-up rounding, far below any real feature
+#: difference (pixel scale is 1.0) but far above the ~1e-13 float noise
+#: separating the fused and multi-pass summation orders.
+_HALF_UP_EPS = 2.0**-30
+
 
 def _quantize(values: np.ndarray) -> np.ndarray:
-    """Round float features to the uint8 grid the paper's tables use."""
-    return np.clip(np.rint(values), 0, 255).astype(np.uint8)
+    """Round float features to the uint8 grid the paper's tables use.
+
+    Rounds half *up* with a tiny nudge rather than half-to-even: the
+    symmetric REDUCE taps make features land exactly on ``x.5``
+    surprisingly often (e.g. a center pixel equal to the mean of its
+    outer neighbours cancels the kernel's ``a`` term), and there the
+    rounded byte would otherwise depend on which float summation order
+    produced the value.  The nudge maps the whole noise cloud around
+    every such tie to the same integer, which is what makes the fused
+    and reference paths byte-identical.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return np.clip(np.floor(values + (0.5 + _HALF_UP_EPS)), 0, 255).astype(np.uint8)
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +110,8 @@ class SignatureExtractor:
         kernel_a: central weight of the pyramid generating kernel.
     """
 
+    _CACHE = KeyedLRU(capacity=64, name="signature_extractors")
+
     def __init__(
         self,
         rows: int,
@@ -98,6 +128,31 @@ class SignatureExtractor:
         self._foa_row_idx, self._foa_col_idx = self._resample_indices(
             (self.geometry.h_est, self.geometry.b_est), self.geometry.foa_shape
         )
+        # Built on first fused extraction: geometries produced with
+        # snap_to_size_set=False cannot be collapsed, and they should
+        # fail at extraction time (as the reference path does), not at
+        # construction time.
+        self._fused_ops: FusedOperators | None = None
+
+    @classmethod
+    def cached(
+        cls,
+        rows: int,
+        cols: int,
+        config: RegionConfig | None = None,
+        kernel_a: float = DEFAULT_A,
+    ) -> "SignatureExtractor":
+        """Memoized constructor.
+
+        Extractors are immutable after construction, so all callers of
+        one ``(rows, cols, RegionConfig, kernel_a)`` combination share
+        a single instance — service ingest workers stop recomputing
+        geometry and resample indices per clip.
+        """
+        key = (cls, rows, cols, config or RegionConfig(), kernel_a)
+        return cls._CACHE.get_or_create(
+            key, lambda: cls(rows, cols, config=config, kernel_a=kernel_a)
+        )
 
     @classmethod
     def for_clip(
@@ -106,8 +161,18 @@ class SignatureExtractor:
         config: RegionConfig | None = None,
         kernel_a: float = DEFAULT_A,
     ) -> "SignatureExtractor":
-        """Build an extractor matching ``clip``'s frame size."""
-        return cls(clip.rows, clip.cols, config=config, kernel_a=kernel_a)
+        """Build (or fetch the memoized) extractor for ``clip``'s frame size."""
+        return cls.cached(clip.rows, clip.cols, config=config, kernel_a=kernel_a)
+
+    @classmethod
+    def cache_stats(cls) -> dict:
+        """Statistics of the extractor memo cache (for ``/metrics``)."""
+        return cls._CACHE.stats()
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop all memoized extractors (test isolation hook)."""
+        cls._CACHE.clear()
 
     @staticmethod
     def _resample_indices(
@@ -124,46 +189,118 @@ class SignatureExtractor:
     # batched region extraction
     # ------------------------------------------------------------------
 
-    def _batch_tba(self, frames: np.ndarray) -> np.ndarray:
-        """Unfold and resample the FBA of a frame stack → ``(n, w, L, 3)``."""
+    def _batch_fba_strips(
+        self, frames: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three FBA strips in TBA orientation, as views where possible.
+
+        Rotations mirror :func:`repro.geometry.transform.unfold_fba`,
+        with the frame axis carried in front (axes 1, 2 are the image
+        plane).  Concatenated on axis 2 as ``[left, top, right]`` they
+        form the raw ``(n, w', L', 3)`` TBA.
+        """
         g = self.geometry
         w = g.w_est
         top = frames[:, :w, :, :]
-        left = frames[:, w:, :w, :]
-        right = frames[:, w:, g.cols - w :, :]
-        # Rotations mirror repro.geometry.transform.unfold_fba, with the
-        # frame axis carried in front (axes 1, 2 are the image plane).
-        left_strip = np.rot90(left, k=-1, axes=(1, 2))
-        right_strip = np.rot90(right, k=1, axes=(1, 2))
-        raw = np.concatenate([left_strip, top, right_strip], axis=2)
+        left_strip = np.rot90(frames[:, w:, :w, :], k=-1, axes=(1, 2))
+        right_strip = np.rot90(frames[:, w:, g.cols - w :, :], k=1, axes=(1, 2))
+        return left_strip, top, right_strip
+
+    def _batch_tba(self, frames: np.ndarray) -> np.ndarray:
+        """Unfold and resample the FBA of a frame stack → ``(n, w, L, 3)``."""
+        raw = np.concatenate(self._batch_fba_strips(frames), axis=2)
         return raw[:, self._tba_row_idx[:, None], self._tba_col_idx[None, :], :]
+
+    def _batch_foa_raw(self, frames: np.ndarray) -> np.ndarray:
+        """Crop the raw FOA of a frame stack → ``(n, h', b', 3)`` view."""
+        g = self.geometry
+        w = g.w_est
+        return frames[:, w:, w : g.cols - w, :]
 
     def _batch_foa(self, frames: np.ndarray) -> np.ndarray:
         """Crop and resample the FOA of a frame stack → ``(n, h, b, 3)``."""
-        g = self.geometry
-        w = g.w_est
-        raw = frames[:, w:, w : g.cols - w, :]
+        raw = self._batch_foa_raw(frames)
         return raw[:, self._foa_row_idx[:, None], self._foa_col_idx[None, :], :]
 
     def _reduce_axis1_to_one(self, stack: np.ndarray) -> np.ndarray:
         """REDUCE axis 1 until its extent is 1, then drop it.
 
         Works for ``(n, rows, cols, 3)`` → ``(n, cols, 3)`` and for
-        ``(n, length, 3)`` → ``(n, 3)``.  float32 keeps the memory
-        traffic of clip-sized stacks in check; the features are
-        quantized to uint8 afterwards anyway.
+        ``(n, length, 3)`` → ``(n, 3)``.  float64 throughout: this is
+        the reference path the fused operators are checked against
+        byte-for-byte, so both must share the same precision.
         """
-        data = np.asarray(stack, dtype=np.float32)
+        data = np.asarray(stack, dtype=np.float64)
         while data.shape[1] > 1:
             data = reduce_line(data, a=self._kernel_a, axis=1)
         return data[:, 0]
 
     # ------------------------------------------------------------------
+    # the two extraction paths (one chunk each)
+    # ------------------------------------------------------------------
+
+    def _operators(self) -> FusedOperators:
+        """The fused operators of this geometry (process-wide cache)."""
+        if self._fused_ops is None:
+            self._fused_ops = operators_for(
+                self.geometry,
+                self._kernel_a,
+                tba_row_idx=self._tba_row_idx,
+                tba_col_idx=self._tba_col_idx,
+                foa_row_idx=self._foa_row_idx,
+                foa_col_idx=self._foa_col_idx,
+            )
+        return self._fused_ops
+
+    def _extract_block_fused(
+        self, frames: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One GEMM per region over a frame block (see pyramid.fused).
+
+        The einsums read the strided uint8 region views directly —
+        no float copy of the frame data is ever materialized, only the
+        already-collapsed ``(n, L', 3)`` / ``(n, b', 3)`` lines.
+        """
+        ops = self._operators()
+        left, top, right = self._batch_fba_strips(frames)
+        row_w = ops.tba_row_weights
+        line = np.concatenate(
+            [np.einsum("nwlc,w->nlc", strip, row_w) for strip in (left, top, right)],
+            axis=1,
+        )
+        signatures = line[:, ops.tba_col_idx, :]
+        signs_ba = np.einsum("nlc,l->nc", signatures, ops.signature_collapse)
+        foa = self._batch_foa_raw(frames)
+        foa_lines = np.einsum("nrbc,r->nbc", foa, ops.foa_row_weights)
+        signs_oa = np.einsum("nbc,b->nc", foa_lines, ops.foa_col_weights)
+        return _quantize(signatures), _quantize(signs_ba), _quantize(signs_oa)
+
+    def _extract_block_reference(
+        self, frames: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The original multi-pass REDUCE pipeline over a frame block."""
+        tba = self._batch_tba(frames)
+        signatures = self._reduce_axis1_to_one(tba)  # (n, L, 3) float
+        signs_ba = self._reduce_axis1_to_one(signatures)  # (n, 3) float
+        foa = self._batch_foa(frames)
+        foa_lines = self._reduce_axis1_to_one(foa)  # (n, b, 3) float
+        signs_oa = self._reduce_axis1_to_one(foa_lines)  # (n, 3) float
+        return _quantize(signatures), _quantize(signs_ba), _quantize(signs_oa)
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
-    def extract_frames(self, frames: np.ndarray) -> ClipFeatures:
-        """Extract features for a stack of frames ``(n, rows, cols, 3)``."""
+    def extract_frames(
+        self, frames: np.ndarray, extraction: ExtractionConfig | None = None
+    ) -> ClipFeatures:
+        """Extract features for a stack of frames ``(n, rows, cols, 3)``.
+
+        ``extraction`` selects the execution strategy (fused vs.
+        reference path, chunk size, worker threads) without changing
+        the result; the default is the fused path in 256-frame chunks.
+        """
+        options = extraction or ExtractionConfig()
         validate_frames(frames)
         if len(frames) == 0:
             raise EmptyClipError("cannot extract features from zero frames")
@@ -172,22 +309,41 @@ class SignatureExtractor:
                 f"frame stack {frames.shape[1:3]} does not match extractor "
                 f"geometry ({self.geometry.rows}, {self.geometry.cols})"
             )
-        tba = self._batch_tba(frames)
-        signatures = self._reduce_axis1_to_one(tba)  # (n, L, 3) float
-        signs_ba = self._reduce_axis1_to_one(signatures)  # (n, 3) float
-        foa = self._batch_foa(frames)
-        foa_lines = self._reduce_axis1_to_one(foa)  # (n, b, 3) float
-        signs_oa = self._reduce_axis1_to_one(foa_lines)  # (n, 3) float
+        extract = (
+            self._extract_block_fused
+            if options.use_fused
+            else self._extract_block_reference
+        )
+        chunk = options.chunk_frames
+        if chunk is None or chunk >= len(frames):
+            parts = [extract(frames)]
+        else:
+            blocks = [frames[k : k + chunk] for k in range(0, len(frames), chunk)]
+            if options.workers > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(options.workers, len(blocks))
+                ) as pool:
+                    parts = list(pool.map(extract, blocks))
+            else:
+                parts = [extract(block) for block in blocks]
+        if len(parts) == 1:
+            signatures, signs_ba, signs_oa = parts[0]
+        else:
+            signatures = np.concatenate([p[0] for p in parts], axis=0)
+            signs_ba = np.concatenate([p[1] for p in parts], axis=0)
+            signs_oa = np.concatenate([p[2] for p in parts], axis=0)
         return ClipFeatures(
-            signatures_ba=_quantize(signatures),
-            signs_ba=_quantize(signs_ba),
-            signs_oa=_quantize(signs_oa),
+            signatures_ba=signatures,
+            signs_ba=signs_ba,
+            signs_oa=signs_oa,
             geometry=self.geometry,
         )
 
-    def extract_clip(self, clip: VideoClip) -> ClipFeatures:
+    def extract_clip(
+        self, clip: VideoClip, extraction: ExtractionConfig | None = None
+    ) -> ClipFeatures:
         """Extract features for every frame of ``clip``."""
-        return self.extract_frames(clip.frames)
+        return self.extract_frames(clip.frames, extraction=extraction)
 
     def extract_frame(self, frame: np.ndarray) -> FrameFeatures:
         """Extract the features of a single frame."""

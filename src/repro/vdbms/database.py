@@ -78,7 +78,9 @@ class VideoDatabase:
         self.trees: dict[str, SceneTree] = {}
         self.detections: dict[str, DetectionResult] = {}
         self._detector = CameraTrackingDetector(
-            config=self.config.sbd, region_config=self.config.region
+            config=self.config.sbd,
+            region_config=self.config.region,
+            extraction=self.config.extraction,
         )
 
     # ------------------------------------------------------------------

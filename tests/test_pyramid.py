@@ -150,3 +150,44 @@ class TestStripReduction:
         strip = rng.uniform(0, 255, size=(13, 61, 3))
         signature, sign = signature_and_sign(strip)
         assert np.allclose(sign, reduce_to_sign(strip))
+
+
+class TestReduceDtypeHandling:
+    """reduce_line keeps the kernel taps in float64 for every input dtype.
+
+    Casting the taps down to float32 would perturb each by ~1e-8 and
+    bias all downstream features; the float32 path instead multiplies
+    float32 data by exact float64 taps and only the accumulator stays
+    float32 (tolerance note in the reduce_line docstring).
+    """
+
+    def test_float32_input_stays_float32(self):
+        line = np.random.default_rng(0).uniform(0, 255, 13).astype(np.float32)
+        assert reduce_line(line).dtype == np.float32
+
+    def test_integer_input_promotes_to_float64(self):
+        line = np.arange(13, dtype=np.uint8)
+        assert reduce_line(line).dtype == np.float64
+
+    def test_float32_tracks_float64_within_tolerance(self):
+        rng = np.random.default_rng(42)
+        data64 = rng.uniform(0, 255, size=(4, 125, 3))
+        data32 = data64.astype(np.float32)
+        out64, out32 = data64, data32
+        while out64.shape[1] > 1:
+            out64 = reduce_line(out64, axis=1)
+            out32 = reduce_line(out32, axis=1)
+        assert np.abs(out32.astype(np.float64) - out64).max() < 1e-3
+
+    def test_dtypes_agree_after_quantization(self):
+        """Satellite check: float32 and float64 chains quantize identically."""
+        from repro.signature.extract import _quantize
+
+        rng = np.random.default_rng(7)
+        data64 = rng.integers(0, 256, size=(8, 253, 3)).astype(np.float64)
+        data32 = data64.astype(np.float32)
+        out64, out32 = data64, data32
+        while out64.shape[1] > 1:
+            out64 = reduce_line(out64, axis=1)
+            out32 = reduce_line(out32, axis=1)
+        np.testing.assert_array_equal(_quantize(out32), _quantize(out64))
