@@ -10,6 +10,7 @@
     python -m repro experiment table5 -- 0.2
     python -m repro serve --db ./videodb --port 8080
     python -m repro loadgen --url http://127.0.0.1:8080 --requests 500
+    python -m repro fsck ./videodb --repair
 
 `ingest` accepts ``.avi`` (uncompressed 24-bit) and ``.rvid`` files and
 decimates to 3 fps before analysis, like the paper's pipeline.  The
@@ -296,9 +297,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = _pipeline_config(args)
     db = None
     if args.db:
-        storage = DatabaseStorage(args.db)
-        if storage.exists():
-            db = VideoDatabase.load(args.db, config=config)
+        # A --db server is durable: open() binds the database to its
+        # directory, so every accepted ingest is committed (staging
+        # write -> fsync -> manifest swap) before the job reports done.
+        db = VideoDatabase.open(args.db, config=config)
     engine = ServiceEngine(
         db, config=config, n_workers=args.workers, cache_capacity=args.cache_size
     )
@@ -363,6 +365,62 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"{cache['invalidations']} invalidations"
         )
     return 0 if report["failed_requests"] == 0 and not report["ingest_failures"] else 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Verify (and optionally repair) a database directory.
+
+    Exit status 0 means every tracked file checks out; 1 means the
+    directory is empty, damaged, or repair could not make it clean.
+    """
+    import json as json_module
+
+    storage = DatabaseStorage(args.root)
+    report = storage.fsck()
+    quarantined_files: list[str] = []
+    dropped_videos: list[str] = []
+    if args.repair and report.mode != "empty" and (
+        report.problems() or report.untracked
+    ):
+        # Reload what survives first (a corrupt catalog or index is
+        # beyond repair and raises here), then move damaged and
+        # untracked files aside and rewrite a clean generation.
+        db = VideoDatabase.load(args.root, recover=True)
+        for check in report.problems():
+            if check.path and (storage.root / check.path).exists():
+                storage.quarantine(check.path)
+                quarantined_files.append(check.path)
+        for relpath in report.untracked:
+            if (storage.root / relpath).exists():
+                storage.quarantine(relpath)
+                quarantined_files.append(relpath)
+        dropped_videos = list(db.quarantined)
+        db.save(args.root)
+        report = storage.fsck()
+    if args.json:
+        payload = report.to_dict()
+        if args.repair:
+            payload["quarantined_files"] = quarantined_files
+            payload["dropped_videos"] = dropped_videos
+        print(json_module.dumps(payload, indent=2))
+        return 0 if report.clean else 1
+    generation = f" generation {report.generation}" if report.generation else ""
+    print(f"{report.root}: {report.mode}{generation}")
+    for check in report.checks:
+        marker = "ok" if check.ok else "BAD"
+        detail = f"  ({check.detail})" if check.detail else ""
+        print(f"  [{marker:3s}] {check.logical:24s} {check.status}{detail}")
+    for relpath in report.untracked:
+        print(f"  [ - ] {relpath} (untracked)")
+    for relpath in quarantined_files:
+        print(f"  quarantined {relpath}")
+    for video_id in dropped_videos:
+        print(f"  dropped video {video_id!r} (unreadable scene tree)")
+    if report.mode == "empty":
+        print("  no database here")
+        return 1
+    print("clean" if report.clean else "PROBLEMS FOUND (try --repair)")
+    return 0 if report.clean else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -496,6 +554,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", help="write the full JSON report here")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "fsck", help="verify a database directory against its manifest"
+    )
+    p.add_argument("root", help="database directory")
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine damaged/untracked files and rewrite a clean state",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument("name", help="table1..table5, figure6, figure7, figures8_10, sensitivity, retrieval_matrix")

@@ -21,6 +21,7 @@ __all__ = [
     "QueryError",
     "CatalogError",
     "StorageError",
+    "StorageIntegrityError",
     "WorkloadError",
 ]
 
@@ -76,6 +77,17 @@ class CatalogError(ReproError):
 
 class StorageError(ReproError):
     """The on-disk database layout is missing or inconsistent."""
+
+
+class StorageIntegrityError(StorageError):
+    """A stored file's bytes do not match its manifest record.
+
+    Raised when a checksum or size check fails on load — the file was
+    torn by a crash or silently corrupted by the disk.  Distinct from
+    plain :class:`StorageError` so callers (e.g. the service ingest
+    retry loop) can treat it as *permanent*: re-reading corrupt bytes
+    never helps, unlike a transient I/O failure.
+    """
 
 
 class WorkloadError(ReproError):

@@ -12,24 +12,35 @@ an ingest takes the write side only for the final registration step
 Ingest itself is asynchronous: ``submit_*`` enqueues a job on a
 ``queue.Queue`` drained by a small pool of worker threads and returns a
 job id immediately; clients poll ``GET /jobs/<id>`` through the job
-lifecycle ``queued -> running -> done | failed``.
+lifecycle ``queued -> running -> done | failed | quarantined``.
+
+Workers absorb *transient* faults: an ``OSError`` or
+:class:`~repro.errors.StorageError` from the durable publish is retried
+up to ``max_attempts`` times with jittered exponential backoff (the
+durable database rolls its memory state back on a failed publish, so a
+retry re-runs the ingest cleanly).  A job that keeps failing is moved
+to ``quarantined`` — surfaced at ``GET /jobs/<id>`` and counted in
+``/metrics`` — instead of wedging the worker pool.  *Permanent* errors
+(a duplicate video id, a malformed spec, a missing file, detected
+on-disk corruption) fail immediately; retrying cannot fix them.
 """
 
 from __future__ import annotations
 
 import itertools
 import queue
+import random
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
 from ..config import PipelineConfig, QueryConfig
-from ..errors import ReproError, WorkloadError
+from ..errors import ReproError, StorageError, StorageIntegrityError, WorkloadError
 from ..scenetree.serialize import scene_tree_to_dict
 from ..vdbms.database import QueryAnswer, VideoDatabase
 from ..video.clip import VideoClip
@@ -123,12 +134,16 @@ class ReadWriteLock:
 
 
 class JobStatus(str, Enum):
-    """Lifecycle of an ingest job: queued -> running -> done | failed."""
+    """Lifecycle: queued -> running -> done | failed | quarantined."""
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    #: Every attempt hit a transient fault; the job is parked so it
+    #: cannot wedge the worker pool, and the failure is permanent from
+    #: the client's point of view until an operator intervenes.
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -146,6 +161,7 @@ class IngestJob:
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    attempts: int = 0
     error: str | None = None
     report: dict[str, Any] | None = None
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -159,6 +175,7 @@ class IngestJob:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "attempts": self.attempts,
         }
         if self.error is not None:
             payload["error"] = self.error
@@ -279,6 +296,13 @@ class ServiceEngine:
         config: pipeline configuration for a fresh database.
         n_workers: size of the ingest worker pool.
         cache_capacity: LRU query-cache capacity (entries).
+        max_attempts: ingest attempts before a job is quarantined.
+        retry_base_delay: first backoff in seconds; doubles per attempt
+            with +/-50% jitter so colliding workers de-synchronize.
+        ingest_hook: test seam — called with the clip before each
+            ingest attempt; an exception it raises goes through the
+            same transient/permanent classification as a real fault.
+        retry_seed: seeds the jitter RNG for reproducible backoff.
     """
 
     def __init__(
@@ -288,12 +312,22 @@ class ServiceEngine:
         config: PipelineConfig | None = None,
         n_workers: int = 2,
         cache_capacity: int = 256,
+        max_attempts: int = 3,
+        retry_base_delay: float = 0.05,
+        ingest_hook: Callable[[VideoClip], None] | None = None,
+        retry_seed: int | None = None,
     ) -> None:
         from .cache import QueryResultCache
         from .metrics import MetricsRegistry
 
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.retry_base_delay = retry_base_delay
+        self.ingest_hook = ingest_hook
+        self._retry_rng = random.Random(retry_seed)
         self.db = db if db is not None else VideoDatabase(config)
         self.lock = ReadWriteLock()
         self.cache = QueryResultCache(cache_capacity)
@@ -363,6 +397,26 @@ class ServiceEngine:
             finally:
                 self._queue.task_done()
 
+    # OSErrors that no amount of retrying will fix (the path is wrong,
+    # not the weather).  Everything else OSError-shaped — EIO, ENOSPC,
+    # a flaky network mount — is worth another attempt.
+    _PERMANENT_OS_ERRORS = (
+        FileNotFoundError,
+        IsADirectoryError,
+        NotADirectoryError,
+        PermissionError,
+    )
+
+    def _is_transient(self, exc: BaseException) -> bool:
+        """Whether a retry has any chance of succeeding."""
+        if isinstance(exc, StorageIntegrityError):
+            return False  # on-disk corruption: retrying re-reads the same bytes
+        if isinstance(exc, StorageError):
+            return True  # a failed publish (the durable db rolled back)
+        if isinstance(exc, self._PERMANENT_OS_ERRORS):
+            return False
+        return isinstance(exc, OSError)
+
     def _run_job(self, job: IngestJob, payload: Any) -> None:
         job.status = JobStatus.RUNNING
         job.started_at = time.time()
@@ -371,26 +425,47 @@ class ServiceEngine:
                 clip, category = payload
             else:
                 clip, category = clip_from_spec(payload)
-            # The pipeline (detect + tree + features) runs inside
-            # db.ingest but before it touches shared state; the write
-            # lock covers the whole call so a torn registration is
-            # never observable, and queries only stall on the final
-            # publish because they queue behind the waiting writer.
-            with self.lock.write_locked():
-                report = self.db.ingest(clip, category=category)
-                # Invalidate while still exclusive: readers that saw the
-                # pre-ingest database also saw the old generation, so
-                # their late put() calls are rejected (see cache.py).
-                self.cache.invalidate()
-            job.report = {
-                "video_id": report.video_id,
-                "n_frames": report.n_frames,
-                "n_shots": report.n_shots,
-                "tree_height": report.tree_height,
-                "indexed_entries": report.indexed_entries,
-            }
-            job.status = JobStatus.DONE
-            self.metrics.increment("ingest_completed")
+            for attempt in range(1, self.max_attempts + 1):
+                job.attempts = attempt
+                try:
+                    if self.ingest_hook is not None:
+                        self.ingest_hook(clip)
+                    # The pipeline (detect + tree + features) runs inside
+                    # db.ingest but before it touches shared state; the
+                    # write lock covers the whole call so a torn
+                    # registration is never observable, and queries only
+                    # stall on the final publish because they queue
+                    # behind the waiting writer.
+                    with self.lock.write_locked():
+                        report = self.db.ingest(clip, category=category)
+                        # Invalidate while still exclusive: readers that
+                        # saw the pre-ingest database also saw the old
+                        # generation, so their late put() calls are
+                        # rejected (see cache.py).
+                        self.cache.invalidate()
+                except (StorageError, OSError) as exc:
+                    if not self._is_transient(exc):
+                        raise
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    if attempt >= self.max_attempts:
+                        job.status = JobStatus.QUARANTINED
+                        self.metrics.increment("ingest_quarantined")
+                        return
+                    self.metrics.increment("ingest_retries")
+                    delay = self.retry_base_delay * (2 ** (attempt - 1))
+                    time.sleep(delay * (0.5 + self._retry_rng.random()))
+                    continue
+                job.error = None
+                job.report = {
+                    "video_id": report.video_id,
+                    "n_frames": report.n_frames,
+                    "n_shots": report.n_shots,
+                    "tree_height": report.tree_height,
+                    "indexed_entries": report.indexed_entries,
+                }
+                job.status = JobStatus.DONE
+                self.metrics.increment("ingest_completed")
+                return
         except (ReproError, ValueError, OSError) as exc:
             job.error = f"{type(exc).__name__}: {exc}"
             job.status = JobStatus.FAILED

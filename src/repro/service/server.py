@@ -95,8 +95,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             status, payload = self._route(method, segments, split.query)
         except _HTTPProblem as problem:
             status, payload = problem.status, {"error": str(problem)}
-        except (CatalogError, StorageError) as exc:
+        except CatalogError as exc:
             status, payload = 404, {"error": str(exc)}
+        except StorageError as exc:
+            # A durability fault, not a bad request — the client's input
+            # was fine; surface it as a server-side failure.
+            status, payload = 500, {"error": str(exc)}
         except (QueryError, WorkloadError, ValueError) as exc:
             status, payload = 400, {"error": str(exc)}
         except ReproError as exc:

@@ -1,0 +1,42 @@
+"""First-class test infrastructure shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness the storage
+and service layers are verified against: filesystem wrappers that kill
+the process model at the k-th operation, tear writes, or flip bytes,
+plus the kill-point sweep runner that proves every save and ingest is
+atomic (see docs/DURABILITY.md).
+
+:mod:`repro.testing.golden` freezes the extraction pipeline's outputs
+for three seeded clips as byte-exact JSON fixtures, and
+:mod:`repro.testing.synth` assembles deterministic random databases
+without running detection (for property-based persistence tests).
+"""
+
+from .faults import (
+    FaultPoint,
+    FaultyFS,
+    FlakyHook,
+    KillPointRun,
+    RecordingFS,
+    SimulatedCrash,
+    SweepReport,
+    sweep_kill_points,
+)
+from .golden import GOLDEN_SPECS, GoldenSpec, build_clip
+from .synth import add_synth_video, synth_database
+
+__all__ = [
+    "FaultPoint",
+    "FaultyFS",
+    "FlakyHook",
+    "GOLDEN_SPECS",
+    "GoldenSpec",
+    "KillPointRun",
+    "RecordingFS",
+    "SimulatedCrash",
+    "SweepReport",
+    "add_synth_video",
+    "build_clip",
+    "sweep_kill_points",
+    "synth_database",
+]

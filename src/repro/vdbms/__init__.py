@@ -7,7 +7,8 @@ is that integration:
 * :mod:`repro.vdbms.catalog` — video metadata (dimensions, rates,
   genre/form classification);
 * :mod:`repro.vdbms.storage` — the on-disk layout (raw clips, scene
-  trees, the variance index, the catalog);
+  trees, the variance index, the catalog) behind a checksummed
+  manifest with crash-safe publishes (see docs/DURABILITY.md);
 * :mod:`repro.vdbms.database` — :class:`VideoDatabase`: ingest a clip
   (segment → scene tree → index), query by impression, and browse from
   the suggested scene nodes.
@@ -15,7 +16,9 @@ is that integration:
 
 from .catalog import Catalog, CatalogEntry
 from .database import IngestReport, QueryAnswer, VideoDatabase
-from .storage import DatabaseStorage
+from .fsio import LocalFS
+from .manifest import FileRecord, Manifest
+from .storage import DatabaseStorage, FileCheck, FsckReport
 from .query_language import ImpressionQuery, parse_query
 
 __all__ = [
@@ -25,6 +28,11 @@ __all__ = [
     "QueryAnswer",
     "VideoDatabase",
     "DatabaseStorage",
+    "FileCheck",
+    "FileRecord",
+    "FsckReport",
+    "LocalFS",
+    "Manifest",
     "ImpressionQuery",
     "parse_query",
 ]

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..config import PipelineConfig, QueryConfig
-from ..errors import CatalogError
+from ..errors import CatalogError, StorageError
 from ..index.query import VarianceQuery
 from ..index.routing import SceneRoute, route_to_scene_nodes
 from ..index.sorted_index import SortedVarianceIndex
@@ -29,9 +29,12 @@ from ..scenetree.builder import SceneTreeBuilder
 from ..scenetree.nodes import SceneTree
 from ..sbd.detector import CameraTrackingDetector, DetectionResult
 from ..sbd.shots import Shot
+from ..scenetree.serialize import scene_tree_from_dict, scene_tree_to_dict
 from ..video.clip import VideoClip
 from ..workloads.taxonomy import VideoCategory
 from .catalog import Catalog, CatalogEntry
+from .fsio import LocalFS
+from .manifest import TREE_PREFIX
 from .storage import DatabaseStorage
 
 __all__ = ["IngestReport", "QueryAnswer", "VideoDatabase"]
@@ -77,6 +80,11 @@ class VideoDatabase:
         self.index = SortedVarianceIndex()
         self.trees: dict[str, SceneTree] = {}
         self.detections: dict[str, DetectionResult] = {}
+        #: Videos dropped by a recovering load (see :meth:`load`).
+        self.quarantined: list[str] = []
+        #: Bound storage (see :meth:`open`): when set, every ingest and
+        #: remove publishes durably before returning.
+        self._storage: DatabaseStorage | None = None
         self._detector = CameraTrackingDetector(
             config=self.config.sbd,
             region_config=self.config.region,
@@ -144,6 +152,21 @@ class VideoDatabase:
             self.index.insert(entry)
         self.trees[clip.name] = tree
         self.detections[clip.name] = detection
+        if self._storage is not None:
+            # Durable mode: commit this ingest to disk via a manifest
+            # swap before reporting success.  A failed publish leaves
+            # the disk at the pre-ingest state (the manifest was not
+            # swapped), so roll the in-memory registration back too —
+            # memory and disk always agree, and a retry can re-run the
+            # whole ingest without tripping the duplicate check.
+            try:
+                self._publish_incremental(new_tree_id=clip.name)
+            except StorageError:
+                self.catalog.remove(clip.name)
+                self.index.remove_video(clip.name)
+                self.trees.pop(clip.name, None)
+                self.detections.pop(clip.name, None)
+                raise
         return IngestReport(
             video_id=clip.name,
             n_frames=len(clip),
@@ -207,13 +230,28 @@ class VideoDatabase:
         and every index entry.  Returns the number of index entries
         removed.
 
-        The on-disk copy (if any) is untouched until the next
-        :meth:`save`; pass the same root to persist the removal.
+        On a database bound to a root (:meth:`open`) the removal is
+        committed durably before returning; otherwise the on-disk copy
+        (if any) is untouched until the next :meth:`save`.
         """
-        self.catalog.remove(video_id)  # raises CatalogError when unknown
-        self.trees.pop(video_id, None)
-        self.detections.pop(video_id, None)
-        return self.index.remove_video(video_id)
+        entry = self.catalog.remove(video_id)  # raises CatalogError when unknown
+        tree = self.trees.pop(video_id, None)
+        detection = self.detections.pop(video_id, None)
+        index_entries = [e for e in self.index.entries if e.video_id == video_id]
+        removed = self.index.remove_video(video_id)
+        if self._storage is not None:
+            try:
+                self._publish_incremental()
+            except StorageError:
+                self.catalog.add(entry)
+                for index_entry in index_entries:
+                    self.index.insert(index_entry)
+                if tree is not None:
+                    self.trees[video_id] = tree
+                if detection is not None:
+                    self.detections[video_id] = detection
+                raise
+        return removed
 
     def ask(self, text: str) -> QueryAnswer:
         """Run an impression-language query (see
@@ -258,38 +296,151 @@ class VideoDatabase:
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self, root: str | Path, include_videos: bool = False) -> Path:
+    def save(
+        self,
+        root: str | Path,
+        include_videos: bool = False,
+        *,
+        fs: LocalFS | None = None,
+    ) -> Path:
         """Persist catalog, index and scene trees under ``root``.
+
+        The whole state is committed through one atomic manifest swap
+        (see :mod:`repro.vdbms.storage`): a crash mid-save leaves the
+        previous save fully intact.  Scene trees whose content is
+        unchanged are carried over without rewriting; tree files of
+        removed videos are garbage-collected after the commit.
 
         Raw frames are only written with ``include_videos=True`` (they
         dominate disk usage); detection features are recomputed on
-        demand after a load.
+        demand after a load.  ``fs`` overrides the filesystem backend
+        (fault-injection seam).
         """
-        storage = DatabaseStorage(root)
-        storage.initialize()
-        storage.save_catalog(self.catalog)
-        storage.save_index(self.index)
-        for video_id, tree in self.trees.items():
-            storage.save_tree(tree, video_id)
-        # Prune tree files of videos removed since the last save.
-        current = {storage.tree_path(video_id).name for video_id in self.trees}
-        for stale in (storage.root / "trees").glob("*.json"):
-            if stale.name not in current:
-                stale.unlink()
+        root = Path(root)
+        if self._storage is not None and root == self._storage.root and fs is None:
+            storage = self._storage
+        else:
+            storage = DatabaseStorage(root, fs=fs)
+        storage.publish(self._full_state_payloads())
         return storage.root
 
+    def _full_state_payloads(self) -> dict[str, dict]:
+        payloads: dict[str, dict] = {
+            "catalog": self.catalog.to_dict(),
+            "index": self.index.to_dict(),
+        }
+        for video_id, tree in self.trees.items():
+            payloads[TREE_PREFIX + video_id] = scene_tree_to_dict(tree)
+        return payloads
+
+    def _publish_incremental(self, new_tree_id: str | None = None) -> None:
+        """Commit the current state, rewriting as little as possible.
+
+        Only the catalog, the index, and trees the current manifest
+        does not already track (normally just the freshly ingested one)
+        are serialized; every other tree is carried over by reference.
+        """
+        assert self._storage is not None
+        manifest = self._storage.read_manifest()
+        tracked = set(manifest.files) if manifest is not None else set()
+        payloads: dict[str, dict] = {
+            "catalog": self.catalog.to_dict(),
+            "index": self.index.to_dict(),
+        }
+        keep: list[str] = []
+        for video_id, tree in self.trees.items():
+            logical = TREE_PREFIX + video_id
+            if video_id == new_tree_id or logical not in tracked:
+                payloads[logical] = scene_tree_to_dict(tree)
+            else:
+                keep.append(logical)
+        self._storage.publish(payloads, keep=keep)
+
     @classmethod
-    def load(cls, root: str | Path, config: PipelineConfig | None = None) -> "VideoDatabase":
+    def open(
+        cls,
+        root: str | Path,
+        config: PipelineConfig | None = None,
+        *,
+        recover: bool = False,
+        fs: LocalFS | None = None,
+    ) -> "VideoDatabase":
+        """Load-or-create a database *bound* to ``root``.
+
+        A bound database is durable: every :meth:`ingest` and
+        :meth:`remove` commits to disk (staging write → fsync →
+        manifest swap) before returning, so a crash between operations
+        never loses an acknowledged one and a crash mid-operation is
+        invisible after reload.
+        """
+        storage = DatabaseStorage(root, fs=fs)
+        if storage.exists():
+            db = cls.load(root, config=config, recover=recover, fs=fs)
+        else:
+            db = cls(config=config)
+        db._storage = storage
+        return db
+
+    @classmethod
+    def load(
+        cls,
+        root: str | Path,
+        config: PipelineConfig | None = None,
+        *,
+        recover: bool = False,
+        fs: LocalFS | None = None,
+    ) -> "VideoDatabase":
         """Reload a database saved with :meth:`save`.
+
+        Every manifest-tracked file is verified (size + blake2s digest)
+        before use.  A corrupt catalog or index always raises
+        :class:`~repro.errors.StorageError` — there is no partial state
+        worth serving without them.  A corrupt or missing scene tree
+        raises too by default; with ``recover=True`` the affected
+        video's catalog and index entries are dropped instead (its id
+        is recorded in :attr:`quarantined`) and the rest of the
+        database loads normally.
 
         Detection results (raw per-frame features) are not persisted;
         queries and browsing work immediately, while :meth:`shots`
         requires re-ingesting the raw clip.
         """
-        storage = DatabaseStorage(root)
+        storage = DatabaseStorage(root, fs=fs)
         db = cls(config=config)
-        db.catalog = storage.load_catalog()
-        db.index = storage.load_index()
+        manifest = storage.read_manifest()
+        if manifest is None:
+            # Legacy manifest-less layout: best-effort parse, no digests.
+            db.catalog = storage.load_catalog()
+            db.index = storage.load_index()
+            legacy_bad: list[str] = []
+            for video_id in db.catalog.ids():
+                try:
+                    db.trees[video_id] = storage.load_tree(video_id)
+                except StorageError:
+                    if not recover:
+                        raise
+                    legacy_bad.append(video_id)
+            for video_id in legacy_bad:
+                db.catalog.remove(video_id)
+                db.index.remove_video(video_id)
+                db.quarantined.append(video_id)
+            return db
+        db.catalog = Catalog.from_dict(storage.verified_json("catalog", manifest))
+        db.index = SortedVarianceIndex.from_dict(
+            storage.verified_json("index", manifest)
+        )
+        bad: list[str] = []
         for video_id in db.catalog.ids():
-            db.trees[video_id] = storage.load_tree(video_id)
+            try:
+                db.trees[video_id] = scene_tree_from_dict(
+                    storage.verified_json(TREE_PREFIX + video_id, manifest)
+                )
+            except StorageError:
+                if not recover:
+                    raise
+                bad.append(video_id)
+        for video_id in bad:
+            db.catalog.remove(video_id)
+            db.index.remove_video(video_id)
+            db.quarantined.append(video_id)
         return db

@@ -1,32 +1,56 @@
-"""On-disk layout of a video database.
+"""On-disk layout of a video database, with crash-safe publishing.
 
     <root>/
-      catalog.json          the video catalog
-      index.json            the sorted variance index
-      videos/<id>.rvid      raw clips (optional; large)
-      trees/<id>.json       one scene tree per video
+      manifest.json               the commit point (see vdbms.manifest)
+      catalog-g<NNNNNNNN>.json    the video catalog, one file per write
+      index-g<NNNNNNNN>.json      the sorted variance index
+      trees/<id>-g<NNNNNNNN>.json one scene tree per video
+      videos/<id>.rvid            raw clips (optional; large; untracked)
+      staging/                    in-flight writes (pid + counter names)
+      quarantine/                 where fsck --repair moves bad files
 
-Writes go through a temp-file + rename so a crashed save never leaves
-a half-written catalog or index behind.
+Every save goes through :meth:`DatabaseStorage.publish`: changed
+components are serialized, written to uniquely-named staging files,
+fsynced, renamed to fresh generation-suffixed names, and only then does
+an atomic manifest swap commit the new state.  A crash at *any* point
+leaves the previous manifest in force, so the previous database loads
+intact; leftover unreferenced files are garbage-collected by the next
+successful publish or by ``repro fsck``.
+
+Loads verify every manifest-tracked file's size and blake2s digest
+before parsing, so torn or bit-flipped files surface as a precise
+:class:`~repro.errors.StorageIntegrityError` instead of wrong answers.
+
+The legacy manifest-less layout (bare ``catalog.json`` + ``index.json``
++ ``trees/<id>.json``) is still readable; the first save migrates it.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
-from ..errors import StorageError
+from ..errors import StorageError, StorageIntegrityError
 from ..index.sorted_index import SortedVarianceIndex
 from ..scenetree.nodes import SceneTree
 from ..scenetree.serialize import scene_tree_from_dict, scene_tree_to_dict
 from ..video.clip import VideoClip
 from ..video.io import read_rvid, write_rvid
 from .catalog import Catalog
+from .fsio import LocalFS
+from .manifest import TREE_PREFIX, FileRecord, Manifest, digest_bytes
 
-__all__ = ["DatabaseStorage"]
+__all__ = ["DatabaseStorage", "FileCheck", "FsckReport"]
+
+#: Process-wide staging-name counter; combined with the pid it makes
+#: every staging file unique, so concurrent saves (or a crashed one's
+#: litter) can never collide with a live write.
+_STAGING_COUNTER = itertools.count(1)
 
 
 def _safe_id(video_id: str) -> str:
@@ -45,22 +69,120 @@ def _safe_id(video_id: str) -> str:
     return f"{sanitized}-{digest}"
 
 
-class DatabaseStorage:
-    """Reads and writes one database directory."""
+def _json_bytes(payload: dict[str, Any]) -> bytes:
+    return json.dumps(payload).encode("utf-8")
 
-    def __init__(self, root: str | Path) -> None:
+
+# ----------------------------------------------------------------------
+# fsck report
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FileCheck:
+    """The verdict on one tracked file.
+
+    ``status`` is one of ``ok``, ``missing``, ``size-mismatch``,
+    ``checksum-mismatch``, ``corrupt-json``, ``legacy-ok``.
+    """
+
+    logical: str
+    path: str
+    status: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "legacy-ok")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of this check (for ``fsck --json``)."""
+        return {
+            "logical": self.logical,
+            "path": self.path,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+@dataclass(slots=True)
+class FsckReport:
+    """Everything ``repro fsck`` learned about one database directory.
+
+    ``mode`` is ``manifest`` (normal), ``legacy`` (pre-manifest layout),
+    or ``empty`` (no database at all).  ``untracked`` lists managed-
+    looking files the manifest does not reference — harmless litter from
+    a torn publish, removable with ``--repair``.
+    """
+
+    root: str
+    mode: str
+    generation: int | None = None
+    checks: list[FileCheck] = field(default_factory=list)
+    untracked: list[str] = field(default_factory=list)
+
+    def problems(self) -> list[FileCheck]:
+        """Checks that failed (untracked litter is not a problem)."""
+        return [check for check in self.checks if not check.ok]
+
+    @property
+    def clean(self) -> bool:
+        return self.mode != "empty" and not self.problems()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the report (for ``fsck --json``)."""
+        return {
+            "root": self.root,
+            "mode": self.mode,
+            "generation": self.generation,
+            "clean": self.clean,
+            "checks": [check.to_dict() for check in self.checks],
+            "untracked": list(self.untracked),
+        }
+
+
+# ----------------------------------------------------------------------
+# storage
+# ----------------------------------------------------------------------
+
+
+class DatabaseStorage:
+    """Reads and writes one database directory.
+
+    Args:
+        root: the database directory.
+        fs: filesystem backend for the write path (fault-injection
+            seam; the real filesystem when omitted).
+    """
+
+    def __init__(self, root: str | Path, fs: LocalFS | None = None) -> None:
         self.root = Path(root)
+        self.fs = fs if fs is not None else LocalFS()
 
     # ------------------------------------------------------------------
     # layout helpers
     # ------------------------------------------------------------------
 
     @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def staging_dir(self) -> Path:
+        return self.root / "staging"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @property
     def catalog_path(self) -> Path:
+        """Legacy (pre-manifest) catalog location; load fallback."""
         return self.root / "catalog.json"
 
     @property
     def index_path(self) -> Path:
+        """Legacy (pre-manifest) index location; load fallback."""
         return self.root / "index.json"
 
     def video_path(self, video_id: str) -> Path:
@@ -68,66 +190,295 @@ class DatabaseStorage:
         return self.root / "videos" / f"{_safe_id(video_id)}.rvid"
 
     def tree_path(self, video_id: str) -> Path:
-        """Path of one video's scene tree under trees/."""
+        """Legacy (pre-manifest) path of one video's scene tree."""
         return self.root / "trees" / f"{_safe_id(video_id)}.json"
+
+    def current_tree_path(self, video_id: str) -> Path | None:
+        """The committed scene-tree file of one video, or None.
+
+        Resolves through the manifest; falls back to the legacy path
+        when the directory has no manifest yet.
+        """
+        manifest = self.read_manifest()
+        if manifest is None:
+            legacy = self.tree_path(video_id)
+            return legacy if legacy.exists() else None
+        record = manifest.files.get(TREE_PREFIX + video_id)
+        return self.root / record.path if record is not None else None
+
+    def _target_relpath(self, logical: str, generation: int) -> str:
+        """Where a freshly-written component of one publish lives."""
+        suffix = f"g{generation:08d}"
+        if logical == "catalog":
+            return f"catalog-{suffix}.json"
+        if logical == "index":
+            return f"index-{suffix}.json"
+        if logical.startswith(TREE_PREFIX):
+            video_id = logical[len(TREE_PREFIX):]
+            return f"trees/{_safe_id(video_id)}-{suffix}.json"
+        raise StorageError(f"unknown logical file {logical!r}")
+
+    def _staging_path(self, name: str) -> Path:
+        """A write target no other save (live or crashed) can collide
+        with: pid + process-wide counter + the final file's name."""
+        return self.staging_dir / f"{os.getpid()}-{next(_STAGING_COUNTER):06d}-{name}"
 
     def initialize(self) -> None:
         """Create the directory skeleton."""
-        (self.root / "videos").mkdir(parents=True, exist_ok=True)
-        (self.root / "trees").mkdir(parents=True, exist_ok=True)
+        self.fs.mkdir(self.root / "videos")
+        self.fs.mkdir(self.root / "trees")
+        self.fs.mkdir(self.staging_dir)
 
     def exists(self) -> bool:
-        """True when the root holds a saved database."""
-        return self.catalog_path.exists() and self.index_path.exists()
+        """True when the root holds a saved database (either layout)."""
+        return self.manifest_path.exists() or (
+            self.catalog_path.exists() and self.index_path.exists()
+        )
 
     # ------------------------------------------------------------------
-    # atomic JSON I/O
+    # manifest I/O
     # ------------------------------------------------------------------
 
-    def _write_json(self, path: Path, payload: dict[str, Any]) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, path)
+    def read_manifest(self) -> Manifest | None:
+        """The committed manifest, or None for legacy/empty directories.
+
+        Raises :class:`StorageError` when a manifest exists but cannot
+        be parsed — that is real corruption, not a layout variant,
+        because manifest writes are atomic.
+        """
+        if not self.manifest_path.exists():
+            return None
+        try:
+            payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StorageError(
+                f"corrupt manifest {self.manifest_path}: {exc}"
+            ) from exc
+        return Manifest.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # the publish protocol
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, payloads: dict[str, Any], keep: Iterable[str] = ()
+    ) -> Manifest:
+        """Atomically commit a new database state.
+
+        Args:
+            payloads: logical name (``catalog``, ``index``,
+                ``tree:<video_id>``) → JSON-compatible document.  The
+                new manifest references exactly ``payloads | keep``;
+                anything else the old manifest tracked is dropped (and
+                its file deleted after commit).
+            keep: logical names carried over unchanged from the current
+                manifest without rewriting their files.
+
+        Payloads whose serialized bytes match the current manifest's
+        digest are carried over too (no write).  When nothing changes at
+        all the current manifest is returned untouched — a no-op save
+        does not even bump the generation.
+        """
+        self.initialize()
+        old = self.read_manifest()
+        old_files = dict(old.files) if old is not None else {}
+        generation = (old.generation if old is not None else 0) + 1
+
+        new_files: dict[str, FileRecord] = {}
+        to_write: dict[str, bytes] = {}
+        for logical, payload in payloads.items():
+            data = _json_bytes(payload)
+            digest = digest_bytes(data)
+            prior = old_files.get(logical)
+            if (
+                prior is not None
+                and prior.blake2s == digest
+                and prior.n_bytes == len(data)
+                and (self.root / prior.path).exists()
+            ):
+                new_files[logical] = prior
+                continue
+            record = FileRecord(
+                path=self._target_relpath(logical, generation),
+                blake2s=digest,
+                n_bytes=len(data),
+            )
+            new_files[logical] = record
+            to_write[logical] = data
+        for logical in keep:
+            if logical in new_files:
+                continue
+            prior = old_files.get(logical)
+            if prior is None:
+                raise StorageError(
+                    f"cannot carry {logical!r} forward: not in the current manifest"
+                )
+            new_files[logical] = prior
+
+        if old is not None and new_files == old_files:
+            return old
+
+        manifest = Manifest(generation=generation, files=new_files)
+        staged: list[Path] = []
+        try:
+            touched_dirs: set[Path] = set()
+            for logical, data in to_write.items():
+                final = self.root / new_files[logical].path
+                stage = self._staging_path(final.name)
+                self.fs.write_bytes(stage, data)
+                staged.append(stage)
+                self.fs.fsync(stage)
+                self.fs.replace(stage, final)
+                staged.pop()
+                touched_dirs.add(final.parent)
+            for directory in sorted(touched_dirs):
+                self.fs.fsync_dir(directory)
+            # The commit point: everything before this is invisible to
+            # load(); everything after is cleanup.
+            manifest_bytes = _json_bytes(manifest.to_dict())
+            stage = self._staging_path("manifest.json")
+            self.fs.write_bytes(stage, manifest_bytes)
+            staged.append(stage)
+            self.fs.fsync(stage)
+            self.fs.replace(stage, self.manifest_path)
+            staged.pop()
+            self.fs.fsync_dir(self.root)
+        except OSError as exc:
+            # The save failed but the process lives on: drop our staging
+            # litter so a retry (or a later save) starts clean.  The old
+            # manifest is still in force, so the database is unharmed.
+            for stage in staged:
+                try:
+                    self.fs.unlink(stage)
+                except OSError:
+                    pass
+            raise StorageError(f"publish failed: {exc}") from exc
+        self._collect_garbage(manifest)
+        return manifest
+
+    def _collect_garbage(self, manifest: Manifest) -> None:
+        """Delete managed files the committed manifest does not track.
+
+        Best-effort: a failure here cannot un-commit the publish, so
+        errors are swallowed — the next publish or fsck retries.
+        """
+        referenced = {self.root / record.path for record in manifest.files.values()}
+        for path in self._managed_files():
+            if path not in referenced:
+                try:
+                    self.fs.unlink(path)
+                except OSError:
+                    pass
+
+    def _managed_files(self) -> list[Path]:
+        """Every file publish/fsck considers part of the database state
+        (data files of either layout plus staging litter)."""
+        found: list[Path] = []
+        found.extend(self.root.glob("catalog*.json"))
+        found.extend(self.root.glob("index*.json"))
+        trees = self.root / "trees"
+        if trees.is_dir():
+            found.extend(trees.glob("*.json"))
+        if self.staging_dir.is_dir():
+            found.extend(p for p in self.staging_dir.iterdir() if p.is_file())
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # verified reads
+    # ------------------------------------------------------------------
+
+    def verified_json(self, logical: str, manifest: Manifest) -> dict[str, Any]:
+        """Read one tracked file, checking size and digest first.
+
+        Raises :class:`StorageError` when the manifest does not track
+        ``logical`` or the file is missing, and
+        :class:`StorageIntegrityError` when the bytes on disk do not
+        match the manifest record.
+        """
+        record = manifest.files.get(logical)
+        if record is None:
+            raise StorageError(
+                f"manifest (generation {manifest.generation}) has no entry "
+                f"for {logical!r}"
+            )
+        path = self.root / record.path
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise StorageError(
+                f"missing database file {path} (tracked as {logical!r})"
+            ) from None
+        if len(data) != record.n_bytes:
+            raise StorageIntegrityError(
+                f"{path}: {len(data)} bytes on disk, manifest records "
+                f"{record.n_bytes} (torn write?)"
+            )
+        if digest_bytes(data) != record.blake2s:
+            raise StorageIntegrityError(
+                f"{path}: blake2s digest does not match the manifest "
+                f"(corrupt {logical!r})"
+            )
+        try:
+            return json.loads(data)
+        except json.JSONDecodeError as exc:  # pragma: no cover - digest
+            # matched, so this means the *writer* serialized bad JSON
+            raise StorageError(f"corrupt database file {path}: {exc}") from exc
 
     def _read_json(self, path: Path) -> dict[str, Any]:
+        """Legacy unverified read (manifest-less directories)."""
         if not path.exists():
             raise StorageError(f"missing database file {path}")
         try:
             return json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise StorageError(f"corrupt database file {path}: {exc}") from exc
+
+    def _load_json(self, logical: str, legacy_path: Path) -> dict[str, Any]:
+        manifest = self.read_manifest()
+        if manifest is None:
+            return self._read_json(legacy_path)
+        return self.verified_json(logical, manifest)
 
     # ------------------------------------------------------------------
     # component persistence
     # ------------------------------------------------------------------
 
+    def _publish_single(self, logical: str, payload: dict[str, Any]) -> None:
+        """Commit one component, carrying everything else forward."""
+        old = self.read_manifest()
+        keep = [name for name in (old.files if old else {}) if name != logical]
+        self.publish({logical: payload}, keep=keep)
+
     def save_catalog(self, catalog: Catalog) -> None:
-        """Atomically write the catalog JSON."""
-        self._write_json(self.catalog_path, catalog.to_dict())
+        """Atomically commit the catalog (manifest swap included)."""
+        self._publish_single("catalog", catalog.to_dict())
 
     def load_catalog(self) -> Catalog:
-        """Load the catalog JSON."""
-        return Catalog.from_dict(self._read_json(self.catalog_path))
+        """Load the catalog, digest-verified when a manifest exists."""
+        return Catalog.from_dict(self._load_json("catalog", self.catalog_path))
 
     def save_index(self, index: SortedVarianceIndex) -> None:
-        """Atomically write the variance index JSON."""
-        self._write_json(self.index_path, index.to_dict())
+        """Atomically commit the variance index."""
+        self._publish_single("index", index.to_dict())
 
     def load_index(self) -> SortedVarianceIndex:
-        """Load the variance index JSON."""
-        return SortedVarianceIndex.from_dict(self._read_json(self.index_path))
+        """Load the variance index, digest-verified when possible."""
+        return SortedVarianceIndex.from_dict(
+            self._load_json("index", self.index_path)
+        )
 
     def save_tree(self, tree: SceneTree, video_id: str) -> None:
-        """Atomically write one video's scene tree JSON."""
-        self._write_json(self.tree_path(video_id), scene_tree_to_dict(tree))
+        """Atomically commit one video's scene tree."""
+        self._publish_single(TREE_PREFIX + video_id, scene_tree_to_dict(tree))
 
     def load_tree(self, video_id: str) -> SceneTree:
-        """Load one video's scene tree JSON."""
-        return scene_tree_from_dict(self._read_json(self.tree_path(video_id)))
+        """Load one video's scene tree, digest-verified when possible."""
+        return scene_tree_from_dict(
+            self._load_json(TREE_PREFIX + video_id, self.tree_path(video_id))
+        )
 
     def save_video(self, clip: VideoClip) -> Path:
-        """Persist the raw clip (optional — clips are large)."""
+        """Persist the raw clip (optional — clips are large, untracked)."""
         path = self.video_path(clip.name)
         path.parent.mkdir(parents=True, exist_ok=True)
         return write_rvid(clip, path)
@@ -138,3 +489,131 @@ class DatabaseStorage:
         if not path.exists():
             raise StorageError(f"no stored video for {video_id!r} at {path}")
         return read_rvid(path)
+
+    # ------------------------------------------------------------------
+    # fsck
+    # ------------------------------------------------------------------
+
+    def fsck(self) -> FsckReport:
+        """Classify the health of every tracked file (read-only).
+
+        Never raises on corruption — problems become
+        :class:`FileCheck` rows so callers (the CLI, the kill-point
+        sweep) can assert on the classification.
+        """
+        report = FsckReport(root=str(self.root), mode="empty")
+        if self.manifest_path.exists():
+            report.mode = "manifest"
+            try:
+                manifest = self.read_manifest()
+            except StorageError as exc:
+                report.checks.append(
+                    FileCheck(
+                        logical="manifest",
+                        path=self.manifest_path.name,
+                        status="corrupt-json",
+                        detail=str(exc),
+                    )
+                )
+                return report
+            assert manifest is not None
+            report.generation = manifest.generation
+            catalog: Catalog | None = None
+            for logical, record in manifest.files.items():
+                status, detail = self._check_record(record)
+                if status == "ok" and logical == "catalog":
+                    try:
+                        catalog = Catalog.from_dict(
+                            json.loads((self.root / record.path).read_bytes())
+                        )
+                    except Exception as exc:
+                        status, detail = "corrupt-json", str(exc)
+                report.checks.append(
+                    FileCheck(logical=logical, path=record.path, status=status, detail=detail)
+                )
+            if catalog is not None:
+                for video_id in catalog.ids():
+                    if TREE_PREFIX + video_id not in manifest.files:
+                        report.checks.append(
+                            FileCheck(
+                                logical=TREE_PREFIX + video_id,
+                                path="",
+                                status="missing",
+                                detail=f"catalog lists {video_id!r} but the "
+                                "manifest tracks no scene tree for it",
+                            )
+                        )
+            referenced = {self.root / r.path for r in manifest.files.values()}
+            report.untracked = [
+                str(p.relative_to(self.root))
+                for p in self._managed_files()
+                if p not in referenced
+            ]
+            return report
+        if self.catalog_path.exists() or self.index_path.exists():
+            report.mode = "legacy"
+            for logical, path in (
+                ("catalog", self.catalog_path),
+                ("index", self.index_path),
+            ):
+                try:
+                    self._read_json(path)
+                    status, detail = "legacy-ok", ""
+                except StorageError as exc:
+                    detail = str(exc)
+                    status = "missing" if "missing" in detail else "corrupt-json"
+                report.checks.append(
+                    FileCheck(logical=logical, path=path.name, status=status, detail=detail)
+                )
+            trees = self.root / "trees"
+            if trees.is_dir():
+                for path in sorted(trees.glob("*.json")):
+                    try:
+                        self._read_json(path)
+                        status, detail = "legacy-ok", ""
+                    except StorageError as exc:
+                        status, detail = "corrupt-json", str(exc)
+                    report.checks.append(
+                        FileCheck(
+                            logical=f"tree-file:{path.name}",
+                            path=f"trees/{path.name}",
+                            status=status,
+                            detail=detail,
+                        )
+                    )
+            return report
+        return report
+
+    def _check_record(self, record: FileRecord) -> tuple[str, str]:
+        """Classify one manifest record's file: the fsck primitive."""
+        path = self.root / record.path
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return "missing", f"{record.path} does not exist"
+        except OSError as exc:
+            return "missing", f"{record.path} unreadable: {exc}"
+        if len(data) != record.n_bytes:
+            return (
+                "size-mismatch",
+                f"{len(data)} bytes on disk, manifest records {record.n_bytes}",
+            )
+        if digest_bytes(data) != record.blake2s:
+            return "checksum-mismatch", "blake2s digest does not match the manifest"
+        try:
+            json.loads(data)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:  # pragma: no cover
+            return "corrupt-json", str(exc)  # digest matched: writer bug
+        return "ok", ""
+
+    def quarantine(self, relpath: str) -> Path:
+        """Move one file into ``quarantine/`` (fsck --repair helper)."""
+        source = self.root / relpath
+        self.fs.mkdir(self.quarantine_dir)
+        target = self.quarantine_dir / source.name.replace("/", "_")
+        if target.exists():
+            target = self.quarantine_dir / (
+                f"{os.getpid()}-{next(_STAGING_COUNTER):06d}-{source.name}"
+            )
+        self.fs.replace(source, target)
+        return target

@@ -1,0 +1,16 @@
+"""Regenerate the golden-corpus fixtures in this directory.
+
+Run after an *intentional* change to the extraction/detection outputs::
+
+    PYTHONPATH=src python tests/golden/make_golden.py
+
+(equivalent to ``python -m repro.testing.golden tests/golden``).
+"""
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    from repro.testing.golden import main
+
+    sys.exit(main([str(Path(__file__).parent)]))

@@ -1,0 +1,166 @@
+"""Kill-point sweeps: every save and ingest is all-or-nothing.
+
+For each filesystem operation a publish performs, the process model is
+killed at exactly that operation (``crash``), the write is torn in
+half (``torn``), or a byte is silently flipped (``corrupt``).  After
+every injected fault, reloading the database must yield exactly the
+pre-operation state or the post-operation state — never anything in
+between — and silent corruption must be *detected* (precise
+``StorageIntegrityError``, ``repro fsck`` exit 1) rather than served.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import StorageError
+from repro.testing import sweep_kill_points, synth_database
+from repro.testing.synth import add_synth_video
+from repro.vdbms.database import VideoDatabase
+from repro.vdbms.storage import DatabaseStorage
+from repro.video.clip import VideoClip
+
+pytestmark = pytest.mark.faults
+
+_DIR_COUNTER = itertools.count(1)
+
+
+def _classifier(pre_ids, post_ids):
+    """Build the sweep classifier: reload with the REAL filesystem and
+    name the surviving state; anything torn fails the test."""
+
+    def classify(ctx, mode):
+        root = ctx["root"]
+        storage = DatabaseStorage(root)
+        report = storage.fsck()
+        try:
+            db = VideoDatabase.load(root)
+        except StorageError:
+            # Detection is only acceptable for silent corruption: a
+            # crash or torn write must leave the OLD manifest in force.
+            assert mode == "corrupt", f"{mode} fault produced unreadable state"
+            assert not report.clean or report.mode == "manifest"
+            statuses = {c.status for c in report.problems()}
+            assert statuses <= {
+                "checksum-mismatch",
+                "size-mismatch",
+                "missing",
+                "corrupt-json",
+            }, statuses
+            # The CLI agrees something is wrong.
+            assert cli_main(["fsck", str(root)]) == 1
+            return "detected"
+        ids = set(db.catalog.ids())
+        if ids == pre_ids:
+            assert report.clean
+            return "pre"
+        if ids == post_ids:
+            assert report.clean
+            return "post"
+        raise AssertionError(f"torn state after {mode}: {sorted(ids)}")
+
+    return classify
+
+
+def _assert_sound(report):
+    assert report.points, "sweep recorded no filesystem operations"
+    states = report.states()
+    assert states <= {"pre", "post", "detected"}
+    # The sweep actually exercised both sides of the commit point.
+    assert "pre" in states and "post" in states
+    # Corrupt runs at data-file writes must be caught, not served.
+    assert any(r.state == "detected" for r in report.by_mode("corrupt"))
+    for run in report.by_mode("crash"):
+        assert run.state in ("pre", "post")
+    for run in report.by_mode("torn"):
+        assert run.state in ("pre", "post")
+
+
+class TestSaveSweep:
+    """Whole-database save(): grow state A by one video."""
+
+    def test_save_is_atomic_at_every_kill_point(self, tmp_path, capsys):
+        base = synth_database(1, n_videos=2)
+        pre_ids = set(base.catalog.ids())
+
+        def setup():
+            root = tmp_path / f"save-{next(_DIR_COUNTER)}"
+            base_copy = synth_database(1, n_videos=2)
+            base_copy.save(root)
+            return {"root": root}
+
+        def operation(ctx, fs):
+            db = VideoDatabase.load(ctx["root"])
+            add_synth_video(db, "extra-video", np.random.default_rng(123))
+            db.save(ctx["root"], fs=fs)
+
+        report = sweep_kill_points(
+            setup, operation, _classifier(pre_ids, pre_ids | {"extra-video"})
+        )
+        _assert_sound(report)
+
+
+class TestDurableIngestSweep:
+    """A bound database's ingest(): journal + manifest swap per clip."""
+
+    @staticmethod
+    def _clip():
+        frames = np.empty((12, 16, 16, 3), dtype=np.uint8)
+        for shot, color in enumerate(((230, 60, 40), (40, 200, 60), (50, 80, 220))):
+            frames[shot * 4 : (shot + 1) * 4] = np.array(color, dtype=np.uint8)
+        return VideoClip("ingested-clip", frames, fps=3.0)
+
+    def test_ingest_is_atomic_at_every_kill_point(self, tmp_path, capsys):
+        base = synth_database(2, n_videos=1)
+        pre_ids = set(base.catalog.ids())
+
+        def setup():
+            root = tmp_path / f"ingest-{next(_DIR_COUNTER)}"
+            synth_database(2, n_videos=1).save(root)
+            return {"root": root}
+
+        def operation(ctx, fs):
+            db = VideoDatabase.open(ctx["root"], fs=fs)
+            db.ingest(self._clip())
+
+        report = sweep_kill_points(
+            setup, operation, _classifier(pre_ids, pre_ids | {"ingested-clip"})
+        )
+        _assert_sound(report)
+
+    def test_failed_durable_ingest_rolls_back_memory(self, tmp_path):
+        """After a failed publish the in-memory state matches disk, so a
+        retry of the same clip succeeds instead of hitting a duplicate."""
+        from repro.testing import FaultyFS
+
+        root = tmp_path / "db"
+        synth_database(2, n_videos=1).save(root)
+        fs = FaultyFS(mode="error", ops=("write",), fail_times=1)
+        db = VideoDatabase.open(root, fs=fs)
+        with pytest.raises(StorageError):
+            db.ingest(self._clip())
+        assert "ingested-clip" not in db.catalog
+        assert all(e.video_id != "ingested-clip" for e in db.index.entries)
+        # The injected fault healed; the retry commits durably.
+        report = db.ingest(self._clip())
+        assert report.video_id == "ingested-clip"
+        reloaded = VideoDatabase.load(root)
+        assert "ingested-clip" in reloaded.catalog
+
+    def test_durable_remove_is_atomic(self, tmp_path):
+        from repro.testing import FaultyFS, SimulatedCrash
+
+        root = tmp_path / "db"
+        base = synth_database(4, n_videos=2)
+        base.save(root)
+        victim = base.catalog.ids()[0]
+        db = VideoDatabase.open(root, fs=FaultyFS(fail_at=2, mode="crash"))
+        with pytest.raises(SimulatedCrash):
+            db.remove(victim)
+        reloaded = VideoDatabase.load(root)
+        assert set(reloaded.catalog.ids()) == set(base.catalog.ids())
+        db2 = VideoDatabase.open(root)
+        db2.remove(victim)
+        assert victim not in VideoDatabase.load(root).catalog

@@ -1,0 +1,62 @@
+"""Golden-corpus regression: the pipeline's outputs are frozen.
+
+Three seeded synthetic clips (see :mod:`repro.testing.golden`) have
+their ``Sign^BA``/``Sign^OA`` streams, shot boundaries, and per-shot
+``(Var^BA, Var^OA, D^v)`` stored as JSON fixtures under
+``tests/golden/``.  Both extraction paths — the fused linear operators
+and the legacy multi-pass reference — must reproduce the fixtures
+byte-exactly; any numerical drift in either path fails here first.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import ExtractionConfig
+from repro.testing.golden import (
+    GOLDEN_SPECS,
+    canonical_json,
+    expected_payload,
+    fixture_name,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_EXTRACTION = {
+    "fused": ExtractionConfig(),
+    "legacy": ExtractionConfig(use_fused=False),
+}
+
+
+def test_corpus_has_three_clips_with_fixtures():
+    assert len(GOLDEN_SPECS) == 3
+    for spec in GOLDEN_SPECS:
+        assert (GOLDEN_DIR / fixture_name(spec)).is_file(), (
+            f"missing fixture for {spec.name!r}; regenerate with "
+            "'python tests/golden/make_golden.py'"
+        )
+
+
+@pytest.mark.parametrize("mode", sorted(_EXTRACTION))
+@pytest.mark.parametrize("spec", GOLDEN_SPECS, ids=lambda s: s.name)
+def test_pipeline_matches_fixture_byte_exactly(spec, mode):
+    live = canonical_json(expected_payload(spec, _EXTRACTION[mode]))
+    fixture = (GOLDEN_DIR / fixture_name(spec)).read_text(encoding="utf-8")
+    assert live == fixture, (
+        f"{spec.name} ({mode} extraction) diverged from its fixture; if "
+        "the change is intentional, regenerate with "
+        "'python tests/golden/make_golden.py'"
+    )
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SPECS, ids=lambda s: s.name)
+def test_fixture_is_internally_consistent(spec):
+    import json
+
+    payload = json.loads((GOLDEN_DIR / fixture_name(spec)).read_text())
+    assert payload["spec"]["n_shots"] == len(payload["shots"])
+    assert len(payload["boundaries"]) == len(payload["shots"]) - 1
+    assert len(payload["signs_ba"]) == payload["n_frames"]
+    assert len(payload["signs_oa"]) == payload["n_frames"]
+    for shot, boundary in zip(payload["shots"][1:], payload["boundaries"]):
+        assert shot["start"] == boundary

@@ -1,0 +1,259 @@
+"""Service resilience: retry-with-backoff, poison-job quarantine, and
+a concurrency stress test over a durable, fault-injected database."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import StorageError
+from repro.service.engine import JobStatus, ServiceEngine
+from repro.service.server import create_server
+from repro.testing import FaultyFS, FlakyHook
+from repro.vdbms.database import VideoDatabase
+
+
+def _spec(video_id, seed=0, n_shots=3):
+    return {
+        "source": "synthetic",
+        "video_id": video_id,
+        "n_shots": n_shots,
+        "frames_per_shot": 4,
+        "rows": 16,
+        "cols": 16,
+        "seed": seed,
+    }
+
+
+def _engine(**kwargs):
+    kwargs.setdefault("n_workers", 1)
+    kwargs.setdefault("retry_base_delay", 0.001)
+    kwargs.setdefault("retry_seed", 0)
+    return ServiceEngine(**kwargs)
+
+
+def _request(base_url, method, path, body=None, timeout=30.0):
+    """Returns (status, payload) without raising on 4xx/5xx."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base_url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestRetry:
+    def test_transient_fault_is_retried_to_success(self):
+        hook = FlakyHook(fail_times=2)
+        engine = _engine(max_attempts=3, ingest_hook=hook)
+        try:
+            job = engine.wait_for(engine.submit_spec(_spec("flaky")).job_id, 60)
+            assert job.status is JobStatus.DONE
+            assert job.attempts == 3
+            assert hook.failures == 2
+            metrics = engine.metrics_payload()
+            assert metrics["counters"]["ingest_retries"] == 2
+            assert metrics["counters"]["ingest_completed"] == 1
+            assert "ingest_quarantined" not in metrics["counters"]
+            assert "flaky" in engine.db.catalog
+        finally:
+            engine.shutdown()
+
+    def test_poison_job_is_quarantined(self):
+        hook = FlakyHook(fail_times=None, only=lambda clip: clip.name == "poison")
+        engine = _engine(max_attempts=3, ingest_hook=hook)
+        try:
+            job = engine.wait_for(engine.submit_spec(_spec("poison")).job_id, 60)
+            assert job.status is JobStatus.QUARANTINED
+            assert job.attempts == 3
+            assert job.error and "OSError" in job.error
+            assert "poison" not in engine.db.catalog
+            metrics = engine.metrics_payload()
+            assert metrics["counters"]["ingest_quarantined"] == 1
+            assert metrics["counters"]["ingest_retries"] == 2
+            assert "ingest_completed" not in metrics["counters"]
+            # A quarantined worker keeps serving later jobs.
+            after = engine.wait_for(engine.submit_spec(_spec("healthy")).job_id, 60)
+            assert after.status is JobStatus.DONE
+        finally:
+            engine.shutdown()
+
+    def test_permanent_os_error_fails_fast(self):
+        hook = FlakyHook(
+            fail_times=None, exc=lambda msg: FileNotFoundError(msg)
+        )
+        engine = _engine(max_attempts=5, ingest_hook=hook)
+        try:
+            job = engine.wait_for(engine.submit_spec(_spec("perm")).job_id, 60)
+            assert job.status is JobStatus.FAILED
+            assert job.attempts == 1
+            metrics = engine.metrics_payload()
+            assert metrics["counters"]["ingest_failed"] == 1
+            assert "ingest_retries" not in metrics["counters"]
+        finally:
+            engine.shutdown()
+
+    def test_duplicate_id_fails_without_retry(self):
+        engine = _engine(max_attempts=4)
+        try:
+            first = engine.wait_for(engine.submit_spec(_spec("dup")).job_id, 60)
+            assert first.status is JobStatus.DONE
+            second = engine.wait_for(engine.submit_spec(_spec("dup")).job_id, 60)
+            assert second.status is JobStatus.FAILED
+            assert second.attempts == 1
+            assert "CatalogError" in second.error
+        finally:
+            engine.shutdown()
+
+    def test_durable_engine_retries_through_flaky_storage(self, tmp_path):
+        root = tmp_path / "db"
+        fs = FaultyFS(mode="error", ops=("write",), fail_times=1)
+        db = VideoDatabase.open(root, fs=fs)
+        engine = _engine(db=db, max_attempts=3)
+        try:
+            job = engine.wait_for(engine.submit_spec(_spec("durable")).job_id, 60)
+            assert job.status is JobStatus.DONE
+            assert job.attempts == 2
+            assert job.error is None
+            assert "StorageError" not in (job.error or "")
+        finally:
+            engine.shutdown()
+        reloaded = VideoDatabase.load(root)
+        assert "durable" in reloaded.catalog
+
+    def test_quarantine_surfaced_over_http(self):
+        engine = _engine(max_attempts=2, ingest_hook=FlakyHook(fail_times=None))
+        server = create_server(engine)
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, submitted = _request(
+                base_url, "POST", "/ingest", _spec("http-poison")
+            )
+            assert status == 202
+            engine.wait_for(submitted["job_id"], 60)
+            status, job = _request(base_url, "GET", f"/jobs/{submitted['job_id']}")
+            assert status == 200
+            assert job["status"] == "quarantined"
+            assert job["attempts"] == 2
+            assert "OSError" in job["error"]
+            status, metrics = _request(base_url, "GET", "/metrics")
+            assert status == 200
+            assert metrics["counters"]["ingest_quarantined"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            engine.shutdown()
+
+
+class _EveryNth:
+    """An ingest hook failing every n-th call (thread-safe)."""
+
+    def __init__(self, n):
+        self.n = n
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, clip):
+        with self._lock:
+            self.calls += 1
+            calls = self.calls
+        if calls % self.n == 0:
+            raise OSError(f"intermittent fault (call {calls})")
+
+
+@pytest.mark.stress
+class TestStress:
+    def test_faulty_ingest_under_query_fire(self, tmp_path):
+        """Hammer a durable server with queries while flaky ingests run:
+        no 5xx responses, no stale cache, and the metrics reconcile."""
+        root = tmp_path / "db"
+        db = VideoDatabase.open(root)
+        engine = ServiceEngine(
+            db,
+            n_workers=2,
+            max_attempts=3,
+            retry_base_delay=0.001,
+            retry_seed=7,
+            ingest_hook=_EveryNth(3),
+        )
+        server = create_server(engine)
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        server_thread.start()
+
+        n_ingests = 8
+        bad_statuses = []
+        stop = threading.Event()
+
+        def fire_queries():
+            k = 0
+            while not stop.is_set():
+                k += 1
+                for _, path in (
+                    ("query", f"/query?var_ba={k % 5}&var_oa={k % 7}&alpha=1e6&beta=1e6"),
+                    ("videos", "/videos"),
+                    ("health", "/health"),
+                ):
+                    status, _payload = _request(base_url, "GET", path)
+                    if status >= 500:
+                        bad_statuses.append((path, status))
+
+        readers = [threading.Thread(target=fire_queries) for _ in range(3)]
+        for reader in readers:
+            reader.start()
+        try:
+            job_ids = []
+            for k in range(n_ingests):
+                status, payload = _request(
+                    base_url, "POST", "/ingest", _spec(f"stress-{k}", seed=k)
+                )
+                assert status == 202
+                job_ids.append(payload["job_id"])
+            engine.drain(timeout=120)
+        finally:
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=30)
+            server.shutdown()
+            server.server_close()
+            server_thread.join(timeout=10)
+            engine.shutdown()
+
+        assert bad_statuses == []
+        jobs = {job_id: engine.job(job_id) for job_id in job_ids}
+        done = [j for j in jobs.values() if j.status is JobStatus.DONE]
+        quarantined = [
+            j for j in jobs.values() if j.status is JobStatus.QUARANTINED
+        ]
+        failed = [j for j in jobs.values() if j.status is JobStatus.FAILED]
+        assert len(done) + len(quarantined) + len(failed) == n_ingests
+        assert not failed  # every injected fault was transient
+        # Metrics reconcile with the observed job outcomes.
+        counters = engine.metrics_payload()["counters"]
+        assert counters["ingest_submitted"] == n_ingests
+        assert counters.get("ingest_completed", 0) == len(done)
+        assert counters.get("ingest_quarantined", 0) == len(quarantined)
+        # The cache is not stale: a fresh query equals a direct answer.
+        from repro.config import QueryConfig
+
+        payload, _was_cached = engine.query(0.0, 0.0, alpha=1e6, beta=1e6)
+        direct = engine.db.query(0.0, 0.0, config=QueryConfig(alpha=1e6, beta=1e6))
+        assert payload["count"] == len(direct.matches)
+        # Every completed ingest is visible and durable.
+        for job in done:
+            assert job.report["video_id"] in engine.db.catalog
+        reloaded = VideoDatabase.load(root)
+        assert set(reloaded.catalog.ids()) == set(engine.db.catalog.ids())

@@ -229,10 +229,14 @@ class TestRemove:
     def test_save_prunes_stale_tree_files(self, figure5, friends, tmp_path):
         db = self._db(figure5, friends)
         root = db.save(tmp_path / "db")
-        tree_file = DatabaseStorage(root).tree_path("figure5")
-        assert tree_file.exists()
+        storage = DatabaseStorage(root)
+        tree_file = storage.current_tree_path("figure5")
+        assert tree_file is not None and tree_file.exists()
         db.remove("figure5")
         db.save(root)
+        # The manifest no longer tracks the tree and its file is
+        # garbage-collected after the commit.
+        assert storage.current_tree_path("figure5") is None
         assert not tree_file.exists()
         loaded = VideoDatabase.load(root)
         assert loaded.catalog.ids() == ["friends-restaurant"]
