@@ -6,6 +6,13 @@ ingest/query workload — the end-to-end path a production deployment
 would exercise.  Asserts the acceptance bar (zero failed requests,
 nonzero cache hit rate) and attaches the throughput/latency summary.
 
+A second scenario deliberately overloads a bounded server: an ingest
+burst at 2x saturation (queue capacity + in-flight slots) while query
+traffic keeps flowing.  The acceptance bar there is the overload
+contract: every burst submit answers 202 or 429 (never 5xx), the queue
+depth stays within its bound, query p99 stays sane, and every accepted
+job completes after the burst.
+
 Run as a bench:
 
     PYTHONPATH=src pytest benchmarks/bench_service.py --benchmark-only
@@ -19,12 +26,14 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from pathlib import Path
 from typing import Any
 
 from repro.service.engine import ServiceEngine
 from repro.service.loadgen import LoadgenConfig, run_loadgen
 from repro.service.server import create_server
+from repro.testing.chaos import run_overload_burst
 
 
 def run_service_workload(
@@ -81,6 +90,119 @@ def _check(report: dict[str, Any]) -> None:
     assert "POST /query" in requests and requests["POST /query"]["count"] > 0
 
 
+def run_overload_scenario(
+    max_queue: int = 4,
+    n_workers: int = 1,
+    burst_factor: int = 2,
+    n_queries: int = 150,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Drive a bounded server at ``burst_factor``x saturation.
+
+    Saturation is ``max_queue + n_workers`` concurrently-holdable jobs;
+    the burst submits ``burst_factor`` times that, all at once, while a
+    query-only loadgen run measures read-path latency through the
+    storm.  Returns a combined report (burst tally, query percentiles,
+    queue-depth peak, post-burst job outcomes).
+    """
+    engine = ServiceEngine(
+        n_workers=n_workers,
+        cache_capacity=64,
+        max_queue=max_queue,
+        # Each ingest attempt pauses briefly so the queue stays full
+        # for the duration of the burst instead of draining between
+        # submissions — otherwise "2x saturation" would be a race.
+        ingest_hook=lambda clip: time.sleep(0.05),
+    )
+    try:
+        seeded = engine.submit_spec(
+            {
+                "source": "synthetic",
+                "video_id": "overload-seed",
+                "n_shots": 4,
+                "frames_per_shot": 6,
+                "seed": seed,
+            }
+        )
+        engine.wait_for(seeded.job_id, timeout=120)
+        server = create_server(engine)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base_url = f"http://{host}:{port}"
+        capacity = max_queue + n_workers
+        n_jobs = burst_factor * capacity
+        query_report: dict[str, Any] = {}
+
+        def run_queries() -> None:
+            query_report.update(
+                run_loadgen(
+                    LoadgenConfig(
+                        base_url=base_url,
+                        n_requests=n_queries,
+                        workers=2,
+                        ingests=0,
+                        seed=seed,
+                    )
+                )
+            )
+
+        query_thread = threading.Thread(target=run_queries, name="overload-queries")
+        query_thread.start()
+        try:
+            burst = run_overload_burst(
+                base_url, n_jobs, workers=capacity, seed=seed
+            )
+        finally:
+            query_thread.join(timeout=120)
+        engine.drain(timeout=120)
+        job_statuses: dict[str, int] = {}
+        for job_id in burst["accepted_job_ids"]:
+            status = engine.job(job_id).status.value
+            job_statuses[status] = job_statuses.get(status, 0) + 1
+        metrics = engine.metrics_payload()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    finally:
+        engine.shutdown()
+    return {
+        "config": {
+            "max_queue": max_queue,
+            "n_workers": n_workers,
+            "burst_factor": burst_factor,
+            "burst_jobs": n_jobs,
+        },
+        "burst": burst,
+        "rejection_rate": round(burst["rejected_429"] / burst["submitted"], 4),
+        "accepted_job_statuses": job_statuses,
+        "query_p99_ms": query_report.get("operations", {})
+        .get("query", {})
+        .get("p99_ms"),
+        "query_failed": query_report.get("failed_requests"),
+        "queue_depth_peak": metrics["gauges"].get("ingest_queue_depth_peak", 0),
+        "breaker": metrics["overload"]["breaker"]["state"],
+    }
+
+
+def _check_overload(report: dict[str, Any]) -> None:
+    burst = report["burst"]
+    assert burst["server_errors"] == 0, burst
+    assert burst["transport_errors"] == 0, burst
+    assert burst["rejected_429"] >= 1, "burst never saturated the queue"
+    assert len(burst["accepted_job_ids"]) >= 1, burst
+    assert (
+        len(burst["accepted_job_ids"]) + burst["rejected_429"] == burst["submitted"]
+    ), burst
+    bound = report["config"]["max_queue"]
+    assert report["queue_depth_peak"] <= bound, report
+    assert report["accepted_job_statuses"] == {
+        "done": len(burst["accepted_job_ids"])
+    }, report["accepted_job_statuses"]
+    assert report["query_failed"] == 0, report
+    assert report["breaker"] == "closed", report
+
+
 def bench_service_mixed_workload(benchmark):
     """Mixed 4-worker query/browse/ingest workload against a live server."""
     report = benchmark.pedantic(run_service_workload, rounds=1, iterations=1)
@@ -91,15 +213,34 @@ def bench_service_mixed_workload(benchmark):
     benchmark.extra_info["operations"] = report["operations"]
 
 
+def bench_service_overload(benchmark):
+    """Ingest burst at 2x saturation against a queue-bounded server."""
+    report = benchmark.pedantic(run_overload_scenario, rounds=1, iterations=1)
+    _check_overload(report)
+    benchmark.extra_info["rejection_rate"] = report["rejection_rate"]
+    benchmark.extra_info["query_p99_ms"] = report["query_p99_ms"]
+    benchmark.extra_info["queue_depth_peak"] = report["queue_depth_peak"]
+
+
 def main() -> None:
-    report = run_service_workload()
-    _check(report)
+    mixed = run_service_workload()
+    _check(mixed)
+    overload = run_overload_scenario()
+    _check_overload(overload)
+    report = {"mixed_workload": mixed, "overload": overload}
     out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(
-        f"{report['total_requests']} requests, "
-        f"{report['throughput_rps']} req/s, "
-        f"{report['failed_requests']} failed -> {out}"
+        f"mixed: {mixed['total_requests']} requests, "
+        f"{mixed['throughput_rps']} req/s, "
+        f"{mixed['failed_requests']} failed"
+    )
+    print(
+        f"overload: {overload['burst']['submitted']} burst submits, "
+        f"{overload['rejection_rate']:.0%} rejected with 429, "
+        f"query p99 {overload['query_p99_ms']}ms, "
+        f"queue peak {overload['queue_depth_peak']} "
+        f"(bound {overload['config']['max_queue']}) -> {out}"
     )
 
 

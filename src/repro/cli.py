@@ -289,10 +289,34 @@ def _cmd_storyboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graceful_shutdown(server, engine, drain_timeout: float) -> None:
+    """Drain the service and stop the serve loop (SIGTERM handler body).
+
+    Readiness flips first (``/ready`` answers 503 and new ingests are
+    rejected as draining) while queries and in-flight jobs keep being
+    served; then the in-flight work gets ``drain_timeout`` seconds to
+    finish before the serve loop is stopped.  The final save happens in
+    ``engine.shutdown()`` once the loop exits.
+    """
+    engine.begin_drain()
+    try:
+        engine.drain(timeout=drain_timeout)
+    except ReproError as exc:
+        print(f"drain incomplete: {exc}", file=sys.stderr)
+    # shutdown() must not run on the serve_forever thread (it joins the
+    # loop); signal handlers run on the main thread, which IS the serve
+    # loop, so hand the stop to a helper thread.
+    import threading
+
+    threading.Thread(target=server.shutdown, name="drain-stop", daemon=True).start()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a database over JSON/HTTP (see docs/SERVICE.md)."""
+    import signal
+
     from .service.engine import ServiceEngine
-    from .service.server import create_server
+    from .service.server import DEFAULT_MAX_BODY_BYTES, create_server
 
     config = _pipeline_config(args)
     db = None
@@ -302,7 +326,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # write -> fsync -> manifest swap) before the job reports done.
         db = VideoDatabase.open(args.db, config=config)
     engine = ServiceEngine(
-        db, config=config, n_workers=args.workers, cache_capacity=args.cache_size
+        db,
+        config=config,
+        n_workers=args.workers,
+        cache_capacity=args.cache_size,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
     )
     if args.demo:
         for source in ("figure5", "friends"):
@@ -310,20 +341,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 engine.wait_for(
                     engine.submit_spec({"source": source}).job_id, timeout=300
                 )
-    server = create_server(engine, host=args.host, port=args.port)
+    server = create_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_body_bytes=(
+            args.max_body_bytes
+            if args.max_body_bytes is not None
+            else DEFAULT_MAX_BODY_BYTES
+        ),
+    )
     host, port = server.server_address[:2]
     print(
         f"serving {len(engine.db.catalog)} videos "
         f"({len(engine.db.index)} indexed shots) on http://{host}:{port}"
     )
-    print("endpoints: /health /metrics /videos /query /ingest /jobs  (Ctrl-C to stop)")
+    print(
+        "endpoints: /health /ready /metrics /videos /query /ingest /jobs  "
+        "(Ctrl-C or SIGTERM to drain and stop)"
+    )
+
+    def on_sigterm(signum, frame):  # pragma: no cover - exercised via helper
+        print("SIGTERM: draining")
+        _graceful_shutdown(server, engine, args.drain_timeout)
+
+    try:
+        signal.signal(signal.SIGTERM, on_sigterm)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.server_close()
-        engine.shutdown()
+        engine.shutdown(timeout=args.drain_timeout)
     return 0
 
 
@@ -340,6 +392,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         ingests=args.ingests,
         query_pool=args.query_pool,
         seed=args.seed,
+        deadline_ms=args.deadline_ms,
     )
     report = run_loadgen(config)
     if args.output:
@@ -350,7 +403,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print(
         f"{report['total_requests']} requests in {report['wall_s']}s "
         f"({report['throughput_rps']} req/s), "
-        f"{report['failed_requests']} failed"
+        f"{report['failed_requests']} failed, "
+        f"{report['shed_requests']} shed (429/503)"
     )
     for op, stats in report["operations"].items():
         print(
@@ -540,6 +594,50 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--demo", action="store_true", help="preload the paper's demo clips"
     )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the ingest queue; over-capacity submits answer 429 "
+        "(default: unbounded)",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline in ms for requests without an "
+        "X-Deadline-Ms header (default: none)",
+    )
+    p.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject larger request bodies with 413 (default: 1 MiB)",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive storage failures that open the circuit breaker",
+    )
+    p.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds the breaker stays open before a half-open probe",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds to let in-flight ingests finish on SIGTERM/shutdown",
+    )
     add_extraction_flags(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -552,6 +650,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ingests", type=int, default=2, help="ingest jobs to interleave")
     p.add_argument("--query-pool", type=int, default=8, help="distinct query points")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="send X-Deadline-Ms with every request",
+    )
     p.add_argument("-o", "--output", help="write the full JSON report here")
     p.set_defaults(func=_cmd_loadgen)
 

@@ -23,6 +23,10 @@ __all__ = [
     "StorageError",
     "StorageIntegrityError",
     "WorkloadError",
+    "ServiceTimeout",
+    "ServiceOverloadError",
+    "ServiceUnavailableError",
+    "CircuitOpenError",
 ]
 
 
@@ -92,3 +96,49 @@ class StorageIntegrityError(StorageError):
 
 class WorkloadError(ReproError):
     """A synthetic workload specification is invalid."""
+
+
+class ServiceTimeout(ReproError):
+    """A service operation did not finish within its deadline budget.
+
+    Raised when a request's deadline (``X-Deadline-Ms``) expires before
+    the answer is ready — including while waiting for the engine's
+    reader-writer lock — and by ``ServiceEngine.wait_for``/``drain``
+    when jobs do not settle in time.  Maps to HTTP 503 with a
+    structured ``deadline_exceeded`` body.
+    """
+
+
+class ServiceOverloadError(ReproError):
+    """The service refused new work because it is saturated.
+
+    Raised at admission time when the bounded ingest queue is full.
+    Maps to HTTP 429 with a ``Retry-After`` hint; ``retry_after`` is
+    the suggested backoff in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ReproError):
+    """The service is up but deliberately not accepting this work.
+
+    Raised while the server is draining for shutdown (readiness is
+    down) — the client should retry against another replica.  Maps to
+    HTTP 503 with a ``Retry-After`` hint.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServiceUnavailableError):
+    """The storage circuit breaker is open; ingest fails fast.
+
+    A subclass of :class:`ServiceUnavailableError` so generic 503
+    handling applies; ``retry_after`` reflects the breaker's next
+    half-open probe time.
+    """

@@ -16,9 +16,13 @@ implies.  A stdlib-only JSON-over-HTTP server fronts one shared
 - :mod:`~repro.service.server` — the HTTP endpoints
   (``ThreadingHTTPServer``, one thread per connection);
 - :mod:`~repro.service.loadgen` — a mixed ingest/query workload driver
-  reporting throughput and latency percentiles.
+  reporting throughput and latency percentiles;
+- :mod:`~repro.service.resilience` — request deadlines and the storage
+  circuit breaker backing the overload contract (429 on a full queue,
+  503 on expired deadlines / open breaker / drain).
 
-See ``docs/SERVICE.md`` for the endpoint reference and job lifecycle.
+See ``docs/SERVICE.md`` for the endpoint reference, job lifecycle, and
+the overload & degradation contract.
 """
 
 from __future__ import annotations
@@ -27,9 +31,13 @@ from .cache import QueryResultCache
 from .engine import IngestJob, JobStatus, ReadWriteLock, ServiceEngine, clip_from_spec
 from .loadgen import LoadgenConfig, run_loadgen
 from .metrics import LatencyHistogram, MetricsRegistry
-from .server import create_server
+from .resilience import CircuitBreaker, Deadline
+from .server import DEFAULT_MAX_BODY_BYTES, create_server
 
 __all__ = [
+    "CircuitBreaker",
+    "DEFAULT_MAX_BODY_BYTES",
+    "Deadline",
     "IngestJob",
     "JobStatus",
     "LatencyHistogram",

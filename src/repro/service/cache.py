@@ -38,6 +38,7 @@ class QueryResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_fills = 0
 
     @staticmethod
     def make_key(
@@ -77,6 +78,10 @@ class QueryResultCache:
         """
         with self._lock:
             if generation is not None and generation != self._generation:
+                # Counted: under heavy ingest churn a high stale-fill
+                # rate on /metrics explains a low hit rate (fills keep
+                # losing the race with invalidation).
+                self.stale_fills += 1
                 return False
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -110,5 +115,6 @@ class QueryResultCache:
                 "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "stale_fills": self.stale_fills,
                 "generation": self._generation,
             }

@@ -40,12 +40,22 @@ from typing import Any, Callable, Iterator
 import numpy as np
 
 from ..config import PipelineConfig, QueryConfig
-from ..errors import ReproError, StorageError, StorageIntegrityError, WorkloadError
+from ..errors import (
+    CircuitOpenError,
+    ReproError,
+    ServiceOverloadError,
+    ServiceTimeout,
+    ServiceUnavailableError,
+    StorageError,
+    StorageIntegrityError,
+    WorkloadError,
+)
 from ..scenetree.serialize import scene_tree_to_dict
 from ..vdbms.database import QueryAnswer, VideoDatabase
 from ..video.clip import VideoClip
 from ..video.sampling import resample_fps
 from ..workloads.taxonomy import VideoCategory
+from .resilience import CircuitBreaker, Deadline
 
 __all__ = [
     "IngestJob",
@@ -70,6 +80,11 @@ class ReadWriteLock:
     block *new* readers (writer preference), so a steady query stream
     cannot starve ingest registration — the opposite trade would leave
     submitted clips invisible for unbounded time.
+
+    Both sides accept an optional ``timeout`` so a request carrying a
+    deadline can give up instead of queueing forever behind a stalled
+    writer; the scoped context managers raise
+    :class:`~repro.errors.ServiceTimeout` on expiry.
     """
 
     def __init__(self) -> None:
@@ -78,12 +93,23 @@ class ReadWriteLock:
         self._writer_active = False
         self._writers_waiting = 0
 
-    def acquire_read(self) -> None:
-        """Take the shared side (blocks while a writer holds or waits)."""
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Take the shared side (blocks while a writer holds or waits).
+
+        Returns False when ``timeout`` seconds pass without acquiring.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer_active or self._writers_waiting:
-                self._cond.wait()
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
             self._readers += 1
+            return True
 
     def release_read(self) -> None:
         """Drop the shared side, waking a waiting writer when last out."""
@@ -92,16 +118,31 @@ class ReadWriteLock:
             if self._readers == 0:
                 self._cond.notify_all()
 
-    def acquire_write(self) -> None:
-        """Take the exclusive side (blocks until all readers drain)."""
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Take the exclusive side (blocks until all readers drain).
+
+        Returns False when ``timeout`` seconds pass without acquiring.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
-                    self._cond.wait()
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            # Readers queued behind this waiting writer
+                            # must be re-woken or they would stall on a
+                            # writer that gave up.
+                            self._cond.notify_all()
+                            return False
+                        self._cond.wait(remaining)
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            return True
 
     def release_write(self) -> None:
         """Drop the exclusive side, waking everyone waiting."""
@@ -110,18 +151,25 @@ class ReadWriteLock:
             self._cond.notify_all()
 
     @contextmanager
-    def read_locked(self) -> Iterator[None]:
+    def read_locked(self, timeout: float | None = None) -> Iterator[None]:
         """``with lock.read_locked():`` — scoped shared access."""
-        self.acquire_read()
+        if not self.acquire_read(timeout):
+            raise ServiceTimeout(
+                f"read lock not acquired within {timeout:.3f}s "
+                f"(a writer is holding or queued)"
+            )
         try:
             yield
         finally:
             self.release_read()
 
     @contextmanager
-    def write_locked(self) -> Iterator[None]:
+    def write_locked(self, timeout: float | None = None) -> Iterator[None]:
         """``with lock.write_locked():`` — scoped exclusive access."""
-        self.acquire_write()
+        if not self.acquire_write(timeout):
+            raise ServiceTimeout(
+                f"write lock not acquired within {timeout:.3f}s"
+            )
         try:
             yield
         finally:
@@ -303,6 +351,26 @@ class ServiceEngine:
             ingest attempt; an exception it raises goes through the
             same transient/permanent classification as a real fault.
         retry_seed: seeds the jitter RNG for reproducible backoff.
+        max_queue: bound on queued-but-not-started ingest jobs; a full
+            queue rejects submits with
+            :class:`~repro.errors.ServiceOverloadError` (HTTP 429).
+            ``None`` keeps the queue unbounded.
+        default_deadline_ms: deadline budget applied to requests that
+            do not carry an ``X-Deadline-Ms`` header (None = none).
+        breaker_threshold: consecutive transient storage failures that
+            trip the publish circuit breaker open.
+        breaker_reset_s: seconds an open breaker waits before letting
+            one half-open probe through.
+        clock: monotonic time source for the breaker, deadlines, and
+            stall detection (injectable for deterministic chaos tests).
+        sleep: sleep function used for retry backoff and breaker waits
+            (injectable alongside ``clock``).
+        watchdog_interval: seconds between worker liveness sweeps; 0
+            disables the watchdog thread (sweeps can still be driven
+            manually via :meth:`check_workers`).
+        stall_timeout: seconds a single ingest attempt may run before
+            the watchdog declares the worker stuck and adds a
+            supplementary worker to restore pool capacity.
     """
 
     def __init__(
@@ -316,6 +384,14 @@ class ServiceEngine:
         retry_base_delay: float = 0.05,
         ingest_hook: Callable[[VideoClip], None] | None = None,
         retry_seed: int | None = None,
+        max_queue: int | None = None,
+        default_deadline_ms: float | None = None,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 5.0,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
+        watchdog_interval: float = 1.0,
+        stall_timeout: float = 300.0,
     ) -> None:
         from .cache import QueryResultCache
         from .metrics import MetricsRegistry
@@ -324,27 +400,68 @@ class ServiceEngine:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1 (or None), got {max_queue}")
         self.max_attempts = max_attempts
         self.retry_base_delay = retry_base_delay
         self.ingest_hook = ingest_hook
+        self.max_queue = max_queue
+        self.default_deadline_ms = default_deadline_ms
+        self.stall_timeout = stall_timeout
+        self.watchdog_interval = watchdog_interval
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep if sleep is not None else time.sleep
         self._retry_rng = random.Random(retry_seed)
         self.db = db if db is not None else VideoDatabase(config)
         self.lock = ReadWriteLock()
         self.cache = QueryResultCache(cache_capacity)
         self.metrics = MetricsRegistry()
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset_s,
+            clock=self._clock,
+        )
         self.started_at = time.time()
         self._jobs: dict[str, IngestJob] = {}
         self._jobs_lock = threading.Lock()
         self._job_counter = itertools.count(1)
-        self._queue: queue.Queue = queue.Queue()
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"ingest-worker-{k}", daemon=True
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue or 0)
+        # Lifecycle flags: _accepting gates admission (flipped by
+        # begin_drain/shutdown); _stopping tells workers and the
+        # watchdog to exit.
+        self._accepting = True
+        self._stopping = False
+        # Event-driven drain: _pending counts accepted-but-unfinished
+        # jobs; _idle is set exactly when it reaches zero.
+        self._pending = 0
+        self._idle = threading.Event()
+        self._idle.set()
+        # Watchdog bookkeeping: which job each worker is on, and since
+        # when (engine clock), to detect stuck workers.
+        self._workers_lock = threading.Lock()
+        self._worker_seq = itertools.count(1)
+        self._active: dict[str, tuple[IngestJob, float]] = {}
+        self._stall_flagged: set[str] = set()
+        self._workers: list[threading.Thread] = []
+        with self._workers_lock:
+            for _ in range(n_workers):
+                self._workers.append(self._spawn_worker_locked())
+        self._watchdog: threading.Thread | None = None
+        if watchdog_interval > 0:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="ingest-watchdog", daemon=True
             )
-            for k in range(n_workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+            self._watchdog.start()
+
+    def _spawn_worker_locked(self) -> threading.Thread:
+        """Create and start one ingest worker (holding _workers_lock)."""
+        worker = threading.Thread(
+            target=self._worker_loop,
+            name=f"ingest-worker-{next(self._worker_seq)}",
+            daemon=True,
+        )
+        worker.start()
+        return worker
 
     # ------------------------------------------------------------------
     # ingest side
@@ -378,24 +495,92 @@ class ServiceEngine:
         return self._enqueue(f"ingest {clip.name!r} (clip)", (clip, category))
 
     def _enqueue(self, description: str, payload: Any) -> IngestJob:
+        if not self._accepting:
+            self.metrics.increment("ingest_rejected_draining")
+            raise ServiceUnavailableError(
+                "server is draining and not accepting new work", retry_after=5.0
+            )
+        if not self.breaker.admits():
+            self.metrics.increment("ingest_rejected_breaker")
+            raise CircuitOpenError(
+                "storage circuit breaker is open; ingest unavailable",
+                retry_after=max(self.breaker.retry_after(), 0.1),
+            )
         job = IngestJob(job_id=f"job-{next(self._job_counter)}", description=description)
         with self._jobs_lock:
             self._jobs[job.job_id] = job
-        self._queue.put((job, payload))
+            self._pending += 1
+            self._idle.clear()
+        try:
+            self._queue.put_nowait((job, payload))
+        except queue.Full:
+            with self._jobs_lock:
+                del self._jobs[job.job_id]
+                self._pending -= 1
+                if self._pending == 0:
+                    self._idle.set()
+            self.metrics.increment("ingest_rejected_overload")
+            raise ServiceOverloadError(
+                f"ingest queue is full ({self.max_queue} jobs deep); "
+                f"retry after the backlog drains",
+                retry_after=1.0,
+            ) from None
         self.metrics.increment("ingest_submitted")
+        self._observe_queue_depth()
         return job
 
+    def _observe_queue_depth(self) -> None:
+        """Refresh the queue-depth gauges on ``/metrics``."""
+        depth = self._queue.qsize()
+        self.metrics.set_gauge("ingest_queue_depth", depth)
+        self.metrics.set_gauge_max("ingest_queue_depth_peak", depth)
+
+    def _job_finished(self, job: IngestJob) -> None:
+        """Account one settled job; wakes drain waiters at zero pending."""
+        with self._jobs_lock:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._idle.set()
+        self._observe_queue_depth()
+
     def _worker_loop(self) -> None:
+        name = threading.current_thread().name
         while True:
-            item = self._queue.get()
-            if item is None:
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stopping:
+                    return
+                continue
+            if item is None:  # legacy sentinel; still honored
                 self._queue.task_done()
                 return
             job, payload = item
+            with self._workers_lock:
+                self._active[name] = (job, self._clock())
             try:
                 self._run_job(job, payload)
+            except BaseException as exc:
+                # _run_job handles every expected failure itself; an
+                # escape here is a crashed worker (e.g. an injected
+                # SimulatedCrash).  Settle the job so clients are not
+                # left polling forever, then let the thread die — the
+                # watchdog replaces it.
+                if not job.done_event.is_set():
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.status = JobStatus.FAILED
+                    job.finished_at = time.time()
+                    job.done_event.set()
+                    self.metrics.increment("ingest_failed")
+                self.metrics.increment("worker_crashes")
+                self.breaker.release_probe()
+                raise
             finally:
+                with self._workers_lock:
+                    self._active.pop(name, None)
+                    self._stall_flagged.discard(name)
                 self._queue.task_done()
+                self._job_finished(job)
 
     # OSErrors that no amount of retrying will fix (the path is wrong,
     # not the weather).  Everything else OSError-shaped — EIO, ENOSPC,
@@ -417,6 +602,24 @@ class ServiceEngine:
             return False
         return isinstance(exc, OSError)
 
+    def _breaker_gate(self, job: IngestJob) -> bool:
+        """Wait until the breaker admits this attempt (or we're stopping).
+
+        An accepted job is a promise: rather than failing it when the
+        breaker opens mid-queue, the worker parks until the half-open
+        probe succeeds and the backend is declared healthy again.
+        Returns False only when the engine is shutting down.
+        """
+        waited = False
+        while not self._stopping:
+            if self.breaker.allow():
+                return True
+            if not waited:
+                waited = True
+                self.metrics.increment("ingest_breaker_waits")
+            self._sleep(min(0.05, max(self.breaker.retry_after(), 0.001)))
+        return False
+
     def _run_job(self, job: IngestJob, payload: Any) -> None:
         job.status = JobStatus.RUNNING
         job.started_at = time.time()
@@ -427,6 +630,11 @@ class ServiceEngine:
                 clip, category = clip_from_spec(payload)
             for attempt in range(1, self.max_attempts + 1):
                 job.attempts = attempt
+                if not self._breaker_gate(job):
+                    job.error = "engine shut down while the circuit breaker was open"
+                    job.status = JobStatus.QUARANTINED
+                    self.metrics.increment("ingest_quarantined")
+                    return
                 try:
                     if self.ingest_hook is not None:
                         self.ingest_hook(clip)
@@ -446,6 +654,10 @@ class ServiceEngine:
                 except (StorageError, OSError) as exc:
                     if not self._is_transient(exc):
                         raise
+                    # A transient storage fault: the breaker counts it
+                    # toward tripping open (consecutive failures mean
+                    # the backend is sick, not one unlucky write).
+                    self.breaker.record_failure()
                     job.error = f"{type(exc).__name__}: {exc}"
                     if attempt >= self.max_attempts:
                         job.status = JobStatus.QUARANTINED
@@ -453,8 +665,9 @@ class ServiceEngine:
                         return
                     self.metrics.increment("ingest_retries")
                     delay = self.retry_base_delay * (2 ** (attempt - 1))
-                    time.sleep(delay * (0.5 + self._retry_rng.random()))
+                    self._sleep(delay * (0.5 + self._retry_rng.random()))
                     continue
+                self.breaker.record_success()
                 job.error = None
                 job.report = {
                     "video_id": report.video_id,
@@ -467,12 +680,20 @@ class ServiceEngine:
                 self.metrics.increment("ingest_completed")
                 return
         except (ReproError, ValueError, OSError) as exc:
+            # A permanent failure is no verdict on storage health; if
+            # this attempt held the half-open probe, hand it back.
+            self.breaker.release_probe()
             job.error = f"{type(exc).__name__}: {exc}"
             job.status = JobStatus.FAILED
             self.metrics.increment("ingest_failed")
         finally:
             job.finished_at = time.time()
-            job.done_event.set()
+            # Still RUNNING here means a BaseException (worker crash) is
+            # escaping: leave the event unset so the crash handler in
+            # _worker_loop settles the job as FAILED with the error
+            # attached, instead of signalling done-with-no-verdict.
+            if job.status is not JobStatus.RUNNING:
+                job.done_event.set()
 
     def job(self, job_id: str) -> IngestJob:
         """Look up one job record."""
@@ -488,23 +709,48 @@ class ServiceEngine:
             return list(self._jobs.values())
 
     def wait_for(self, job_id: str, timeout: float | None = None) -> IngestJob:
-        """Block until a job finishes (done or failed)."""
+        """Block until a job finishes (done or failed).
+
+        Raises:
+            ServiceTimeout: the job did not settle within ``timeout``.
+        """
         job = self.job(job_id)
         if not job.done_event.wait(timeout):
-            raise ReproError(f"job {job_id!r} did not finish within {timeout}s")
+            raise ServiceTimeout(f"job {job_id!r} did not finish within {timeout}s")
         return job
 
     def drain(self, timeout: float = 60.0) -> None:
-        """Wait until every submitted job has finished."""
-        deadline = time.time() + timeout
-        for job in self.jobs():
-            remaining = deadline - time.time()
-            if remaining <= 0 or not job.done_event.wait(remaining):
-                raise ReproError(f"ingest queue did not drain within {timeout}s")
+        """Wait until every accepted job has finished.
+
+        Event-driven: blocks on the engine's idle event (set exactly
+        when the pending-job count reaches zero) instead of polling
+        each job record.
+
+        Raises:
+            ServiceTimeout: jobs were still in flight after ``timeout``.
+        """
+        if not self._idle.wait(timeout):
+            with self._jobs_lock:
+                pending = self._pending
+            raise ServiceTimeout(
+                f"ingest queue did not drain within {timeout}s "
+                f"({pending} jobs still pending)"
+            )
 
     # ------------------------------------------------------------------
     # query side
     # ------------------------------------------------------------------
+
+    def _read_timeout(self, deadline: Deadline | None) -> float | None:
+        """Lock-acquisition budget for a deadline-carrying read.
+
+        Raises :class:`ServiceTimeout` when the budget is already spent
+        — cheaper than queueing on the lock just to time out there.
+        """
+        if deadline is None:
+            return None
+        deadline.check("request")
+        return deadline.remaining()
 
     def query(
         self,
@@ -515,12 +761,18 @@ class ServiceEngine:
         alpha: float | None = None,
         beta: float | None = None,
         category: VideoCategory | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[dict[str, Any], bool]:
         """Answer one impression query; returns ``(payload, was_cached)``.
 
         ``alpha``/``beta`` default to the engine's configured tolerances
         (the paper's 1.0); the effective values are part of the cache
         key, so per-request overrides never alias.
+
+        A ``deadline`` bounds the whole call: a cache hit always
+        returns, but a miss gives the read lock only the remaining
+        budget and raises :class:`~repro.errors.ServiceTimeout` instead
+        of queueing indefinitely behind a stalled writer.
         """
         base = self.db.config.query
         effective_alpha = base.alpha if alpha is None else float(alpha)
@@ -538,7 +790,7 @@ class ServiceEngine:
         if cached is not None:
             self.metrics.increment("query_cache_hits")
             return cached, True
-        with self.lock.read_locked():
+        with self.lock.read_locked(self._read_timeout(deadline)):
             generation = self.cache.generation
             answer = self.db.query(
                 var_ba, var_oa, limit=limit, category=category, config=query_config
@@ -581,16 +833,18 @@ class ServiceEngine:
     # read-only views
     # ------------------------------------------------------------------
 
-    def catalog_payload(self) -> dict[str, Any]:
+    def catalog_payload(self, deadline: Deadline | None = None) -> dict[str, Any]:
         """The catalog listing served at ``GET /videos``."""
-        with self.lock.read_locked():
+        with self.lock.read_locked(self._read_timeout(deadline)):
             videos = [entry.to_dict() for entry in self.db.catalog]
             indexed = len(self.db.index)
         return {"count": len(videos), "indexed_shots": indexed, "videos": videos}
 
-    def shots_payload(self, video_id: str) -> dict[str, Any]:
+    def shots_payload(
+        self, video_id: str, deadline: Deadline | None = None
+    ) -> dict[str, Any]:
         """One video's indexed shots served at ``GET /videos/<id>/shots``."""
-        with self.lock.read_locked():
+        with self.lock.read_locked(self._read_timeout(deadline)):
             self.db.catalog.get(video_id)  # raises CatalogError when unknown
             rows = sorted(
                 (e for e in self.db.index.entries if e.video_id == video_id),
@@ -599,9 +853,11 @@ class ServiceEngine:
             shots = [entry.to_row() for entry in rows]
         return {"video_id": video_id, "count": len(shots), "shots": shots}
 
-    def tree_payload(self, video_id: str) -> dict[str, Any]:
+    def tree_payload(
+        self, video_id: str, deadline: Deadline | None = None
+    ) -> dict[str, Any]:
         """One video's scene tree served at ``GET /videos/<id>/tree``."""
-        with self.lock.read_locked():
+        with self.lock.read_locked(self._read_timeout(deadline)):
             tree = self.db.scene_tree(video_id)  # raises CatalogError when unknown
             payload = scene_tree_to_dict(tree)
             payload["height"] = tree.height
@@ -609,20 +865,51 @@ class ServiceEngine:
         return payload
 
     def health_payload(self) -> dict[str, Any]:
-        """The liveness document served at ``GET /health``."""
-        with self.lock.read_locked():
-            n_videos = len(self.db.catalog)
-            n_shots = len(self.db.index)
+        """The liveness document served at ``GET /health``.
+
+        Deliberately lock-free on the database side: liveness must
+        answer even while a writer wedges the reader-writer lock, so
+        the corpus counts here are unsynchronized snapshots.
+        """
         jobs = self.jobs()
         by_status: dict[str, int] = {}
         for job in jobs:
             by_status[job.status.value] = by_status.get(job.status.value, 0) + 1
         return {
-            "status": "ok",
+            "status": "ok" if self.ready else "draining",
+            "ready": self.ready,
             "uptime_s": round(time.time() - self.started_at, 3),
-            "videos": n_videos,
-            "indexed_shots": n_shots,
+            "videos": len(self.db.catalog),
+            "indexed_shots": len(self.db.index),
             "jobs": by_status,
+            "breaker": self.breaker.state,
+        }
+
+    def ready_payload(self) -> dict[str, Any]:
+        """The readiness document served at ``GET /ready``."""
+        return {
+            "ready": self.ready,
+            "accepting_ingest": self._accepting and self.breaker.admits(),
+            "queue_depth": self._queue.qsize(),
+        }
+
+    def overload_payload(self) -> dict[str, Any]:
+        """The overload-control section of ``/metrics``."""
+        with self._workers_lock:
+            workers_alive = sum(1 for w in self._workers if w.is_alive())
+            busy = len(self._active)
+        with self._jobs_lock:
+            pending = self._pending
+        return {
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.max_queue,
+            "pending_jobs": pending,
+            "accepting": self._accepting,
+            "workers": len(self._workers),
+            "workers_alive": workers_alive,
+            "workers_busy": busy,
+            "default_deadline_ms": self.default_deadline_ms,
+            "breaker": self.breaker.snapshot(),
         }
 
     def metrics_payload(self) -> dict[str, Any]:
@@ -630,10 +917,12 @@ class ServiceEngine:
         from ..pyramid.fused import operator_cache_stats
         from ..signature.extract import SignatureExtractor
 
+        self._observe_queue_depth()
         payload = self.metrics.snapshot()
         payload["query_cache"] = self.cache.stats()
         payload["extractor_cache"] = SignatureExtractor.cache_stats()
         payload["fused_operator_cache"] = operator_cache_stats()
+        payload["overload"] = self.overload_payload()
         payload["uptime_s"] = round(time.time() - self.started_at, 3)
         return payload
 
@@ -641,9 +930,101 @@ class ServiceEngine:
     # lifecycle
     # ------------------------------------------------------------------
 
-    def shutdown(self, timeout: float = 10.0) -> None:
-        """Stop the worker pool (queued jobs finish first)."""
-        for _ in self._workers:
-            self._queue.put(None)
-        for worker in self._workers:
-            worker.join(timeout)
+    @property
+    def ready(self) -> bool:
+        """Whether the engine is accepting work (readiness probe)."""
+        return self._accepting and not self._stopping
+
+    @property
+    def draining(self) -> bool:
+        """Whether a drain has begun (readiness is down)."""
+        return not self._accepting
+
+    def begin_drain(self) -> None:
+        """Flip readiness down and stop accepting new work.
+
+        Queries and job polls keep being served; only new ingest
+        submissions are refused (503).  Idempotent.
+        """
+        if self._accepting:
+            self._accepting = False
+            self.metrics.increment("drains_started")
+
+    def check_workers(self) -> dict[str, int]:
+        """One watchdog sweep: replace dead workers, flag stuck ones.
+
+        A dead worker (its thread crashed) is replaced in place.  A
+        stuck worker — one ingest attempt running longer than
+        ``stall_timeout`` on the engine clock — cannot be killed
+        (Python threads are not cancellable), so a supplementary
+        worker is added once per incident to restore pool capacity.
+        Returns ``{"replaced": n, "supplemented": n}``; normally driven
+        by the background watchdog thread, callable directly in tests.
+        """
+        replaced = supplemented = 0
+        with self._workers_lock:
+            if self._stopping:
+                return {"replaced": 0, "supplemented": 0}
+            for k, worker in enumerate(self._workers):
+                if not worker.is_alive():
+                    self._active.pop(worker.name, None)
+                    self._stall_flagged.discard(worker.name)
+                    self._workers[k] = self._spawn_worker_locked()
+                    replaced += 1
+            now = self._clock()
+            for name, (_job, since) in list(self._active.items()):
+                if now - since > self.stall_timeout and name not in self._stall_flagged:
+                    self._stall_flagged.add(name)
+                    self._workers.append(self._spawn_worker_locked())
+                    supplemented += 1
+        if replaced:
+            self.metrics.increment("workers_replaced", replaced)
+        if supplemented:
+            self.metrics.increment("workers_supplemented", supplemented)
+        return {"replaced": replaced, "supplemented": supplemented}
+
+    def _watchdog_loop(self) -> None:
+        while not self._stopping:
+            time.sleep(self.watchdog_interval)
+            if self._stopping:
+                return
+            self.check_workers()
+
+    def shutdown(self, timeout: float = 10.0, *, drain: bool = True) -> None:
+        """Drain and stop the worker pool.
+
+        Flips readiness down, optionally waits up to ``timeout``
+        seconds for accepted jobs to finish (graceful drain), then
+        stops the workers.  Jobs still unfinished after the drain
+        budget are settled as failed so no client polls forever, and a
+        durable database gets a final save.
+        """
+        self.begin_drain()
+        if drain:
+            self._idle.wait(timeout)
+        self._stopping = True
+        with self._workers_lock:
+            workers = list(self._workers)
+        for worker in workers:
+            worker.join(timeout=max(timeout, 0.5))
+        # Settle whatever the drain budget did not cover.
+        abandoned = 0
+        for job in self.jobs():
+            if not job.done_event.is_set():
+                job.error = "server shut down before the job finished"
+                job.status = JobStatus.FAILED
+                job.finished_at = time.time()
+                job.done_event.set()
+                abandoned += 1
+        if abandoned:
+            self.metrics.increment("ingest_abandoned", abandoned)
+        root = self.db.storage_root
+        if root is not None:
+            # Durable engines publish every ingest incrementally, so
+            # this is normally a no-op manifest rewrite — but it makes
+            # "drain then exit" leave a clean, current generation even
+            # if the last publish was interrupted.
+            try:
+                self.db.save(root)
+            except (StorageError, OSError):  # pragma: no cover - best effort
+                pass

@@ -45,6 +45,9 @@ class LoadgenConfig:
         seed: RNG seed for query points and browse choices.
         timeout: per-request socket timeout in seconds.
         job_timeout: max seconds to wait for each ingest job to finish.
+        deadline_ms: when set, every request carries an
+            ``X-Deadline-Ms`` header with this budget (the server
+            answers 503 ``deadline_exceeded`` past it).
     """
 
     base_url: str
@@ -56,6 +59,7 @@ class LoadgenConfig:
     seed: int = 0
     timeout: float = 30.0
     job_timeout: float = 120.0
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_requests < 1 or self.workers < 1:
@@ -73,38 +77,48 @@ def _percentile(sorted_values: list[float], p: float) -> float:
 
 
 class _Client:
-    """Thread-safe HTTP client collecting per-operation latencies."""
+    """Thread-safe HTTP client collecting per-operation latencies.
 
-    def __init__(self, base_url: str, timeout: float) -> None:
+    Each sample records the HTTP status (0 for a transport failure),
+    so the report can tell deliberate load shedding (429/503, the
+    overload contract working) apart from genuine failures (5xx).
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float, deadline_ms: float | None = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.deadline_ms = deadline_ms
         self._lock = threading.Lock()
-        self.samples: list[tuple[str, float, bool]] = []
+        self.samples: list[tuple[str, float, int]] = []
 
     def request(
         self, op: str, method: str, path: str, body: dict[str, Any] | None = None
     ) -> dict[str, Any] | None:
-        """Issue one request; records (op, seconds, ok); None on failure."""
+        """Issue one request; records (op, seconds, status); None unless 2xx."""
         data = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        if self.deadline_ms is not None:
+            headers["X-Deadline-Ms"] = f"{self.deadline_ms:g}"
         request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            self.base_url + path, data=data, method=method, headers=headers
         )
         started = time.perf_counter()
         payload: dict[str, Any] | None = None
-        ok = False
+        status = 0
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                status = response.status
                 payload = json.loads(response.read().decode("utf-8"))
-                ok = 200 <= response.status < 300
+        except urllib.error.HTTPError as exc:
+            status = exc.code
         except (urllib.error.URLError, OSError, json.JSONDecodeError):
-            ok = False
+            status = 0
         elapsed = time.perf_counter() - started
         with self._lock:
-            self.samples.append((op, elapsed, ok))
-        return payload if ok else None
+            self.samples.append((op, elapsed, status))
+        return payload if 200 <= status < 300 else None
 
 
 def _worker(
@@ -182,7 +196,7 @@ def _drive_ingests(client: _Client, config: LoadgenConfig, failures: list[str]) 
 
 def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
     """Run the mixed workload and return the throughput/latency report."""
-    client = _Client(config.base_url, config.timeout)
+    client = _Client(config.base_url, config.timeout, config.deadline_ms)
     ingest_failures: list[str] = []
     share, leftover = divmod(config.n_requests, config.workers)
     threads = [
@@ -208,10 +222,18 @@ def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
     wall_s = time.perf_counter() - started
 
     by_op: dict[str, list[float]] = {}
+    status_counts: dict[str, int] = {}
     failed = 0
-    for op, elapsed, ok in client.samples:
+    shed = 0
+    for op, elapsed, status in client.samples:
         by_op.setdefault(op, []).append(elapsed)
-        if not ok:
+        status_counts[str(status)] = status_counts.get(str(status), 0) + 1
+        if status in (429, 503):
+            # The overload contract shedding load on purpose — tallied
+            # separately so a burst run can assert "no failures" while
+            # still expecting rejections.
+            shed += 1
+        elif not 200 <= status < 300:
             failed += 1
     operations = {}
     for op, latencies in sorted(by_op.items()):
@@ -233,9 +255,12 @@ def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
             "ingests": config.ingests,
             "query_pool": config.query_pool,
             "seed": config.seed,
+            "deadline_ms": config.deadline_ms,
         },
         "total_requests": total,
         "failed_requests": failed,
+        "shed_requests": shed,
+        "status_counts": dict(sorted(status_counts.items())),
         "ingest_failures": ingest_failures,
         "wall_s": round(wall_s, 3),
         "throughput_rps": round(total / wall_s, 2) if wall_s > 0 else 0.0,

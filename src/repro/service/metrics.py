@@ -100,11 +100,18 @@ class LatencyHistogram:
 
 
 class MetricsRegistry:
-    """Named counters plus one request counter/histogram per endpoint."""
+    """Named counters and gauges plus one counter/histogram per endpoint.
+
+    Counters are monotonic (events: requests served, jobs rejected);
+    gauges are set-to-value instantaneous readings (queue depth) —
+    :meth:`set_gauge_max` keeps a high-water variant so a burst's peak
+    survives into the post-burst ``/metrics`` scrape.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
         self._requests: dict[str, dict[str, Any]] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -116,6 +123,22 @@ class MetricsRegistry:
         """Current value of a named counter (0 when never bumped)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set an instantaneous gauge reading."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def set_gauge_max(self, name: str, value: float) -> None:
+        """Raise a high-water gauge to ``value`` if it is larger."""
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+
+    def gauge(self, name: str) -> float:
+        """Current gauge value (0.0 when never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
 
     def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one served request: count, error count, latency.
@@ -139,12 +162,14 @@ class MetricsRegistry:
         the engine)."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             requests = {
                 endpoint: (record["count"], record["errors"], record["latency"])
                 for endpoint, record in self._requests.items()
             }
         return {
             "counters": counters,
+            "gauges": gauges,
             "requests": {
                 endpoint: {
                     "count": count,

@@ -6,6 +6,7 @@ the interpreter.  Every response is a JSON document; errors follow the
 same shape: ``{"error": "<message>"}`` with a 4xx/5xx status.
 
     GET  /health                     liveness + corpus/job counts
+    GET  /ready                      readiness (503 while draining)
     GET  /metrics                    counters, latency histograms, cache
     GET  /videos                     catalog listing
     GET  /videos/<id>/shots          one video's indexed shots
@@ -19,6 +20,13 @@ same shape: ``{"error": "<message>"}`` with a 4xx/5xx status.
 Each handled request is timed and recorded against its *route
 pattern* (``GET /videos/{id}/shots``), keeping ``/metrics`` cardinality
 bounded no matter how many videos exist.
+
+Overload contract (see docs/SERVICE.md "Overload & degradation"): a
+full ingest queue answers ``429`` with ``Retry-After``; a request
+whose ``X-Deadline-Ms`` budget expires answers ``503`` with a
+structured ``deadline_exceeded`` body; an open storage circuit breaker
+or a draining server answers ``503`` with ``Retry-After``; a body
+larger than ``max_body_bytes`` answers ``413``.
 """
 
 from __future__ import annotations
@@ -29,10 +37,24 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from ..errors import CatalogError, QueryError, ReproError, StorageError, WorkloadError
+from ..errors import (
+    CatalogError,
+    QueryError,
+    ReproError,
+    ServiceOverloadError,
+    ServiceTimeout,
+    ServiceUnavailableError,
+    StorageError,
+    WorkloadError,
+)
 from .engine import ServiceEngine
+from .resilience import Deadline
 
 __all__ = ["ServiceServer", "ServiceRequestHandler", "create_server"]
+
+#: Default cap on accepted request bodies (1 MiB) — ingest specs and
+#: query bodies are tiny; anything bigger is a mistake or an attack.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -40,17 +62,24 @@ class ServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], engine: ServiceEngine) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: ServiceEngine,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.engine = engine
+        self.max_body_bytes = max_body_bytes
 
 
 class _HTTPProblem(Exception):
     """Internal: abort the current request with a status and message."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, **extra: Any) -> None:
         super().__init__(message)
         self.status = status
+        self.extra = extra
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -91,12 +120,41 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         # into the engine, so even error responses are recorded against a
         # bounded route label rather than the concrete path.
         self._route_pattern = f"{method} /<unrouted>"
+        self._deadline = None
+        headers: dict[str, str] = {}
         try:
+            self._deadline = self._request_deadline()
             status, payload = self._route(method, segments, split.query)
         except _HTTPProblem as problem:
-            status, payload = problem.status, {"error": str(problem)}
+            status, payload = problem.status, {"error": str(problem), **problem.extra}
         except CatalogError as exc:
             status, payload = 404, {"error": str(exc)}
+        except ServiceOverloadError as exc:
+            status = 429
+            payload = {
+                "error": str(exc),
+                "reason": "overloaded",
+                "retry_after_s": exc.retry_after,
+            }
+            headers["Retry-After"] = str(max(1, round(exc.retry_after)))
+        except ServiceTimeout as exc:
+            status = 503
+            payload = {"error": str(exc), "reason": "deadline_exceeded"}
+            if self._deadline is not None:
+                payload["deadline_ms"] = self._deadline.budget_s * 1_000.0
+            self.engine.metrics.increment("deadline_exceeded")
+        except ServiceUnavailableError as exc:
+            # Covers CircuitOpenError too: the service is up but this
+            # work cannot be accepted right now.
+            status = 503
+            payload = {
+                "error": str(exc),
+                "reason": "circuit_open"
+                if type(exc).__name__ == "CircuitOpenError"
+                else "draining",
+                "retry_after_s": exc.retry_after,
+            }
+            headers["Retry-After"] = str(max(1, round(exc.retry_after)))
         except StorageError as exc:
             # A durability fault, not a bad request — the client's input
             # was fine; surface it as a server-side failure.
@@ -107,10 +165,30 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             status, payload = 500, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
             status, payload = 500, {"error": f"internal error: {exc}"}
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers)
         self.engine.metrics.observe_request(
             self._route_pattern, status, time.perf_counter() - started
         )
+
+    def _request_deadline(self) -> Deadline | None:
+        """The request's deadline budget (header, else engine default)."""
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is not None:
+            try:
+                budget_ms = float(raw)
+            except ValueError:
+                raise _HTTPProblem(
+                    400, f"X-Deadline-Ms must be a number, got {raw!r}"
+                ) from None
+            if budget_ms <= 0:
+                raise _HTTPProblem(
+                    400, f"X-Deadline-Ms must be positive, got {budget_ms:g}"
+                )
+        elif self.engine.default_deadline_ms is not None:
+            budget_ms = self.engine.default_deadline_ms
+        else:
+            return None
+        return Deadline.after_ms(budget_ms, clock=self.engine._clock)
 
     def _route(
         self, method: str, segments: list[str], query_string: str
@@ -125,20 +203,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if method == "GET" and segments == ["health"]:
             pattern("GET /health")
             return 200, engine.health_payload()
+        if method == "GET" and segments == ["ready"]:
+            pattern("GET /ready")
+            payload = engine.ready_payload()
+            return (200 if payload["ready"] else 503), payload
         if method == "GET" and segments == ["metrics"]:
             pattern("GET /metrics")
             return 200, engine.metrics_payload()
         if method == "GET" and segments == ["videos"]:
             pattern("GET /videos")
-            return 200, engine.catalog_payload()
+            return 200, engine.catalog_payload(deadline=self._deadline)
         if method == "GET" and len(segments) == 3 and head == "videos":
             _, video_id, leaf = segments
             if leaf == "shots":
                 pattern("GET /videos/{id}/shots")
-                return 200, engine.shots_payload(video_id)
+                return 200, engine.shots_payload(video_id, deadline=self._deadline)
             if leaf == "tree":
                 pattern("GET /videos/{id}/tree")
-                return 200, engine.tree_payload(video_id)
+                return 200, engine.tree_payload(video_id, deadline=self._deadline)
             raise _HTTPProblem(404, f"unknown video resource {leaf!r}")
         if segments == ["query"]:
             pattern(f"{method} /query")
@@ -152,6 +234,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 limit=self._int_param(params, "limit"),
                 alpha=self._optional_float(params, "alpha"),
                 beta=self._optional_float(params, "beta"),
+                deadline=self._deadline,
             )
             return 200, dict(payload, cached=was_cached)
         if method == "POST" and segments == ["ingest"]:
@@ -177,6 +260,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _json_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
+        limit = self.server.max_body_bytes  # type: ignore[attr-defined]
+        if length > limit:
+            # Read nothing: draining an oversized body would let a
+            # client tie up this connection thread with the very bytes
+            # being rejected.  The connection is closed instead.
+            self.close_connection = True
+            raise _HTTPProblem(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit",
+                reason="body_too_large",
+                max_body_bytes=limit,
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise _HTTPProblem(400, "request body must be a JSON object")
@@ -223,12 +319,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # response writing
     # ------------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
@@ -236,7 +339,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 def create_server(
-    engine: ServiceEngine, host: str = "127.0.0.1", port: int = 0
+    engine: ServiceEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> ServiceServer:
     """Bind a service server (``port=0`` picks an ephemeral port).
 
@@ -245,4 +351,4 @@ def create_server(
         server = create_server(engine, port=8080)
         server.serve_forever()   # Ctrl-C to stop
     """
-    return ServiceServer((host, port), engine)
+    return ServiceServer((host, port), engine, max_body_bytes=max_body_bytes)

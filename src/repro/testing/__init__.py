@@ -6,12 +6,18 @@ the process model at the k-th operation, tear writes, or flip bytes,
 plus the kill-point sweep runner that proves every save and ingest is
 atomic (see docs/DURABILITY.md).
 
+:mod:`repro.testing.chaos` extends it for the service's overload
+tests: a deterministic :class:`FakeClock` for breaker timers, stalling
+storage/hook wrappers that block instead of erroring, and a concurrent
+ingest-burst driver for asserting the 429-never-5xx overload contract.
+
 :mod:`repro.testing.golden` freezes the extraction pipeline's outputs
 for three seeded clips as byte-exact JSON fixtures, and
 :mod:`repro.testing.synth` assembles deterministic random databases
 without running detection (for property-based persistence tests).
 """
 
+from .chaos import FakeClock, StallingFS, StallingHook, run_overload_burst
 from .faults import (
     FaultPoint,
     FaultyFS,
@@ -26,6 +32,7 @@ from .golden import GOLDEN_SPECS, GoldenSpec, build_clip
 from .synth import add_synth_video, synth_database
 
 __all__ = [
+    "FakeClock",
     "FaultPoint",
     "FaultyFS",
     "FlakyHook",
@@ -34,9 +41,12 @@ __all__ = [
     "KillPointRun",
     "RecordingFS",
     "SimulatedCrash",
+    "StallingFS",
+    "StallingHook",
     "SweepReport",
     "add_synth_video",
     "build_clip",
+    "run_overload_burst",
     "sweep_kill_points",
     "synth_database",
 ]

@@ -91,6 +91,11 @@ class VideoDatabase:
             extraction=self.config.extraction,
         )
 
+    @property
+    def storage_root(self):
+        """The bound storage directory (None for an in-memory database)."""
+        return self._storage.root if self._storage is not None else None
+
     # ------------------------------------------------------------------
     # ingest
     # ------------------------------------------------------------------

@@ -132,18 +132,36 @@ def write_avi(clip: VideoClip, path: str | Path) -> Path:
 
 
 def _iter_chunks(data: bytes, start: int, end: int):
-    """Yield ``(fourcc, payload_start, payload_size)`` within a span."""
+    """Yield ``(fourcc, payload_start, payload_size)`` within a span.
+
+    A declared chunk size is clamped to the enclosing span, so a
+    corrupt length field can truncate what a chunk sees but never
+    extend a read past the file.
+    """
     pos = start
     while pos + 8 <= end:
         fourcc = data[pos : pos + 4]
         (size,) = struct.unpack_from("<I", data, pos + 4)
+        size = min(size, end - pos - 8)
         yield fourcc, pos + 8, size
         pos += 8 + size + (size % 2)
 
 
+#: Nested LIST chunks deeper than this are rejected — the real layout
+#: is 3 levels deep; a hostile file could otherwise recurse without
+#: bound.
+_MAX_LIST_DEPTH = 16
+
+
 def read_avi(path: str | Path) -> VideoClip:
     """Load an uncompressed 24-bit AVI written by :func:`write_avi`
-    (or any tool producing the same classic layout)."""
+    (or any tool producing the same classic layout).
+
+    Raises:
+        VideoFormatError: on any malformed input — truncated headers,
+            implausible dimensions, over-deep chunk nesting, or short
+            frame data; never ``struct.error`` or ``MemoryError``.
+    """
     path = Path(path)
     data = path.read_bytes()
     if data[:4] != b"RIFF" or data[8:12] != b"AVI ":
@@ -152,17 +170,25 @@ def read_avi(path: str | Path) -> VideoClip:
     fps = 30.0
     frames: list[np.ndarray] = []
 
-    def walk(start: int, end: int) -> None:
+    def walk(start: int, end: int, depth: int = 0) -> None:
         nonlocal rows, cols, fps
+        if depth > _MAX_LIST_DEPTH:
+            raise VideoFormatError(
+                f"chunk lists nested deeper than {_MAX_LIST_DEPTH} levels"
+            )
         for fourcc, payload_start, size in _iter_chunks(data, start, end):
             payload_end = payload_start + size
             if fourcc == b"LIST":
-                walk(payload_start + 4, payload_end)
+                walk(payload_start + 4, payload_end, depth + 1)
             elif fourcc == b"avih":
+                if size < 4:
+                    raise VideoFormatError("truncated avih header chunk")
                 usec, *_ = struct.unpack_from("<I", data, payload_start)
                 if usec:
                     fps = 1_000_000 / usec
             elif fourcc == b"strf":
+                if size < 16:
+                    raise VideoFormatError("truncated strf format chunk")
                 (
                     _size, bi_width, bi_height, _planes, bit_count, compression,
                 ) = struct.unpack_from("<IiiHHI", data, payload_start)
@@ -170,6 +196,10 @@ def read_avi(path: str | Path) -> VideoClip:
                     raise VideoFormatError(
                         f"only 24-bit uncompressed AVI supported, got "
                         f"{bit_count}-bit compression={compression}"
+                    )
+                if bi_width < 1 or bi_height == 0:
+                    raise VideoFormatError(
+                        f"invalid AVI frame dimensions {bi_width}x{bi_height}"
                     )
                 cols, rows = bi_width, abs(bi_height)
             elif fourcc in (b"00db", b"00dc"):
@@ -179,11 +209,19 @@ def read_avi(path: str | Path) -> VideoClip:
                     _dib_to_frame(data[payload_start:payload_end], rows, cols)
                 )
 
-    walk(12, len(data))
+    try:
+        walk(12, len(data))
+    except struct.error as exc:  # pragma: no cover - belt and braces
+        raise VideoFormatError(f"malformed AVI structure in {path}: {exc}") from None
     if not frames:
         raise VideoFormatError(f"no video frames found in {path}")
-    return VideoClip(
-        name=path.stem,
-        frames=np.stack(frames),
-        fps=round(fps, 6),
-    )
+    try:
+        return VideoClip(
+            name=path.stem,
+            frames=np.stack(frames),
+            fps=round(fps, 6),
+        )
+    except ValueError as exc:
+        # np.stack rejects frames of differing shapes (the format
+        # changed mid-file) — a container problem, not a caller bug.
+        raise VideoFormatError(f"inconsistent frame shapes in {path}: {exc}") from None

@@ -16,17 +16,26 @@ examples can round-trip clips through disk.  Layout (little-endian):
 
 The payload is written frame-major so :func:`stream_rvid` can yield one
 frame at a time without loading the whole clip.
+
+Reading is hardened against hostile or damaged files: every declared
+quantity (frame count, dimensions, name length) is validated against
+the actual file size *before* any allocation, so a bit-flipped header
+cannot make the reader attempt a multi-gigabyte read, and every
+failure mode surfaces as :class:`~repro.errors.VideoFormatError` —
+never ``struct.error``, ``MemoryError``, or ``UnicodeDecodeError``.
 """
 
 from __future__ import annotations
 
+import math
+import os
 import struct
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
-from ..errors import VideoFormatError
+from ..errors import EmptyClipError, FrameError, VideoFormatError
 from .clip import VideoClip
 
 __all__ = ["RVID_MAGIC", "write_rvid", "read_rvid", "stream_rvid"]
@@ -55,6 +64,14 @@ def write_rvid(clip: VideoClip, path: str | Path) -> Path:
 
 
 def _read_header(fh) -> tuple[int, int, int, float, str]:
+    """Parse and validate the fixed header (see the module docstring).
+
+    Every declared size is checked against the real file size before
+    any read sized by it, so a corrupt header cannot trigger a huge
+    allocation; the payload-completeness check downstream then only
+    confirms what was already promised.
+    """
+    file_size = os.fstat(fh.fileno()).st_size
     magic = fh.read(len(RVID_MAGIC))
     if magic != RVID_MAGIC:
         raise VideoFormatError(f"bad .rvid magic: {magic!r}")
@@ -62,17 +79,41 @@ def _read_header(fh) -> tuple[int, int, int, float, str]:
     if len(header) != _HEADER.size:
         raise VideoFormatError("truncated .rvid header")
     n, rows, cols, fps, name_len = _HEADER.unpack(header)
+    if not math.isfinite(fps) or fps <= 0:
+        raise VideoFormatError(f"invalid .rvid fps {fps!r}")
+    if n < 1 or rows < 1 or cols < 1:
+        raise VideoFormatError(
+            f"invalid .rvid geometry: {n} frames of {rows}x{cols}"
+        )
+    body_start = len(RVID_MAGIC) + _HEADER.size
+    if name_len > file_size - body_start:
+        raise VideoFormatError(
+            f"declared name length {name_len} exceeds the file's "
+            f"{file_size} bytes"
+        )
+    declared_payload = n * rows * cols * 3
+    if declared_payload > file_size - body_start - name_len:
+        raise VideoFormatError(
+            f"declared payload of {declared_payload} bytes exceeds the "
+            f"file's {file_size} bytes (truncated or corrupt header)"
+        )
     name_bytes = fh.read(name_len)
     if len(name_bytes) != name_len:
         raise VideoFormatError("truncated .rvid name field")
-    return n, rows, cols, fps, name_bytes.decode("utf-8")
+    try:
+        name = name_bytes.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise VideoFormatError(f"undecodable .rvid name field: {exc}") from None
+    return n, rows, cols, fps, name
 
 
 def read_rvid(path: str | Path) -> VideoClip:
     """Load a full clip from an .rvid container.
 
     Raises:
-        VideoFormatError: on bad magic or truncated payload.
+        VideoFormatError: on bad magic, an implausible or truncated
+            header, or a truncated payload — all decode failures
+            surface as this one type.
     """
     path = Path(path)
     with open(path, "rb") as fh:
@@ -81,7 +122,10 @@ def read_rvid(path: str | Path) -> VideoClip:
         if len(payload) != n * rows * cols * 3:
             raise VideoFormatError(f"truncated .rvid payload in {path}")
     frames = np.frombuffer(payload, dtype=np.uint8).reshape(n, rows, cols, 3)
-    return VideoClip(name=name, frames=frames.copy(), fps=fps)
+    try:
+        return VideoClip(name=name, frames=frames.copy(), fps=fps)
+    except (EmptyClipError, FrameError, ValueError) as exc:
+        raise VideoFormatError(f"invalid clip in {path}: {exc}") from None
 
 
 def stream_rvid(path: str | Path) -> Iterator[np.ndarray]:

@@ -40,7 +40,13 @@ def write_ppm(frame: np.ndarray, path: str | Path) -> Path:
 
 
 def read_ppm(path: str | Path) -> np.ndarray:
-    """Read a binary PPM (P6) written by :func:`write_ppm`."""
+    """Read a binary PPM (P6) written by :func:`write_ppm`.
+
+    Raises:
+        VideoFormatError: on any malformed input — non-numeric or
+            missing header fields, implausible dimensions, a payload
+            larger than the file, or truncated pixel data.
+    """
     data = Path(path).read_bytes()
     if not data.startswith(b"P6"):
         raise VideoFormatError(f"{path} is not a P6 PPM file")
@@ -51,6 +57,8 @@ def read_ppm(path: str | Path) -> np.ndarray:
     while len(fields) < 3:
         while pos < len(data) and data[pos : pos + 1].isspace():
             pos += 1
+        if pos >= len(data):
+            raise VideoFormatError(f"truncated PPM header in {path}")
         if data[pos : pos + 1] == b"#":
             while pos < len(data) and data[pos : pos + 1] != b"\n":
                 pos += 1
@@ -60,11 +68,24 @@ def read_ppm(path: str | Path) -> np.ndarray:
             pos += 1
         fields.append(data[start:pos])
     pos += 1  # the single whitespace after maxval
-    cols, rows, maxval = (int(f) for f in fields)
+    try:
+        cols, rows, maxval = (int(f) for f in fields)
+    except ValueError:
+        raise VideoFormatError(
+            f"non-numeric PPM header fields {fields!r} in {path}"
+        ) from None
     if maxval != 255:
         raise VideoFormatError(f"only 8-bit PPM supported, got maxval {maxval}")
-    payload = data[pos : pos + rows * cols * 3]
-    if len(payload) != rows * cols * 3:
+    if cols < 1 or rows < 1:
+        raise VideoFormatError(f"invalid PPM dimensions {cols}x{rows} in {path}")
+    declared = rows * cols * 3
+    if declared > len(data) - pos:
+        raise VideoFormatError(
+            f"declared PPM payload of {declared} bytes exceeds the "
+            f"file's {len(data)} bytes"
+        )
+    payload = data[pos : pos + declared]
+    if len(payload) != declared:
         raise VideoFormatError(f"truncated PPM payload in {path}")
     return np.frombuffer(payload, dtype=np.uint8).reshape(rows, cols, 3).copy()
 

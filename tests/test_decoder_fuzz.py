@@ -1,0 +1,168 @@
+"""Fuzz-style hardening tests for the video decoders.
+
+Contract: feeding arbitrary bytes to ``read_rvid``, ``read_avi``, or
+``read_ppm`` either succeeds or raises :class:`VideoFormatError` — never
+``struct.error``, ``IndexError``, ``MemoryError``, ``ValueError``, or
+``UnicodeDecodeError`` — and a header declaring absurd dimensions is
+rejected *before* any allocation sized by it."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.video.avi import read_avi, write_avi
+from repro.video.clip import VideoClip
+from repro.video.io import read_rvid, stream_rvid, write_rvid
+from repro.video.ppm import read_ppm, write_ppm
+
+# Everything a decoder is forbidden from leaking to callers.
+FORBIDDEN = (
+    struct.error,
+    IndexError,
+    KeyError,
+    MemoryError,
+    UnicodeDecodeError,
+    ValueError,  # includes numpy reshape/stack errors
+    OverflowError,
+    RecursionError,
+)
+
+
+def _clip(n=4, rows=8, cols=8, seed=0):
+    rng = np.random.default_rng(seed)
+    frames = rng.integers(0, 255, size=(n, rows, cols, 3), dtype=np.uint8)
+    return VideoClip(name="fuzz", frames=frames, fps=10.0)
+
+
+@pytest.fixture(scope="module")
+def rvid_bytes(tmp_path_factory):
+    path = write_rvid(_clip(), tmp_path_factory.mktemp("rvid") / "clip.rvid")
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def avi_bytes(tmp_path_factory):
+    path = write_avi(_clip(), tmp_path_factory.mktemp("avi") / "clip.avi")
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def ppm_bytes(tmp_path_factory):
+    path = write_ppm(_clip().frames[0], tmp_path_factory.mktemp("ppm") / "f.ppm")
+    return path.read_bytes()
+
+
+def _assert_contained(reader, path):
+    """The decoder either succeeds or raises VideoFormatError."""
+    try:
+        reader(path)
+    except VideoFormatError:
+        pass
+    except FORBIDDEN as exc:  # pragma: no cover - the failure we hunt
+        pytest.fail(f"{reader.__name__} leaked {type(exc).__name__}: {exc}")
+
+
+class TestTruncationSweep:
+    """Every prefix of a valid file is handled, byte by byte."""
+
+    def test_rvid_prefixes(self, rvid_bytes, tmp_path):
+        path = tmp_path / "cut.rvid"
+        for cut in range(0, len(rvid_bytes), 7):
+            path.write_bytes(rvid_bytes[:cut])
+            _assert_contained(read_rvid, path)
+
+    def test_avi_prefixes(self, avi_bytes, tmp_path):
+        path = tmp_path / "cut.avi"
+        for cut in range(0, len(avi_bytes), 7):
+            path.write_bytes(avi_bytes[:cut])
+            _assert_contained(read_avi, path)
+
+    def test_ppm_prefixes(self, ppm_bytes, tmp_path):
+        path = tmp_path / "cut.ppm"
+        for cut in range(len(ppm_bytes)):
+            path.write_bytes(ppm_bytes[:cut])
+            _assert_contained(read_ppm, path)
+
+
+class TestBitFlips:
+    """Seeded single-byte corruptions over the whole file."""
+
+    def _sweep(self, reader, blob, path, seed, n=300):
+        rng = np.random.default_rng(seed)
+        for _ in range(n):
+            corrupted = bytearray(blob)
+            offset = int(rng.integers(0, len(blob)))
+            corrupted[offset] ^= 1 << int(rng.integers(0, 8))
+            path.write_bytes(bytes(corrupted))
+            _assert_contained(reader, path)
+
+    def test_rvid_bit_flips(self, rvid_bytes, tmp_path):
+        self._sweep(read_rvid, rvid_bytes, tmp_path / "flip.rvid", seed=11)
+
+    def test_avi_bit_flips(self, avi_bytes, tmp_path):
+        self._sweep(read_avi, avi_bytes, tmp_path / "flip.avi", seed=12)
+
+    def test_ppm_bit_flips(self, ppm_bytes, tmp_path):
+        self._sweep(read_ppm, ppm_bytes, tmp_path / "flip.ppm", seed=13)
+
+
+class TestGarbageInputs:
+    def test_random_bytes_never_leak(self, tmp_path):
+        rng = np.random.default_rng(99)
+        for k, (reader, suffix) in enumerate(
+            [(read_rvid, "rvid"), (read_avi, "avi"), (read_ppm, "ppm")]
+        ):
+            path = tmp_path / f"junk-{k}.{suffix}"
+            for size in (0, 1, 12, 64, 512):
+                path.write_bytes(rng.bytes(size))
+                _assert_contained(reader, path)
+
+    def test_stream_rvid_truncated_mid_frame(self, rvid_bytes, tmp_path):
+        path = tmp_path / "mid.rvid"
+        path.write_bytes(rvid_bytes[: len(rvid_bytes) - 5])
+        with pytest.raises(VideoFormatError):
+            list(stream_rvid(path))
+
+
+class TestAllocationBombs:
+    """Declared sizes are checked against the actual file size before
+    any buffer sized by them is allocated — a tiny file claiming a
+    terabyte payload must fail fast, not OOM."""
+
+    # .rvid layout: 8-byte magic, then <III d I = n, rows, cols, fps,
+    # name_len (see repro.video.io._HEADER).
+    def test_rvid_huge_declared_frame_count(self, rvid_bytes, tmp_path):
+        corrupted = bytearray(rvid_bytes)
+        struct.pack_into("<I", corrupted, 8, 2**31 - 1)
+        path = tmp_path / "bomb.rvid"
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(VideoFormatError, match="payload"):
+            read_rvid(path)
+
+    def test_rvid_huge_declared_name_length(self, rvid_bytes, tmp_path):
+        corrupted = bytearray(rvid_bytes)
+        struct.pack_into("<I", corrupted, 8 + struct.calcsize("<IIId"), 2**31 - 1)
+        path = tmp_path / "name.rvid"
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(VideoFormatError, match="name"):
+            read_rvid(path)
+
+    def test_ppm_huge_declared_dimensions(self, tmp_path):
+        path = tmp_path / "bomb.ppm"
+        path.write_bytes(b"P6\n999999 999999\n255\n" + b"\x00" * 32)
+        with pytest.raises(VideoFormatError):
+            read_ppm(path)
+
+    def test_avi_deeply_nested_lists(self, tmp_path):
+        # 64 nested LISTs: the walker must cap recursion, not blow the
+        # interpreter stack.
+        inner = b""
+        for _ in range(64):
+            inner = b"LIST" + struct.pack("<I", len(inner) + 4) + b"fuzz" + inner
+        blob = b"RIFF" + struct.pack("<I", len(inner) + 4) + b"AVI " + inner
+        path = tmp_path / "deep.avi"
+        path.write_bytes(blob)
+        with pytest.raises(VideoFormatError):
+            read_avi(path)

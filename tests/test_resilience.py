@@ -1,0 +1,222 @@
+"""Units for the resilience primitives: deadlines, the circuit
+breaker, lock timeouts, metrics gauges, and dedicated timeout errors."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ReproError,
+    ServiceOverloadError,
+    ServiceTimeout,
+    ServiceUnavailableError,
+)
+from repro.service.cache import QueryResultCache
+from repro.service.engine import ReadWriteLock, ServiceEngine
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import CircuitBreaker, Deadline
+from repro.testing.chaos import FakeClock
+
+
+class TestDeadline:
+    def test_remaining_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.25)
+        assert not deadline.expired
+        clock.advance(0.2)
+        assert deadline.remaining() == pytest.approx(0.05)
+        clock.advance(0.1)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_service_timeout_after_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        deadline.check("query")  # not expired: no raise
+        clock.advance(0.2)
+        with pytest.raises(ServiceTimeout, match="query"):
+            deadline.check("query")
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline.after_ms(-5)
+
+
+class TestTimeoutErrorTaxonomy:
+    def test_service_errors_are_repro_errors(self):
+        assert issubclass(ServiceTimeout, ReproError)
+        assert issubclass(ServiceOverloadError, ReproError)
+        assert issubclass(ServiceUnavailableError, ReproError)
+        assert issubclass(CircuitOpenError, ServiceUnavailableError)
+
+    def test_overload_errors_carry_retry_after(self):
+        assert ServiceOverloadError("full", retry_after=2.5).retry_after == 2.5
+        assert CircuitOpenError("open", retry_after=4.0).retry_after == 4.0
+
+    def test_wait_for_and_drain_raise_service_timeout(self):
+        engine = ServiceEngine(
+            n_workers=1,
+            watchdog_interval=0,
+            ingest_hook=lambda clip: threading.Event().wait(0.3),
+        )
+        try:
+            job = engine.submit_spec(
+                {"source": "synthetic", "video_id": "slow", "rows": 16, "cols": 16}
+            )
+            with pytest.raises(ServiceTimeout):
+                engine.wait_for(job.job_id, timeout=0.01)
+            with pytest.raises(ServiceTimeout):
+                engine.drain(timeout=0.01)
+            engine.drain(timeout=30)
+        finally:
+            engine.shutdown()
+
+
+class TestCircuitBreaker:
+    def test_trips_open_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=5.0, clock=clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # not yet at threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.admits()
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(5.0)
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=2.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(2.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent caller refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_restarts_the_timer(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=2.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.retry_after() == pytest.approx(2.0)
+        assert breaker.snapshot()["times_opened"] == 2
+
+    def test_release_probe_lets_the_next_caller_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        # The probe call died without a storage verdict (permanent app
+        # error): without release_probe the breaker would wedge here.
+        breaker.release_probe()
+        assert breaker.allow()
+
+    def test_snapshot_counters(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["times_opened"] == 1
+        assert snap["total_failures"] == 1
+        assert snap["total_successes"] == 1
+        assert snap["consecutive_failures"] == 0
+
+
+class TestLockTimeouts:
+    def test_read_times_out_behind_a_writer(self):
+        lock = ReadWriteLock()
+        assert lock.acquire_write()
+        try:
+            assert not lock.acquire_read(timeout=0.02)
+            with pytest.raises(ServiceTimeout):
+                with lock.read_locked(timeout=0.02):
+                    pass  # pragma: no cover - not reached
+        finally:
+            lock.release_write()
+        with lock.read_locked(timeout=0.1):
+            pass
+
+    def test_write_times_out_behind_a_reader(self):
+        lock = ReadWriteLock()
+        assert lock.acquire_read()
+        try:
+            assert not lock.acquire_write(timeout=0.02)
+            with pytest.raises(ServiceTimeout):
+                with lock.write_locked(timeout=0.02):
+                    pass  # pragma: no cover - not reached
+        finally:
+            lock.release_read()
+        with lock.write_locked(timeout=0.1):
+            pass
+
+    def test_gave_up_writer_wakes_queued_readers(self):
+        """A writer that times out must not leave readers stranded."""
+        lock = ReadWriteLock()
+        assert lock.acquire_read()  # blocks the writer below
+        reader_done = threading.Event()
+
+        def late_reader():
+            # Queued behind the waiting writer (writer preference);
+            # once that writer gives up, this reader must get through.
+            with lock.read_locked(timeout=5.0):
+                reader_done.set()
+
+        writer = threading.Thread(
+            target=lambda: lock.acquire_write(timeout=0.1), daemon=True
+        )
+        writer.start()
+        # Give the writer a moment to start waiting so the reader
+        # really queues behind it.
+        writer.join(timeout=0.02)
+        reader = threading.Thread(target=late_reader, daemon=True)
+        reader.start()
+        writer.join(timeout=5.0)
+        assert reader_done.wait(5.0), "reader stranded after writer gave up"
+        lock.release_read()
+
+
+class TestGaugesAndCacheCounters:
+    def test_gauges_snapshot_and_high_water(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 3)
+        registry.set_gauge_max("depth_peak", 3)
+        registry.set_gauge("depth", 1)
+        registry.set_gauge_max("depth_peak", 1)  # must not lower the peak
+        assert registry.gauge("depth") == 1
+        assert registry.gauge("depth_peak") == 3
+        snap = registry.snapshot()
+        assert snap["gauges"] == {"depth": 1, "depth_peak": 3}
+        assert registry.gauge("never_set") == 0.0
+
+    def test_stale_fill_counter(self):
+        cache = QueryResultCache(capacity=4)
+        generation = cache.generation
+        cache.invalidate()
+        assert not cache.put("key", {"x": 1}, generation=generation)
+        assert cache.stats()["stale_fills"] == 1
+        assert cache.put("key", {"x": 1}, generation=cache.generation)

@@ -1,0 +1,198 @@
+"""Deterministic chaos: breaker transitions on a fake clock, watchdog
+worker replacement, and stalled storage that cannot wedge queries.
+
+Marked ``chaos``; run in the CI overload job."""
+
+import time
+
+import pytest
+
+from repro.errors import CircuitOpenError, ServiceTimeout
+from repro.service.engine import JobStatus, ServiceEngine
+from repro.service.resilience import Deadline
+from repro.testing.chaos import FakeClock, StallingFS, StallingHook
+from repro.testing.faults import FlakyHook, SimulatedCrash
+from repro.vdbms.database import VideoDatabase
+
+pytestmark = pytest.mark.chaos
+
+
+def _spec(video_id, seed=0):
+    return {
+        "source": "synthetic",
+        "video_id": video_id,
+        "n_shots": 2,
+        "frames_per_shot": 4,
+        "rows": 16,
+        "cols": 16,
+        "seed": seed,
+    }
+
+
+class TestBreakerLifecycle:
+    def test_open_half_open_closed_on_a_fake_clock(self):
+        """The full acceptance transition, with no real sleeps."""
+        clock = FakeClock()
+        hook = FlakyHook(fail_times=2, exc=lambda msg: OSError(msg))
+        engine = ServiceEngine(
+            n_workers=1,
+            watchdog_interval=0,
+            max_attempts=1,
+            breaker_threshold=2,
+            breaker_reset_s=5.0,
+            clock=clock,
+            sleep=clock.sleep,
+            ingest_hook=hook,
+        )
+        try:
+            # Two failing jobs trip the breaker open.
+            for k in range(2):
+                job = engine.wait_for(
+                    engine.submit_spec(_spec(f"sick-{k}", seed=k)).job_id, timeout=60
+                )
+                assert job.status is JobStatus.QUARANTINED
+            assert engine.breaker.state == "open"
+            assert engine.breaker.times_opened == 1
+            # While open, submission fails fast with a retry hint.
+            with pytest.raises(CircuitOpenError) as excinfo:
+                engine.submit_spec(_spec("refused"))
+            assert excinfo.value.retry_after > 0
+            assert engine.metrics.counter("ingest_rejected_breaker") == 1
+            # The reset window elapses on the fake clock: half-open.
+            clock.advance(5.0)
+            assert engine.breaker.state == "half_open"
+            # The probe job succeeds (the hook healed): breaker closes.
+            job = engine.wait_for(
+                engine.submit_spec(_spec("probe")).job_id, timeout=60
+            )
+            assert job.status is JobStatus.DONE
+            assert engine.breaker.state == "closed"
+            snapshot = engine.breaker.snapshot()
+            assert snapshot["times_opened"] == 1
+            assert snapshot["total_successes"] == 1
+        finally:
+            engine.shutdown()
+
+    def test_accepted_jobs_park_behind_an_open_breaker_then_complete(self):
+        """An accepted job is a promise: the worker waits out the open
+        window instead of failing the job."""
+        clock = FakeClock()
+        hook = FlakyHook(fail_times=1, exc=lambda msg: OSError(msg))
+        engine = ServiceEngine(
+            n_workers=1,
+            watchdog_interval=0,
+            max_attempts=1,
+            breaker_threshold=1,
+            breaker_reset_s=2.0,
+            clock=clock,
+            sleep=clock.sleep,
+            ingest_hook=hook,
+        )
+        try:
+            # Both accepted while the breaker is closed; the first
+            # trips it open, the second must park at the gate, ride
+            # out the (fake-clock) reset window, and complete.
+            bad = engine.submit_spec(_spec("bad"))
+            good = engine.submit_spec(_spec("good", seed=1))
+            assert engine.wait_for(bad.job_id, timeout=60).status is (
+                JobStatus.QUARANTINED
+            )
+            assert engine.wait_for(good.job_id, timeout=60).status is JobStatus.DONE
+            assert engine.metrics.counter("ingest_breaker_waits") == 1
+            assert engine.breaker.state == "closed"
+        finally:
+            engine.shutdown()
+
+
+class TestWatchdog:
+    # The injected crash escapes the worker thread by design.
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_crashed_worker_is_replaced(self):
+        hook = FlakyHook(fail_times=1, exc=lambda msg: SimulatedCrash(msg))
+        engine = ServiceEngine(
+            n_workers=1, watchdog_interval=0, max_attempts=3, ingest_hook=hook
+        )
+        try:
+            crashed = engine.wait_for(
+                engine.submit_spec(_spec("crash")).job_id, timeout=60
+            )
+            assert crashed.status is JobStatus.FAILED
+            assert "SimulatedCrash" in crashed.error
+            assert engine.metrics.counter("worker_crashes") == 1
+            # The worker thread died; a manual sweep replaces it.
+            deadline = time.monotonic() + 5
+            while engine.check_workers()["replaced"] == 0:
+                assert time.monotonic() < deadline, "dead worker never detected"
+                time.sleep(0.01)
+            assert engine.metrics.counter("workers_replaced") == 1
+            # The replacement actually serves.
+            healed = engine.wait_for(
+                engine.submit_spec(_spec("after", seed=1)).job_id, timeout=60
+            )
+            assert healed.status is JobStatus.DONE
+        finally:
+            engine.shutdown()
+
+    def test_stuck_worker_is_supplemented_once(self):
+        clock = FakeClock()
+        hook = StallingHook(max_stall_s=30)
+        engine = ServiceEngine(
+            n_workers=1,
+            watchdog_interval=0,
+            stall_timeout=10.0,
+            clock=clock,
+            ingest_hook=hook,
+        )
+        try:
+            engine.submit_spec(_spec("wedged"))
+            assert hook.entered.wait(10), "worker never picked up the job"
+            # Within the stall budget: nothing happens.
+            assert engine.check_workers() == {"replaced": 0, "supplemented": 0}
+            clock.advance(11.0)
+            assert engine.check_workers()["supplemented"] == 1
+            # One incident, one supplement — sweeps do not pile up.
+            assert engine.check_workers()["supplemented"] == 0
+            assert engine.metrics.counter("workers_supplemented") == 1
+            # Release the wedge: with the supplement on board, new work
+            # flows again (capacity was restored, not just counted).
+            hook.release()
+            done = engine.wait_for(
+                engine.submit_spec(_spec("served", seed=1)).job_id, timeout=60
+            )
+            assert done.status is JobStatus.DONE
+        finally:
+            hook.release()
+            engine.shutdown()
+
+
+class TestStalledStorage:
+    def test_stalled_publish_cannot_wedge_deadline_queries(self, tmp_path):
+        """A hung storage backend holds the write lock mid-publish; a
+        query carrying a deadline must time out within its budget
+        instead of hanging behind it."""
+        fs = StallingFS(max_stall_s=30)
+        db = VideoDatabase.open(tmp_path / "db", fs=fs)
+        engine = ServiceEngine(db=db, n_workers=1, watchdog_interval=0)
+        try:
+            fs.stall()
+            job = engine.submit_spec(_spec("stuck"))
+            assert fs.entered.wait(10), "publish never reached storage"
+            # The publish is now wedged inside the write lock.
+            started = time.perf_counter()
+            with pytest.raises(ServiceTimeout):
+                engine.query(1.0, 1.0, deadline=Deadline(0.1))
+            elapsed = time.perf_counter() - started
+            assert elapsed < 5.0, "query was not bounded by its deadline"
+            # A deadline-free cached path still answers: health stays up.
+            assert engine.health_payload()["ready"]
+            fs.release()
+            finished = engine.wait_for(job.job_id, timeout=60)
+            assert finished.status is JobStatus.DONE
+            # Storage healed: queries flow again.
+            payload, _ = engine.query(1.0, 1.0, deadline=Deadline(5.0))
+            assert "matches" in payload
+        finally:
+            fs.release()
+            engine.shutdown()

@@ -1,0 +1,139 @@
+"""Graceful drain: readiness flips, queued jobs finish, the database
+persists, and a reload sees every accepted job.
+
+Marked ``drain``; run in the CI overload job."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import _graceful_shutdown
+from repro.errors import ServiceUnavailableError
+from repro.service.engine import JobStatus, ServiceEngine
+from repro.service.server import create_server
+from repro.vdbms.database import VideoDatabase
+
+pytestmark = pytest.mark.drain
+
+
+def _spec(video_id, seed=0):
+    return {
+        "source": "synthetic",
+        "video_id": video_id,
+        "n_shots": 2,
+        "frames_per_shot": 4,
+        "rows": 16,
+        "cols": 16,
+        "seed": seed,
+    }
+
+
+class TestEngineDrain:
+    def test_drain_completes_queued_jobs_then_rejects_new_ones(self, tmp_path):
+        db = VideoDatabase.open(tmp_path / "db")
+        engine = ServiceEngine(
+            db=db,
+            n_workers=1,
+            watchdog_interval=0,
+            ingest_hook=lambda clip: time.sleep(0.02),
+        )
+        accepted = [engine.submit_spec(_spec(f"clip-{k}", seed=k)) for k in range(4)]
+        engine.begin_drain()
+        assert not engine.ready
+        assert engine.draining
+        with pytest.raises(ServiceUnavailableError):
+            engine.submit_spec(_spec("too-late"))
+        engine.shutdown(timeout=60)
+        # Every job accepted before the drain completed, none abandoned.
+        for job in accepted:
+            assert engine.job(job.job_id).status is JobStatus.DONE
+        assert engine.metrics.counter("ingest_abandoned") == 0
+        # A durable reload sees every accepted job's video.
+        reloaded = VideoDatabase.load(tmp_path / "db")
+        for k in range(4):
+            assert f"clip-{k}" in reloaded.catalog
+
+    def test_shutdown_settles_unfinished_jobs_as_failed(self):
+        gate = threading.Event()
+        engine = ServiceEngine(
+            n_workers=1,
+            watchdog_interval=0,
+            ingest_hook=lambda clip: gate.wait(30),
+        )
+        jobs = [engine.submit_spec(_spec(f"held-{k}", seed=k)) for k in range(2)]
+        # A tiny drain budget cannot cover the held jobs; shutdown must
+        # still settle them so no client polls forever.
+        engine.shutdown(timeout=0.05)
+        for job in jobs:
+            settled = engine.job(job.job_id)
+            assert settled.done_event.is_set()
+            assert settled.status is JobStatus.FAILED
+        assert engine.metrics.counter("ingest_abandoned") >= 1
+        gate.set()  # unblock the parked worker thread
+
+    def test_begin_drain_is_idempotent(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        try:
+            engine.begin_drain()
+            engine.begin_drain()
+            assert engine.metrics.counter("drains_started") == 1
+        finally:
+            engine.shutdown()
+
+
+class TestGracefulShutdownHelper:
+    def test_helper_drains_and_stops_the_serve_loop(self, tmp_path):
+        """The SIGTERM handler body: drain in-flight work, stop serving."""
+        db = VideoDatabase.open(tmp_path / "db")
+        engine = ServiceEngine(
+            db=db,
+            n_workers=1,
+            watchdog_interval=0,
+            ingest_hook=lambda clip: time.sleep(0.02),
+        )
+        server = create_server(engine)
+        serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        serve_thread.start()
+        accepted = [engine.submit_spec(_spec(f"mid-{k}", seed=k)) for k in range(3)]
+        try:
+            _graceful_shutdown(server, engine, drain_timeout=60)
+            serve_thread.join(timeout=10)
+            assert not serve_thread.is_alive(), "serve loop did not stop"
+            for job in accepted:
+                assert engine.job(job.job_id).status is JobStatus.DONE
+        finally:
+            server.server_close()
+            engine.shutdown()
+        reloaded = VideoDatabase.load(tmp_path / "db")
+        for k in range(3):
+            assert f"mid-{k}" in reloaded.catalog
+
+    def test_mid_ingest_sigterm_durability_contract(self, tmp_path):
+        """Accepted-means-durable: every job accepted before the drain
+        is visible after a full stop/reload cycle."""
+        db = VideoDatabase.open(tmp_path / "db")
+        engine = ServiceEngine(db=db, n_workers=2, watchdog_interval=0)
+        server = create_server(engine)
+        serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        serve_thread.start()
+        accepted = []
+        rejected_late = 0
+        try:
+            for k in range(6):
+                accepted.append(engine.submit_spec(_spec(f"load-{k}", seed=k)))
+            _graceful_shutdown(server, engine, drain_timeout=120)
+            serve_thread.join(timeout=10)
+            try:
+                engine.submit_spec(_spec("post-drain"))
+            except ServiceUnavailableError:
+                rejected_late = 1
+        finally:
+            server.server_close()
+            engine.shutdown(timeout=120)
+        assert rejected_late == 1
+        done = [j for j in accepted if engine.job(j.job_id).status is JobStatus.DONE]
+        assert len(done) == len(accepted)
+        reloaded = VideoDatabase.load(tmp_path / "db")
+        for k in range(6):
+            assert f"load-{k}" in reloaded.catalog

@@ -1,0 +1,232 @@
+"""Overload contract over HTTP: backpressure (429), deadlines (503),
+body caps (413), and readiness — the server sheds load, never breaks.
+
+Marked ``overload``; run in the CI overload job alongside the chaos
+and drain suites."""
+
+import contextlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.engine import JobStatus, ServiceEngine
+from repro.service.server import create_server
+from repro.testing.chaos import run_overload_burst
+
+pytestmark = pytest.mark.overload
+
+
+def _request(base_url, method, path, body=None, headers=None, timeout=30.0):
+    """Returns (status, payload, headers) without raising on 4xx/5xx."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    all_headers = {"Content-Type": "application/json"} if data else {}
+    all_headers.update(headers or {})
+    request = urllib.request.Request(
+        base_url + path, data=data, method=method, headers=all_headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read().decode("utf-8")),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8")), dict(error.headers)
+
+
+@contextlib.contextmanager
+def _serve(engine, **server_kwargs):
+    server = create_server(engine, **server_kwargs)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        engine.shutdown()
+
+
+def _spec(video_id, seed=0):
+    return {
+        "source": "synthetic",
+        "video_id": video_id,
+        "n_shots": 2,
+        "frames_per_shot": 4,
+        "rows": 16,
+        "cols": 16,
+        "seed": seed,
+    }
+
+
+class TestBackpressure:
+    def test_burst_sheds_with_429_and_never_5xx(self):
+        engine = ServiceEngine(
+            n_workers=1,
+            max_queue=3,
+            watchdog_interval=0,
+            ingest_hook=lambda clip: time.sleep(0.05),
+        )
+        with _serve(engine) as base_url:
+            capacity = 3 + 1  # queue bound + one in-flight slot
+            burst = run_overload_burst(
+                base_url, 2 * capacity, workers=capacity, seed=3
+            )
+            assert burst["server_errors"] == 0, burst
+            assert burst["transport_errors"] == 0, burst
+            assert burst["rejected_429"] >= 1, burst
+            assert burst["retry_after_max_s"] >= 1.0
+            # The queue-depth gauge never exceeded the configured bound.
+            status, metrics, _ = _request(base_url, "GET", "/metrics")
+            assert status == 200
+            assert metrics["gauges"]["ingest_queue_depth_peak"] <= 3
+            assert metrics["counters"]["ingest_rejected_overload"] >= 1
+            assert metrics["overload"]["queue_capacity"] == 3
+            # After the burst every accepted job completes.
+            engine.drain(timeout=60)
+            for job_id in burst["accepted_job_ids"]:
+                assert engine.job(job_id).status is JobStatus.DONE
+
+    def test_429_body_names_the_reason_and_retry_after(self):
+        gate = threading.Event()
+        engine = ServiceEngine(
+            n_workers=1,
+            max_queue=1,
+            watchdog_interval=0,
+            ingest_hook=lambda clip: gate.wait(30),
+        )
+        with _serve(engine) as base_url:
+            try:
+                # First job occupies the worker, second fills the
+                # queue; the third must be rejected deterministically.
+                _request(base_url, "POST", "/ingest", _spec("held-0"))
+                deadline = time.monotonic() + 5
+                while engine.overload_payload()["workers_busy"] < 1:
+                    assert time.monotonic() < deadline, "worker never started"
+                    time.sleep(0.01)
+                _request(base_url, "POST", "/ingest", _spec("held-1"))
+                status, payload, headers = _request(
+                    base_url, "POST", "/ingest", _spec("held-2")
+                )
+                assert status == 429
+                assert payload["reason"] == "overloaded"
+                assert payload["retry_after_s"] > 0
+                assert int(headers["Retry-After"]) >= 1
+            finally:
+                gate.set()
+            engine.drain(timeout=60)
+
+    def test_unbounded_queue_never_429s(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        with _serve(engine) as base_url:
+            burst = run_overload_burst(base_url, 8, workers=4, seed=5)
+            assert burst["rejected_429"] == 0
+            assert len(burst["accepted_job_ids"]) == 8
+            engine.drain(timeout=120)
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_a_structured_503(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        with _serve(engine) as base_url:
+            # Wedge the read path: a writer holds the lock, so any
+            # deadline-carrying read must give up within its budget.
+            engine.lock.acquire_write()
+            try:
+                started = time.perf_counter()
+                status, payload, _ = _request(
+                    base_url, "GET", "/videos", headers={"X-Deadline-Ms": "100"}
+                )
+                elapsed = time.perf_counter() - started
+            finally:
+                engine.lock.release_write()
+            assert status == 503
+            assert payload["reason"] == "deadline_exceeded"
+            assert elapsed < 5.0, "deadline did not bound the wait"
+            _, metrics, _ = _request(base_url, "GET", "/metrics")
+            assert metrics["counters"]["deadline_exceeded"] >= 1
+
+    def test_default_deadline_applies_without_header(self):
+        engine = ServiceEngine(
+            n_workers=1, watchdog_interval=0, default_deadline_ms=100
+        )
+        with _serve(engine) as base_url:
+            engine.lock.acquire_write()
+            try:
+                status, payload, _ = _request(base_url, "GET", "/videos")
+            finally:
+                engine.lock.release_write()
+            assert status == 503
+            assert payload["reason"] == "deadline_exceeded"
+
+    def test_request_within_deadline_succeeds(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        with _serve(engine) as base_url:
+            status, payload, _ = _request(
+                base_url,
+                "GET",
+                "/query?var_ba=1&var_oa=1",
+                headers={"X-Deadline-Ms": "5000"},
+            )
+            assert status == 200
+            assert payload["count"] == 0
+
+    def test_malformed_deadline_header_is_a_400(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        with _serve(engine) as base_url:
+            status, payload, _ = _request(
+                base_url, "GET", "/videos", headers={"X-Deadline-Ms": "soon"}
+            )
+            assert status == 400
+            status, _, _ = _request(
+                base_url, "GET", "/videos", headers={"X-Deadline-Ms": "-50"}
+            )
+            assert status == 400
+
+
+class TestBodyCap:
+    def test_oversized_body_is_a_413(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        with _serve(engine, max_body_bytes=256) as base_url:
+            big = _spec("big")
+            big["padding"] = "x" * 1024
+            status, payload, _ = _request(base_url, "POST", "/ingest", big)
+            assert status == 413
+            assert payload["reason"] == "body_too_large"
+            assert payload["max_body_bytes"] == 256
+
+    def test_body_within_cap_is_accepted(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        with _serve(engine, max_body_bytes=4096) as base_url:
+            status, payload, _ = _request(base_url, "POST", "/ingest", _spec("ok"))
+            assert status == 202
+            engine.wait_for(payload["job_id"], timeout=60)
+
+
+class TestReadiness:
+    def test_ready_flips_to_503_on_drain(self):
+        engine = ServiceEngine(n_workers=1, watchdog_interval=0)
+        with _serve(engine) as base_url:
+            status, payload, _ = _request(base_url, "GET", "/ready")
+            assert status == 200 and payload["ready"]
+            engine.begin_drain()
+            status, payload, _ = _request(base_url, "GET", "/ready")
+            assert status == 503 and not payload["ready"]
+            # Liveness stays up while readiness is down.
+            status, health, _ = _request(base_url, "GET", "/health")
+            assert status == 200
+            assert health["status"] == "draining"
+            # New ingests are refused as draining, with Retry-After.
+            status, payload, headers = _request(
+                base_url, "POST", "/ingest", _spec("late")
+            )
+            assert status == 503
+            assert payload["reason"] == "draining"
+            assert "Retry-After" in headers
