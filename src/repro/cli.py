@@ -320,7 +320,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     config = _pipeline_config(args)
     db = None
-    if args.db:
+    if args.shards or (args.db and _is_cluster_root(args.db)):
+        # Sharded serving: N independent durable databases behind one
+        # scatter-gather coordinator (docs/CLUSTER.md).  A --db root
+        # that already holds a cluster.json reopens with its saved
+        # shard count when --shards is omitted; an explicit --shards
+        # that disagrees is an error (resharding must be deliberate:
+        # 'repro cluster rebalance --shards N').
+        from .cluster import ClusterCoordinator
+
+        if args.db and args.shards:
+            db = ClusterCoordinator.open_or_create(
+                args.db, args.shards, config=config
+            )
+        elif args.db:
+            db = ClusterCoordinator.open(args.db, config=config)
+        else:
+            db = ClusterCoordinator.ephemeral(max(args.shards, 1), config)
+    elif args.db:
         # A --db server is durable: open() binds the database to its
         # directory, so every accepted ingest is committed (staging
         # write -> fsync -> manifest swap) before the job reports done.
@@ -336,8 +353,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_reset_s=args.breaker_reset,
     )
     if args.demo:
+        have = (
+            engine.cluster
+            if engine.cluster is not None
+            else engine.db.catalog
+        )
         for source in ("figure5", "friends"):
-            if source not in engine.db.catalog:
+            if source not in have:
                 engine.wait_for(
                     engine.submit_spec({"source": source}).job_id, timeout=300
                 )
@@ -352,9 +374,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
     )
     host, port = server.server_address[:2]
+    health = engine.health_payload()
+    sharding = (
+        f" across {engine.cluster.n_shards} shards"
+        if engine.cluster is not None
+        else ""
+    )
     print(
-        f"serving {len(engine.db.catalog)} videos "
-        f"({len(engine.db.index)} indexed shots) on http://{host}:{port}"
+        f"serving {health['videos']} videos "
+        f"({health['indexed_shots']} indexed shots){sharding} "
+        f"on http://{host}:{port}"
     )
     print(
         "endpoints: /health /ready /metrics /videos /query /ingest /jobs  "
@@ -421,12 +450,159 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report["failed_requests"] == 0 and not report["ingest_failures"] else 1
 
 
+def _is_cluster_root(root: str | Path) -> bool:
+    """Whether ``root`` holds a sharded cluster (has a cluster.json)."""
+    from .cluster.coordinator import CLUSTER_MANIFEST
+
+    return (Path(root) / CLUSTER_MANIFEST).exists()
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Show shard layout, health, and placement conflicts."""
+    import json as json_module
+
+    from .cluster import ClusterCoordinator
+
+    cluster = ClusterCoordinator.open(args.root, recover=True)
+    try:
+        status = cluster.status()
+        from .cluster import Rebalancer
+
+        pending = len(Rebalancer(cluster).plan())
+        status["pending_moves"] = pending
+        if args.json:
+            print(json_module.dumps(status, indent=2))
+            return 0
+        print(
+            f"{args.root}: {status['n_shards']} shards "
+            f"({status['shards_up']} up), {status['videos']} videos, "
+            f"{status['indexed_shots']} indexed shots"
+        )
+        for shard in status["shards"]:
+            state = "up" if shard["up"] else f"DOWN ({shard['down_reason']})"
+            print(
+                f"  {shard['shard']:10s} {state:6s} "
+                f"{shard['videos']:5d} videos  "
+                f"{shard['indexed_shots']:6d} shots"
+            )
+        for conflict in status["conflicts"]:
+            print(
+                f"  conflict: {conflict['video_id']!r} has a stray copy "
+                f"on {conflict['shard']}"
+            )
+        if pending:
+            print(f"  {pending} videos off their home shard (run rebalance)")
+        return 0
+    finally:
+        cluster.close()
+
+
+def _cmd_cluster_rebalance(args: argparse.Namespace) -> int:
+    """Move videos to their home shards; optionally reshard to N."""
+    import json as json_module
+
+    from .cluster import ClusterCoordinator, Rebalancer
+
+    cluster = ClusterCoordinator.open(args.root, recover=True)
+    try:
+        rebalancer = Rebalancer(cluster)
+        if args.plan:
+            target = cluster.router
+            if args.shards and args.shards != cluster.n_shards:
+                from .cluster import ConsistentHashRouter
+
+                target = ConsistentHashRouter(
+                    args.shards, replicas=cluster.router.replicas
+                )
+            moves = rebalancer.plan(target)
+            if args.json:
+                print(json_module.dumps([m.to_dict() for m in moves], indent=2))
+            else:
+                for move in moves:
+                    d = move.to_dict()
+                    print(f"  {d['video_id']!r}: {d['source']} -> {d['dest']}")
+                print(f"{len(moves)} moves planned")
+            return 0
+        if args.shards and args.shards != cluster.n_shards:
+            report = rebalancer.reshard(args.shards, max_moves=args.max_moves)
+        else:
+            report = rebalancer.execute(max_moves=args.max_moves)
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2))
+        else:
+            print(
+                f"{report.moved}/{report.planned} moves done, "
+                f"{report.conflicts_cleaned} stray copies cleaned, "
+                f"{report.skipped} skipped"
+            )
+            for error in report.errors:
+                print(f"  {error['video_id']!r}: {error['error']}")
+        return 0 if not report.errors else 1
+    finally:
+        cluster.close()
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     """Verify (and optionally repair) a database directory.
 
-    Exit status 0 means every tracked file checks out; 1 means the
-    directory is empty, damaged, or repair could not make it clean.
+    A cluster root (one holding a ``cluster.json``) is checked shard
+    by shard.  Exit status 0 means every tracked file checks out; 1
+    means the directory is empty, damaged, or repair could not make it
+    clean.
     """
+    if _is_cluster_root(args.root):
+        return _fsck_cluster(args)
+    return _fsck_single(args)
+
+
+def _fsck_cluster(args: argparse.Namespace) -> int:
+    """Run fsck over every shard of a cluster root."""
+    import copy
+    import json as json_module
+
+    from .cluster import ClusterCoordinator
+
+    cluster = ClusterCoordinator.open(args.root, recover=True)
+    shard_roots = [
+        (shard.name, shard.root) for shard in cluster.shards if shard.root
+    ]
+    n_shards = cluster.n_shards
+    cluster.close()
+    worst = 0
+    reports = []
+    for name, shard_root in shard_roots:
+        shard_args = copy.copy(args)
+        shard_args.root = str(shard_root)
+        if args.json:
+            # Buffer per-shard reports into one aggregate document.
+            import contextlib
+            import io
+
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                code = _fsck_single(shard_args)
+            reports.append(
+                {"shard": name, "clean": code == 0,
+                 "report": json_module.loads(buffer.getvalue())}
+            )
+        else:
+            print(f"--- {name} ---")
+            code = _fsck_single(shard_args)
+        worst = max(worst, code)
+    if args.json:
+        print(
+            json_module.dumps(
+                {"cluster": True, "n_shards": n_shards, "shards": reports},
+                indent=2,
+            )
+        )
+    else:
+        print(f"cluster: {n_shards} shards, " + ("clean" if worst == 0 else "PROBLEMS FOUND"))
+    return worst
+
+
+def _fsck_single(args: argparse.Namespace) -> int:
+    """Verify (and optionally repair) one database directory."""
     import json as json_module
 
     storage = DatabaseStorage(args.root)
@@ -589,6 +765,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", help="database directory to load (served in-memory when omitted)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve a sharded cluster of N databases (scatter-gather "
+        "queries, per-shard ingest queues; docs/CLUSTER.md); a --db "
+        "root that already holds a cluster reopens with its saved "
+        "shard count when omitted",
+    )
     p.add_argument("--workers", type=int, default=2, help="ingest worker threads")
     p.add_argument("--cache-size", type=int, default=256, help="query-cache entries")
     p.add_argument(
@@ -673,6 +859,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full report as JSON"
     )
     p.set_defaults(func=_cmd_fsck)
+
+    p = sub.add_parser(
+        "cluster", help="inspect or rebalance a sharded cluster (docs/CLUSTER.md)"
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    cp = cluster_sub.add_parser("status", help="shard layout, health, conflicts")
+    cp.add_argument("--root", required=True, help="cluster directory")
+    cp.add_argument("--json", action="store_true", help="emit JSON")
+    cp.set_defaults(func=_cmd_cluster_status)
+
+    cp = cluster_sub.add_parser(
+        "rebalance",
+        help="move videos to their home shards; --shards N reshards online",
+    )
+    cp.add_argument("--root", required=True, help="cluster directory")
+    cp.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="grow or shrink the cluster to N shards before settling",
+    )
+    cp.add_argument(
+        "--max-moves",
+        type=int,
+        default=None,
+        metavar="M",
+        help="bound this run to M moves (rerun to continue)",
+    )
+    cp.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the planned moves without executing them",
+    )
+    cp.add_argument("--json", action="store_true", help="emit JSON")
+    cp.set_defaults(func=_cmd_cluster_rebalance)
 
     p = sub.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument("name", help="table1..table5, figure6, figure7, figures8_10, sensitivity, retrieval_matrix")

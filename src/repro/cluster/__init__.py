@@ -1,0 +1,34 @@
+"""``repro.cluster`` — a sharded video database.
+
+N independent :class:`~repro.vdbms.database.VideoDatabase` shards
+(each with its own durable storage root, manifest, and locks) behind
+one database-shaped API:
+
+* :class:`ConsistentHashRouter` — video id -> shard placement on a
+  deterministic 64-bit hash ring with minimal movement on reshard,
+* :class:`ClusterCoordinator` — scatter-gather impression queries
+  with per-shard deadline budgets and graceful degradation (partial
+  answers + ``shards_failed``), routed ingest, and a derived,
+  always-consistent placement map,
+* :class:`Rebalancer` — online video moves and grow/shrink resharding
+  through the checksummed publish path, without stopping reads.
+
+See ``docs/CLUSTER.md`` for the design document.
+"""
+
+from .coordinator import CLUSTER_MANIFEST, ClusterAnswer, ClusterCoordinator
+from .rebalance import RebalanceMove, RebalanceReport, Rebalancer
+from .router import DEFAULT_REPLICAS, ConsistentHashRouter
+from .shard import Shard
+
+__all__ = [
+    "CLUSTER_MANIFEST",
+    "ClusterAnswer",
+    "ClusterCoordinator",
+    "ConsistentHashRouter",
+    "DEFAULT_REPLICAS",
+    "RebalanceMove",
+    "RebalanceReport",
+    "Rebalancer",
+    "Shard",
+]

@@ -1,0 +1,713 @@
+"""Scatter-gather coordination over N independent shards.
+
+The coordinator is the cluster's single front door.  It owns:
+
+* the :class:`~repro.cluster.router.ConsistentHashRouter` that assigns
+  every video id a *home* shard,
+* a **placement map** — where each video actually lives right now.
+  Placement is authoritative and derived: it is rebuilt from the shard
+  catalogs on open (so it can never disagree with disk) and maintained
+  on every ingest/remove/move,
+* a small thread pool that executes impression queries scatter-gather
+  across the shards, each sub-query bounded by the request's remaining
+  :class:`~repro.service.resilience.Deadline` budget.  On a
+  single-core host sub-queries run inline instead (the pool cannot
+  overlap GIL-bound scans there and only adds dispatch latency); the
+  ``parallel_scatter`` constructor flag overrides the auto-detection.
+
+Queries **degrade, never fail**: a shard that is down, errors, or
+times out is reported in :attr:`ClusterAnswer.shards_failed` and the
+answer carries whatever the healthy shards returned.  Merging relies
+on the total order of ``VarianceQuery.rank_key`` — concatenate, dedup
+by shot identity (a video briefly lives on two shards mid-rebalance),
+sort, cap — which makes a K-shard cluster *decision-identical* to one
+big database.
+
+Placement conflicts (the same video on two shards, e.g. after a crash
+between a rebalance copy and its source delete) are detected on open:
+the copy on the video's home shard wins (falling back to the lowest
+shard id) and the strays are recorded in :attr:`conflicts` for the
+rebalancer to clean up.  Queries stay correct meanwhile thanks to the
+merge-time dedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..config import PipelineConfig, QueryConfig
+from ..errors import (
+    CatalogError,
+    ClusterError,
+    ServiceTimeout,
+    ShardUnavailableError,
+)
+from ..index.query import VarianceQuery
+from ..index.routing import SceneRoute, route_to_scene_nodes
+from ..index.table import IndexEntry
+from ..scenetree.nodes import SceneTree
+from ..service.resilience import Deadline
+from ..vdbms.catalog import CatalogEntry
+from ..vdbms.database import IngestReport, VideoDatabase, VideoRecord
+from ..video.clip import VideoClip
+from ..workloads.taxonomy import VideoCategory
+from .router import DEFAULT_REPLICAS, ConsistentHashRouter
+from .shard import Shard
+
+__all__ = ["ClusterAnswer", "ClusterCoordinator", "CLUSTER_MANIFEST"]
+
+#: The cluster-level manifest file, next to the shard directories.
+CLUSTER_MANIFEST = "cluster.json"
+
+_FORMAT_VERSION = 1
+
+
+def _shard_dirname(shard_id: int) -> str:
+    return f"shard-{shard_id:03d}"
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterAnswer:
+    """A scatter-gather query result: the merged answer plus coverage.
+
+    ``matches``/``routes`` follow the exact contract of
+    :class:`~repro.vdbms.database.QueryAnswer`.  ``shards_failed``
+    lists, per unavailable shard, ``{"shard", "reason", "error"}``;
+    :attr:`partial` is True when at least one shard did not contribute
+    — the client-visible signal that the answer may be missing shots.
+    """
+
+    matches: list[IndexEntry]
+    routes: list[SceneRoute]
+    shards_queried: int = 0
+    shards_failed: list[dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.shards_failed)
+
+    @property
+    def suggestions(self) -> list[str]:
+        """Human-readable ``shot -> scene node`` hand-offs."""
+        return [route.suggestion for route in self.routes]
+
+
+class ClusterCoordinator:
+    """N shards behind one database-shaped API.
+
+    Build one with :meth:`create` (new durable cluster),
+    :meth:`open` (existing durable cluster), or
+    :meth:`ephemeral` (in-memory shards, for tests and ``repro serve
+    --shards N`` without ``--db``).
+    """
+
+    #: Duck-typing marker for the service engine (avoids an import
+    #: cycle between repro.service and repro.cluster).
+    is_cluster = True
+
+    def __init__(
+        self,
+        shards: list[Shard],
+        router: ConsistentHashRouter,
+        *,
+        root: Path | None = None,
+        config: PipelineConfig | None = None,
+        parallel_scatter: bool | None = None,
+    ) -> None:
+        if not shards:
+            raise ClusterError("a cluster needs at least one shard")
+        if router.n_shards > len(shards):
+            raise ClusterError(
+                f"router expects {router.n_shards} shards, got {len(shards)}"
+            )
+        self.shards = shards
+        self.router = router
+        self.root = root
+        self.config = config or PipelineConfig()
+        if parallel_scatter is None:
+            # On a single-core host pooled sub-queries cannot run
+            # concurrently anyway (scans hold the GIL), so the pool
+            # only adds dispatch latency; scatter inline there.
+            parallel_scatter = (os.cpu_count() or 1) > 1
+        #: Whether queries fan sub-queries out to the thread pool
+        #: (multi-core) or run them inline on the calling thread
+        #: (single-core).  Overridable via the constructor.
+        self.parallel_scatter = parallel_scatter
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, len(shards)), thread_name_prefix="cluster-query"
+        )
+        self._placement_lock = threading.Lock()
+        self._placement: dict[str, int] = {}
+        # Seqlock for scatter-gather vs. online moves: the rebalancer
+        # bumps this *inside* a move's copy->delete window, so a query
+        # whose scatter straddled a whole move (dest shard read before
+        # the copy, source shard read after the delete — the only
+        # interleaving that can drop a video) sees the counter change
+        # and re-scatters.
+        self._moves_seq = 0
+        #: ``(video_id, shard_id)`` stray copies found on open — see the
+        #: module docstring; cleaned by ``Rebalancer.execute``.
+        self.conflicts: list[tuple[str, int]] = []
+        self._build_placement()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def ephemeral(
+        cls,
+        n_shards: int,
+        config: PipelineConfig | None = None,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> "ClusterCoordinator":
+        """An in-memory cluster (no durable roots)."""
+        router = ConsistentHashRouter(n_shards, replicas=replicas)
+        shards = [
+            Shard(shard_id, VideoDatabase(config)) for shard_id in range(n_shards)
+        ]
+        return cls(shards, router, config=config)
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        n_shards: int,
+        config: PipelineConfig | None = None,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> "ClusterCoordinator":
+        """Initialize a new durable cluster under ``root``.
+
+        Writes ``cluster.json`` and binds one durable
+        :class:`VideoDatabase` per shard directory.  Refuses a root
+        that already holds a cluster (open it instead) or a
+        single-database layout (shard it with the rebalancer).
+        """
+        root = Path(root)
+        if (root / CLUSTER_MANIFEST).exists():
+            raise ClusterError(
+                f"{root} already holds a cluster; use ClusterCoordinator.open()"
+            )
+        router = ConsistentHashRouter(n_shards, replicas=replicas)
+        root.mkdir(parents=True, exist_ok=True)
+        cls._write_manifest(root, router)
+        shards = cls._bind_shards(root, n_shards, config)
+        return cls(shards, router, root=root, config=config)
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path,
+        config: PipelineConfig | None = None,
+        *,
+        recover: bool = False,
+    ) -> "ClusterCoordinator":
+        """Reopen a durable cluster from its ``cluster.json``.
+
+        ``recover=True`` is forwarded to every shard's
+        :meth:`VideoDatabase.open` (quarantine unreadable scene trees
+        instead of failing the whole shard).
+        """
+        root = Path(root)
+        manifest_path = root / CLUSTER_MANIFEST
+        if not manifest_path.exists():
+            raise ClusterError(
+                f"no {CLUSTER_MANIFEST} under {root}; not a cluster directory"
+            )
+        try:
+            payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ClusterError(f"unreadable {CLUSTER_MANIFEST}: {exc}") from exc
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ClusterError(
+                f"unsupported cluster format version {payload.get('version')!r}"
+            )
+        router = ConsistentHashRouter.from_dict(payload["router"])
+        shards = cls._bind_shards(root, router.n_shards, config, recover=recover)
+        return cls(shards, router, root=root, config=config)
+
+    @classmethod
+    def open_or_create(
+        cls,
+        root: str | Path,
+        n_shards: int,
+        config: PipelineConfig | None = None,
+    ) -> "ClusterCoordinator":
+        """Open an existing cluster, or create one with ``n_shards``.
+
+        An existing cluster whose shard count differs from ``n_shards``
+        is an error (resharding moves data; it must be explicit):
+        ``repro cluster rebalance --shards N`` performs it online.
+        """
+        root = Path(root)
+        if (root / CLUSTER_MANIFEST).exists():
+            cluster = cls.open(root, config=config)
+            if cluster.n_shards != n_shards:
+                cluster.close()
+                raise ClusterError(
+                    f"cluster at {root} has {cluster.n_shards} shards, not "
+                    f"{n_shards}; reshard explicitly with "
+                    f"'repro cluster rebalance --shards {n_shards}'"
+                )
+            return cluster
+        return cls.create(root, n_shards, config=config)
+
+    @classmethod
+    def _bind_shards(
+        cls,
+        root: Path,
+        n_shards: int,
+        config: PipelineConfig | None,
+        *,
+        recover: bool = False,
+    ) -> list[Shard]:
+        shards = []
+        for shard_id in range(n_shards):
+            shard_root = root / _shard_dirname(shard_id)
+            db = VideoDatabase.open(shard_root, config=config, recover=recover)
+            shards.append(Shard(shard_id, db, root=shard_root))
+        return shards
+
+    @staticmethod
+    def _write_manifest(root: Path, router: ConsistentHashRouter) -> None:
+        """Atomically publish ``cluster.json`` (write -> fsync -> rename)."""
+        payload = {"version": _FORMAT_VERSION, "router": router.to_dict()}
+        data = json.dumps(payload, indent=2).encode("utf-8")
+        tmp = root / (CLUSTER_MANIFEST + f".tmp-{os.getpid()}")
+        fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, root / CLUSTER_MANIFEST)
+        dir_fd = os.open(root, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def _build_placement(self) -> None:
+        """Derive the placement map (and conflicts) from shard catalogs."""
+        holders: dict[str, list[int]] = {}
+        for shard in self.shards:
+            for video_id in shard.db.catalog.ids():
+                holders.setdefault(video_id, []).append(shard.shard_id)
+        placement: dict[str, int] = {}
+        conflicts: list[tuple[str, int]] = []
+        for video_id, shard_ids in holders.items():
+            if len(shard_ids) == 1:
+                placement[video_id] = shard_ids[0]
+                continue
+            home = self.router.shard_for(video_id)
+            winner = home if home in shard_ids else min(shard_ids)
+            placement[video_id] = winner
+            conflicts.extend(
+                (video_id, shard_id) for shard_id in shard_ids if shard_id != winner
+            )
+        with self._placement_lock:
+            self._placement = placement
+        self.conflicts = conflicts
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard(self, shard_id: int) -> Shard:
+        """The shard object for one slot."""
+        try:
+            return self.shards[shard_id]
+        except IndexError:
+            raise ClusterError(
+                f"no shard {shard_id} (cluster has {self.n_shards})"
+            ) from None
+
+    def locate(self, video_id: str) -> Shard:
+        """The shard currently holding ``video_id``."""
+        with self._placement_lock:
+            shard_id = self._placement.get(video_id)
+        if shard_id is None:
+            raise CatalogError(f"unknown video {video_id!r}")
+        return self.shard(shard_id)
+
+    def __contains__(self, video_id: str) -> bool:
+        with self._placement_lock:
+            return video_id in self._placement
+
+    def video_ids(self) -> list[str]:
+        """Every video in the cluster (sorted for determinism)."""
+        with self._placement_lock:
+            return sorted(self._placement)
+
+    def placement_snapshot(self) -> dict[str, int]:
+        """A copy of the video -> shard map (rebalancer planning)."""
+        with self._placement_lock:
+            return dict(self._placement)
+
+    def _claim(self, video_id: str, shard_id: int) -> None:
+        with self._placement_lock:
+            if video_id in self._placement:
+                raise CatalogError(f"video {video_id!r} already ingested")
+            self._placement[video_id] = shard_id
+
+    def _unclaim(self, video_id: str) -> None:
+        with self._placement_lock:
+            self._placement.pop(video_id, None)
+
+    def reassign(self, video_id: str, shard_id: int) -> None:
+        """Point the placement map at a new holder (rebalancer use)."""
+        with self._placement_lock:
+            self._placement[video_id] = shard_id
+
+    def note_move_visible(self) -> None:
+        """Rebalancer hook: a move's copy just became queryable.
+
+        Must be called between the destination adopt and the source
+        remove; in-flight scatters that might have missed both copies
+        detect the bump and retry (see :meth:`query`).
+        """
+        with self._placement_lock:
+            self._moves_seq += 1
+
+    def _moves_snapshot(self) -> int:
+        with self._placement_lock:
+            return self._moves_seq
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        clip: VideoClip,
+        category: VideoCategory | None = None,
+        archetypes: Any = None,
+    ) -> IngestReport:
+        """Route ``clip`` to its home shard and ingest it there.
+
+        The cluster-wide duplicate check happens at claim time (under
+        the placement mutex), so two concurrent ingests of the same id
+        cannot both proceed even when racing.  The shard's write lock
+        covers the whole pipeline + durable publish, exactly like the
+        single-database service path — but only *that shard* is
+        exclusive; every other shard keeps ingesting and answering.
+        """
+        shard = self.shard(self.router.shard_for(clip.name))
+        shard.check_up("ingest")
+        self._claim(clip.name, shard.shard_id)
+        try:
+            with shard.lock.write_locked():
+                report = shard.db.ingest(clip, category=category, archetypes=archetypes)
+            shard.ingests += 1
+            return report
+        except BaseException:
+            shard.errors += 1
+            self._unclaim(clip.name)
+            raise
+
+    def adopt(self, record: VideoRecord) -> int:
+        """Register already-derived state on the record's home shard."""
+        shard = self.shard(self.router.shard_for(record.video_id))
+        shard.check_up("adopt")
+        self._claim(record.video_id, shard.shard_id)
+        try:
+            with shard.lock.write_locked():
+                n = shard.db.adopt(record)
+            shard.ingests += 1
+            return n
+        except BaseException:
+            shard.errors += 1
+            self._unclaim(record.video_id)
+            raise
+
+    def remove(self, video_id: str) -> int:
+        """Drop a video from whichever shard holds it."""
+        shard = self.locate(video_id)
+        shard.check_up("remove")
+        with shard.lock.write_locked():
+            removed = shard.db.remove(video_id)
+        self._unclaim(video_id)
+        return removed
+
+    # ------------------------------------------------------------------
+    # scatter-gather queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        var_ba: float,
+        var_oa: float,
+        limit: int | None = None,
+        category: VideoCategory | None = None,
+        exclude_shot: tuple[str, int] | None = None,
+        config: QueryConfig | None = None,
+        deadline: Deadline | None = None,
+    ) -> ClusterAnswer:
+        """Impression query, scattered to every shard and merged.
+
+        Each shard receives the query with the *same* ``limit`` (the
+        global top-k is a subset of the union of per-shard top-k) and
+        answers under its own read lock, bounded by the request's
+        remaining deadline budget.  Failed or late shards are reported
+        in ``shards_failed``; the merged answer is built from the rest.
+
+        Shards return ranked matches only; browsing routes are computed
+        once here, for the merged winners, from scene-tree snapshots
+        the shards captured under their read locks — per-shard top-k
+        candidates that lose the merge cost no route work.
+        """
+        query = VarianceQuery(var_ba=var_ba, var_oa=var_oa)
+
+        def one(shard: Shard) -> tuple[list[IndexEntry], dict[str, SceneTree]]:
+            shard.check_up("query")
+            timeout = None if deadline is None else deadline.remaining()
+            with shard.lock.read_locked(timeout):
+                answer = shard.db.query(
+                    var_ba,
+                    var_oa,
+                    limit=limit,
+                    category=category,
+                    exclude_shot=exclude_shot,
+                    config=config,
+                    with_routes=False,
+                )
+                # Immutable snapshots for post-merge routing: captured
+                # under the lock, so they match the matches even if a
+                # rebalance removes the video from this shard later.
+                trees = {
+                    m.video_id: shard.db.trees[m.video_id]
+                    for m in answer.matches
+                }
+            shard.queries += 1
+            return answer.matches, trees
+
+        # Seqlock read side: a scatter is a non-atomic multi-shard
+        # snapshot, so a concurrent move could in principle hide its
+        # video from both reads (dest before copy, source after
+        # delete).  If the move counter changed while we gathered,
+        # re-scatter; moves are rare and each bumps the counter once,
+        # so the loop settles immediately in practice.
+        for _attempt in range(3):
+            seq = self._moves_snapshot()
+            shards = list(self.shards)
+            entries: list[IndexEntry] = []
+            trees: dict[str, SceneTree] = {}
+            failed: list[dict[str, Any]] = []
+            ok = 0
+
+            def consume(shard: Shard, get: Callable[[], Any]) -> None:
+                nonlocal ok
+                try:
+                    shard_entries, shard_trees = get()
+                    entries.extend(shard_entries)
+                    trees.update(shard_trees)
+                    ok += 1
+                except (FutureTimeout, ServiceTimeout):
+                    failed.append(
+                        {
+                            "shard": shard.name,
+                            "reason": "deadline",
+                            "error": "per-shard deadline budget exhausted",
+                        }
+                    )
+                except ShardUnavailableError as exc:
+                    failed.append(
+                        {"shard": shard.name, "reason": "down", "error": str(exc)}
+                    )
+                except Exception as exc:  # degrade, never fail the query
+                    shard.errors += 1
+                    failed.append(
+                        {
+                            "shard": shard.name,
+                            "reason": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+
+            if self.parallel_scatter:
+                futures = [
+                    (shard, self._pool.submit(one, shard)) for shard in shards
+                ]
+                for shard, future in futures:
+                    budget = (
+                        None
+                        if deadline is None
+                        else max(deadline.remaining(), 0.001)
+                    )
+
+                    def pooled(future=future, budget=budget):
+                        try:
+                            return future.result(timeout=budget)
+                        except FutureTimeout:
+                            future.cancel()
+                            raise
+
+                    consume(shard, pooled)
+            else:
+                for shard in shards:
+
+                    def inline(shard=shard):
+                        if deadline is not None and deadline.remaining() <= 0:
+                            raise FutureTimeout()
+                        return one(shard)
+
+                    consume(shard, inline)
+            if self._moves_snapshot() == seq:
+                break
+            if deadline is not None and deadline.remaining() <= 0:
+                break  # out of budget; the partial/merged answer stands
+        return self._merge(query, entries, trees, limit, ok, failed)
+
+    @staticmethod
+    def _merge(
+        query: VarianceQuery,
+        entries: list[IndexEntry],
+        trees: dict[str, SceneTree],
+        limit: int | None,
+        ok: int,
+        failed: list[dict[str, Any]],
+    ) -> ClusterAnswer:
+        """Dedup, rank, and cap the gathered answers, then route the
+        winners into their scene trees (exactly what a single database
+        does after its own ranking)."""
+        seen: set[tuple[str, int]] = set()
+        unique: list[IndexEntry] = []
+        for entry in entries:
+            key = (entry.video_id, entry.shot_number)
+            if key in seen:
+                continue  # mid-rebalance: the video briefly lives twice
+            seen.add(key)
+            unique.append(entry)
+        unique.sort(key=query.rank_key)
+        if limit is not None:
+            unique = unique[:limit]
+        return ClusterAnswer(
+            matches=unique,
+            routes=route_to_scene_nodes(unique, trees),
+            shards_queried=ok,
+            shards_failed=failed,
+        )
+
+    def query_by_shot(
+        self,
+        video_id: str,
+        shot_number: int,
+        limit: int | None = None,
+        category: VideoCategory | None = None,
+        deadline: Deadline | None = None,
+    ) -> ClusterAnswer:
+        """Query-by-example: probe one indexed shot, search everywhere."""
+        shard = self.locate(video_id)
+        shard.check_up("query_by_shot")
+        timeout = None if deadline is None else deadline.remaining()
+        with shard.lock.read_locked(timeout):
+            probe = shard.db.shot_entry(video_id, shot_number)
+        return self.query(
+            var_ba=probe.features.var_ba,
+            var_oa=probe.features.var_oa,
+            limit=limit,
+            category=category,
+            exclude_shot=(video_id, shot_number),
+            deadline=deadline,
+        )
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def scene_tree(self, video_id: str) -> SceneTree:
+        """The browsing hierarchy of one video (wherever it lives)."""
+        shard = self.locate(video_id)
+        shard.check_up("scene_tree")
+        with shard.lock.read_locked():
+            return shard.db.scene_tree(video_id)
+
+    def shot_entries(self, video_id: str) -> list[IndexEntry]:
+        """One video's indexed shots, ordered by shot number."""
+        shard = self.locate(video_id)
+        shard.check_up("shots")
+        with shard.lock.read_locked():
+            shard.db.catalog.get(video_id)  # raises CatalogError when unknown
+            rows = [e for e in shard.db.index.entries if e.video_id == video_id]
+        return sorted(rows, key=lambda e: e.shot_number)
+
+    def catalog_entries(self) -> list[CatalogEntry]:
+        """Every catalog row in the cluster, sorted by video id."""
+        rows: list[CatalogEntry] = []
+        for shard in self.shards:
+            with shard.lock.read_locked():
+                rows.extend(shard.db.catalog)
+        return sorted(rows, key=lambda entry: entry.video_id)
+
+    def catalog_size(self) -> int:
+        """Total videos across shards (lock-free snapshot)."""
+        with self._placement_lock:
+            return len(self._placement)
+
+    def index_size(self) -> int:
+        """Total indexed shots across shards (lock-free snapshot)."""
+        return sum(len(shard.db.index) for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # lifecycle & introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def storage_root(self) -> Path | None:
+        """The cluster root directory (None for an ephemeral cluster)."""
+        return self.root
+
+    def status(self) -> dict[str, Any]:
+        """The cluster document for ``/health``, ``/metrics``, the CLI."""
+        shard_status = [shard.status() for shard in self.shards]
+        return {
+            "n_shards": self.n_shards,
+            "root": str(self.root) if self.root is not None else None,
+            "router": self.router.to_dict(),
+            "videos": self.catalog_size(),
+            "indexed_shots": self.index_size(),
+            "shards_up": sum(1 for s in shard_status if s["up"]),
+            "conflicts": [
+                {"video_id": video_id, "shard": _shard_dirname(shard_id)}
+                for video_id, shard_id in self.conflicts
+            ],
+            "shards": shard_status,
+        }
+
+    def save_all(self) -> None:
+        """Final save of every durable shard (engine shutdown path)."""
+        for shard in self.shards:
+            if shard.db.storage_root is not None and not shard.down:
+                with shard.lock.write_locked():
+                    shard.db.save(shard.db.storage_root)
+
+    def for_each_shard(
+        self, fn: Callable[[Shard], Any]
+    ) -> list[tuple[Shard, Any]]:
+        """Run ``fn`` per shard in the query pool (admin sweeps)."""
+        futures = [(shard, self._pool.submit(fn, shard)) for shard in self.shards]
+        return [(shard, future.result()) for shard, future in futures]
+
+    def close(self) -> None:
+        """Shut the scatter-gather pool down (idempotent)."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterCoordinator(n_shards={self.n_shards}, "
+            f"videos={self.catalog_size()})"
+        )

@@ -27,6 +27,8 @@ __all__ = [
     "ServiceOverloadError",
     "ServiceUnavailableError",
     "CircuitOpenError",
+    "ClusterError",
+    "ShardUnavailableError",
 ]
 
 
@@ -141,4 +143,23 @@ class CircuitOpenError(ServiceUnavailableError):
     A subclass of :class:`ServiceUnavailableError` so generic 503
     handling applies; ``retry_after`` reflects the breaker's next
     half-open probe time.
+    """
+
+
+class ClusterError(ReproError):
+    """A sharded-cluster operation is invalid or cannot proceed.
+
+    Raised for malformed cluster layouts (bad ``cluster.json``, shard
+    count mismatches), rebalance conflicts, and operations that require
+    a shard the cluster does not have.
+    """
+
+
+class ShardUnavailableError(ClusterError):
+    """A specific shard is down or failed to answer.
+
+    Scatter-gather *queries* absorb this into a partial answer (the
+    shard lands in ``shards_failed``); single-shard operations that
+    cannot degrade — ingesting to, or removing from, the owning shard —
+    surface it to the caller instead.
     """

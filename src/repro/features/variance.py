@@ -7,8 +7,26 @@ For shot ``i`` spanning frames ``k .. l`` the paper defines
 
 i.e. the *sample* variance (denominator ``n - 1``).  Signs are RGB
 triples; per interpretation 4 of DESIGN.md the scalar ``Var`` is the
-mean of the three per-channel sample variances.  A one-frame shot has
-zero variance by definition (nothing changes).
+mean of the three per-channel sample variances.
+
+Numerical contract (the variance index depends on it):
+
+* Variances are computed with the **two-pass** formula — accumulate the
+  mean first, then sum squared deviations — entirely in ``float64``,
+  never via the textbook ``E[x^2] - E[x]^2`` shortcut.  The shortcut
+  cancels catastrophically on float32 streams shaped like
+  ``constant + epsilon`` and can return *negative* "variances", which
+  :class:`~repro.features.vector.FeatureVector` rejects and whose
+  square roots are NaN — poison for the sorted ``D^v`` index.  The
+  two-pass sum of squares is non-negative by construction; a final
+  clamp guards against ``-0.0`` and any rounding residue.
+* Length-1 streams have **zero** variance by definition (a single
+  frame: nothing changes; the paper's ``l - k`` denominator would be
+  0/0).
+* Length-0 streams are a caller bug and raise
+  :class:`~repro.errors.ShotError` — no shot spans zero frames.
+* Non-finite signs (NaN/inf) raise :class:`~repro.errors.ShotError`
+  immediately instead of propagating into the index.
 """
 
 from __future__ import annotations
@@ -26,6 +44,8 @@ def _validate(signs: np.ndarray) -> np.ndarray:
         raise ShotError(f"sign stream must have shape (n, 3), got {arr.shape}")
     if arr.shape[0] == 0:
         raise ShotError("sign stream is empty")
+    if not np.isfinite(arr).all():
+        raise ShotError("sign stream contains non-finite values (NaN or inf)")
     return arr
 
 
@@ -37,15 +57,20 @@ def sign_stream_mean(signs: np.ndarray) -> np.ndarray:
 def sign_stream_variance(signs: np.ndarray) -> np.ndarray:
     """Per-channel sample variance (Eqs. 3, 5); shape ``(3,)``.
 
-    Uses the paper's ``l - k`` denominator (``n - 1``); a single-frame
-    stream returns zeros.
+    Uses the paper's ``l - k`` denominator (``n - 1``) with the
+    two-pass formula in ``float64`` (see the module docstring for the
+    full numerical contract).  The result is always element-wise
+    ``>= 0.0``; a single-frame stream returns exact zeros.
     """
     arr = _validate(signs)
     n = arr.shape[0]
     if n == 1:
         return np.zeros(3)
     mean = arr.mean(axis=0)
-    return ((arr - mean) ** 2).sum(axis=0) / (n - 1)
+    var = ((arr - mean) ** 2).sum(axis=0) / (n - 1)
+    # The sum of squares cannot be negative, but clamp anyway: it turns
+    # -0.0 into +0.0 and makes the non-negativity contract explicit.
+    return np.maximum(var, 0.0)
 
 
 def shot_variance(signs: np.ndarray) -> float:

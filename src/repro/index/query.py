@@ -65,6 +65,26 @@ class VarianceQuery:
             self.d_v - entry.d_v, self.sqrt_var_ba - entry.sqrt_var_ba
         )
 
+    def rank_key(self, entry: IndexEntry) -> tuple[float, float, float, str, int]:
+        """A *total* presentation order over entries.
+
+        :meth:`rank_distance` alone leaves ties (two shots equidistant
+        in the ``(D^v, sqrt(Var^BA))`` plane) ordered by whatever the
+        caller scanned first, which differs between a single index and
+        a sharded one.  Breaking ties by the entry's own coordinates
+        and identity makes every searcher — the scan, the sorted index,
+        and a scatter-gather merge across shards — produce the exact
+        same ranking, which the cluster layer relies on for
+        decision-identical answers.
+        """
+        return (
+            self.rank_distance(entry),
+            entry.d_v,
+            entry.sqrt_var_ba,
+            entry.video_id,
+            entry.shot_number,
+        )
+
 
 def entry_matches(
     entry: IndexEntry, query: VarianceQuery, config: QueryConfig | None = None
@@ -107,5 +127,5 @@ def search(
         if entry_matches(entry, query, config)
         and (entry.video_id, entry.shot_number) != exclude_shot
     ]
-    matches.sort(key=query.rank_distance)
+    matches.sort(key=query.rank_key)
     return matches if limit is None else matches[:limit]

@@ -14,6 +14,7 @@ VDBMS storage layer writes next to the scene trees.
 from __future__ import annotations
 
 import bisect
+import heapq
 import json
 import math
 from pathlib import Path
@@ -118,7 +119,13 @@ class SortedVarianceIndex:
         """Answer an impression query (same contract as ``query.search``).
 
         The Eq. 7 band comes from the sorted order; Eq. 8 filters the
-        band; results are ranked most-similar-first.
+        band; results are ranked most-similar-first under the total
+        order of :meth:`VarianceQuery.rank_key`, so every searcher
+        (scan, sorted index, or a scatter-gather merge over shards)
+        agrees on the ranking.  With ``limit`` the top-k is selected in
+        ``O(band * log k)`` via a bounded heap instead of sorting the
+        whole band — the shard-side half of the coordinator's limit
+        pushdown.
         """
         config = config or QueryConfig()
         band = self.range_scan(query.d_v - config.alpha, query.d_v + config.alpha)
@@ -130,8 +137,10 @@ class SortedVarianceIndex:
             if low_ba <= entry.sqrt_var_ba <= high_ba
             and (entry.video_id, entry.shot_number) != exclude_shot
         ]
-        matches.sort(key=query.rank_distance)
-        return matches if limit is None else matches[:limit]
+        if limit is not None and limit < len(matches):
+            return heapq.nsmallest(limit, matches, key=query.rank_key)
+        matches.sort(key=query.rank_key)
+        return matches
 
     # ------------------------------------------------------------------
     # persistence

@@ -339,8 +339,20 @@ def clip_from_spec(spec: dict[str, Any]) -> tuple[VideoClip, VideoCategory | Non
 class ServiceEngine:
     """One shared :class:`VideoDatabase` served to many threads.
 
+    The engine also serves a sharded cluster: pass a
+    :class:`~repro.cluster.coordinator.ClusterCoordinator` as ``db``
+    (detected by its ``is_cluster`` marker — duck typing keeps
+    ``repro.service`` import-free of ``repro.cluster``).  In cluster
+    mode the single ingest queue becomes **one queue per shard** with
+    workers pinned round-robin, so ingests into different shards
+    overlap; queries bypass the engine-wide reader-writer lock
+    entirely (the coordinator holds per-shard locks) and may return
+    *partial* answers carrying ``shards_failed``, which are never
+    cached.
+
     Args:
-        db: an existing database to serve (a fresh one when omitted).
+        db: an existing database to serve (a fresh one when omitted),
+            or a cluster coordinator for sharded serving.
         config: pipeline configuration for a fresh database.
         n_workers: size of the ingest worker pool.
         cache_capacity: LRU query-cache capacity (entries).
@@ -413,6 +425,8 @@ class ServiceEngine:
         self._sleep = sleep if sleep is not None else time.sleep
         self._retry_rng = random.Random(retry_seed)
         self.db = db if db is not None else VideoDatabase(config)
+        #: The coordinator when serving a sharded cluster, else None.
+        self.cluster = self.db if getattr(self.db, "is_cluster", False) else None
         self.lock = ReadWriteLock()
         self.cache = QueryResultCache(cache_capacity)
         self.metrics = MetricsRegistry()
@@ -425,7 +439,18 @@ class ServiceEngine:
         self._jobs: dict[str, IngestJob] = {}
         self._jobs_lock = threading.Lock()
         self._job_counter = itertools.count(1)
-        self._queue: queue.Queue = queue.Queue(maxsize=max_queue or 0)
+        # One ingest queue per shard (one total in single-database
+        # mode): jobs for different shards never queue behind each
+        # other, which is what lets cluster ingest throughput scale.
+        # A bounded max_queue is split evenly (ceil) across queues.
+        self.n_queues = self.cluster.n_shards if self.cluster is not None else 1
+        per_queue = 0
+        if max_queue is not None:
+            per_queue = max(1, -(-max_queue // self.n_queues))
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=per_queue) for _ in range(self.n_queues)
+        ]
+        self._queue = self._queues[0]
         # Lifecycle flags: _accepting gates admission (flipped by
         # begin_drain/shutdown); _stopping tells workers and the
         # watchdog to exit.
@@ -443,9 +468,15 @@ class ServiceEngine:
         self._active: dict[str, tuple[IngestJob, float]] = {}
         self._stall_flagged: set[str] = set()
         self._workers: list[threading.Thread] = []
+        #: Which queue each worker drains (watchdog respawns preserve it).
+        self._worker_queue_index: dict[str, int] = {}
+        # Every shard queue needs at least one dedicated worker.
+        n_workers = max(n_workers, self.n_queues)
         with self._workers_lock:
-            for _ in range(n_workers):
-                self._workers.append(self._spawn_worker_locked())
+            for k in range(n_workers):
+                self._workers.append(
+                    self._spawn_worker_locked(k % self.n_queues)
+                )
         self._watchdog: threading.Thread | None = None
         if watchdog_interval > 0:
             self._watchdog = threading.Thread(
@@ -453,13 +484,16 @@ class ServiceEngine:
             )
             self._watchdog.start()
 
-    def _spawn_worker_locked(self) -> threading.Thread:
+    def _spawn_worker_locked(self, queue_index: int = 0) -> threading.Thread:
         """Create and start one ingest worker (holding _workers_lock)."""
+        name = f"ingest-worker-{next(self._worker_seq)}"
         worker = threading.Thread(
             target=self._worker_loop,
-            name=f"ingest-worker-{next(self._worker_seq)}",
+            args=(queue_index,),
+            name=name,
             daemon=True,
         )
+        self._worker_queue_index[name] = queue_index
         worker.start()
         return worker
 
@@ -486,15 +520,21 @@ class ServiceEngine:
         if source == "file" and not spec.get("path"):
             raise WorkloadError("file ingest spec requires a 'path'")
         description = spec.get("video_id") or spec.get("path") or source
-        return self._enqueue(f"ingest {description!r} ({source})", spec)
+        return self._enqueue(
+            f"ingest {description!r} ({source})", spec, route_hint=description
+        )
 
     def submit_clip(
         self, clip: VideoClip, category: VideoCategory | None = None
     ) -> IngestJob:
         """Enqueue an already-materialized clip (in-process callers)."""
-        return self._enqueue(f"ingest {clip.name!r} (clip)", (clip, category))
+        return self._enqueue(
+            f"ingest {clip.name!r} (clip)", (clip, category), route_hint=clip.name
+        )
 
-    def _enqueue(self, description: str, payload: Any) -> IngestJob:
+    def _enqueue(
+        self, description: str, payload: Any, route_hint: str | None = None
+    ) -> IngestJob:
         if not self._accepting:
             self.metrics.increment("ingest_rejected_draining")
             raise ServiceUnavailableError(
@@ -507,12 +547,18 @@ class ServiceEngine:
                 retry_after=max(self.breaker.retry_after(), 0.1),
             )
         job = IngestJob(job_id=f"job-{next(self._job_counter)}", description=description)
+        # In cluster mode, land the job on its home shard's queue (the
+        # router is deterministic, so the hint — the eventual clip
+        # name — picks the same shard the coordinator will).
+        queue_index = 0
+        if self.cluster is not None and route_hint:
+            queue_index = self.cluster.router.shard_for(route_hint)
         with self._jobs_lock:
             self._jobs[job.job_id] = job
             self._pending += 1
             self._idle.clear()
         try:
-            self._queue.put_nowait((job, payload))
+            self._queues[queue_index].put_nowait((job, payload))
         except queue.Full:
             with self._jobs_lock:
                 del self._jobs[job.job_id]
@@ -529,11 +575,18 @@ class ServiceEngine:
         self._observe_queue_depth()
         return job
 
+    def _total_queue_depth(self) -> int:
+        """Jobs queued but not yet picked up, across all shard queues."""
+        return sum(q.qsize() for q in self._queues)
+
     def _observe_queue_depth(self) -> None:
         """Refresh the queue-depth gauges on ``/metrics``."""
-        depth = self._queue.qsize()
+        depth = self._total_queue_depth()
         self.metrics.set_gauge("ingest_queue_depth", depth)
         self.metrics.set_gauge_max("ingest_queue_depth_peak", depth)
+        if self.n_queues > 1:
+            for k, q in enumerate(self._queues):
+                self.metrics.set_gauge(f"ingest_queue_depth_shard_{k}", q.qsize())
 
     def _job_finished(self, job: IngestJob) -> None:
         """Account one settled job; wakes drain waiters at zero pending."""
@@ -543,17 +596,18 @@ class ServiceEngine:
                 self._idle.set()
         self._observe_queue_depth()
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, queue_index: int = 0) -> None:
         name = threading.current_thread().name
+        my_queue = self._queues[queue_index]
         while True:
             try:
-                item = self._queue.get(timeout=0.1)
+                item = my_queue.get(timeout=0.1)
             except queue.Empty:
                 if self._stopping:
                     return
                 continue
             if item is None:  # legacy sentinel; still honored
-                self._queue.task_done()
+                my_queue.task_done()
                 return
             job, payload = item
             with self._workers_lock:
@@ -579,7 +633,7 @@ class ServiceEngine:
                 with self._workers_lock:
                     self._active.pop(name, None)
                     self._stall_flagged.discard(name)
-                self._queue.task_done()
+                my_queue.task_done()
                 self._job_finished(job)
 
     # OSErrors that no amount of retrying will fix (the path is wrong,
@@ -638,19 +692,29 @@ class ServiceEngine:
                 try:
                     if self.ingest_hook is not None:
                         self.ingest_hook(clip)
-                    # The pipeline (detect + tree + features) runs inside
-                    # db.ingest but before it touches shared state; the
-                    # write lock covers the whole call so a torn
-                    # registration is never observable, and queries only
-                    # stall on the final publish because they queue
-                    # behind the waiting writer.
-                    with self.lock.write_locked():
-                        report = self.db.ingest(clip, category=category)
-                        # Invalidate while still exclusive: readers that
-                        # saw the pre-ingest database also saw the old
-                        # generation, so their late put() calls are
-                        # rejected (see cache.py).
+                    if self.cluster is not None:
+                        # The coordinator takes only the owning shard's
+                        # write lock, so ingests into other shards (and
+                        # all queries) keep flowing.  Cache coherence
+                        # holds without exclusivity because readers
+                        # snapshot the generation *before* querying —
+                        # this invalidate rejects their late put().
+                        report = self.cluster.ingest(clip, category=category)
                         self.cache.invalidate()
+                    else:
+                        # The pipeline (detect + tree + features) runs
+                        # inside db.ingest but before it touches shared
+                        # state; the write lock covers the whole call so
+                        # a torn registration is never observable, and
+                        # queries only stall on the final publish because
+                        # they queue behind the waiting writer.
+                        with self.lock.write_locked():
+                            report = self.db.ingest(clip, category=category)
+                            # Invalidate while still exclusive: readers
+                            # that saw the pre-ingest database also saw
+                            # the old generation, so their late put()
+                            # calls are rejected (see cache.py).
+                            self.cache.invalidate()
                 except (StorageError, OSError) as exc:
                     if not self._is_transient(exc):
                         raise
@@ -790,6 +854,31 @@ class ServiceEngine:
         if cached is not None:
             self.metrics.increment("query_cache_hits")
             return cached, True
+        if self.cluster is not None:
+            # Scatter-gather: the coordinator holds per-shard read
+            # locks, so the engine-wide lock is not taken at all.
+            self._read_timeout(deadline)  # fail fast on a spent budget
+            generation = self.cache.generation
+            answer = self.cluster.query(
+                var_ba,
+                var_oa,
+                limit=limit,
+                category=category,
+                config=query_config,
+                deadline=deadline,
+            )
+            payload = self._answer_payload(answer)
+            payload["shards_queried"] = answer.shards_queried
+            payload["shards_failed"] = answer.shards_failed
+            payload["partial"] = answer.partial
+            if answer.partial:
+                # A partial answer reflects a transient outage, not the
+                # corpus; caching it would keep serving holes after the
+                # shard recovers.
+                self.metrics.increment("cluster_partial_answers")
+                return payload, False
+            self.cache.put(key, payload, generation=generation)
+            return payload, False
         with self.lock.read_locked(self._read_timeout(deadline)):
             generation = self.cache.generation
             answer = self.db.query(
@@ -835,6 +924,11 @@ class ServiceEngine:
 
     def catalog_payload(self, deadline: Deadline | None = None) -> dict[str, Any]:
         """The catalog listing served at ``GET /videos``."""
+        if self.cluster is not None:
+            self._read_timeout(deadline)
+            videos = [entry.to_dict() for entry in self.cluster.catalog_entries()]
+            indexed = self.cluster.index_size()
+            return {"count": len(videos), "indexed_shots": indexed, "videos": videos}
         with self.lock.read_locked(self._read_timeout(deadline)):
             videos = [entry.to_dict() for entry in self.db.catalog]
             indexed = len(self.db.index)
@@ -844,6 +938,11 @@ class ServiceEngine:
         self, video_id: str, deadline: Deadline | None = None
     ) -> dict[str, Any]:
         """One video's indexed shots served at ``GET /videos/<id>/shots``."""
+        if self.cluster is not None:
+            self._read_timeout(deadline)
+            rows = self.cluster.shot_entries(video_id)  # CatalogError when unknown
+            shots = [entry.to_row() for entry in rows]
+            return {"video_id": video_id, "count": len(shots), "shots": shots}
         with self.lock.read_locked(self._read_timeout(deadline)):
             self.db.catalog.get(video_id)  # raises CatalogError when unknown
             rows = sorted(
@@ -857,6 +956,13 @@ class ServiceEngine:
         self, video_id: str, deadline: Deadline | None = None
     ) -> dict[str, Any]:
         """One video's scene tree served at ``GET /videos/<id>/tree``."""
+        if self.cluster is not None:
+            self._read_timeout(deadline)
+            tree = self.cluster.scene_tree(video_id)  # CatalogError when unknown
+            payload = scene_tree_to_dict(tree)
+            payload["height"] = tree.height
+            payload["n_shots"] = tree.n_shots
+            return payload
         with self.lock.read_locked(self._read_timeout(deadline)):
             tree = self.db.scene_tree(video_id)  # raises CatalogError when unknown
             payload = scene_tree_to_dict(tree)
@@ -875,22 +981,39 @@ class ServiceEngine:
         by_status: dict[str, int] = {}
         for job in jobs:
             by_status[job.status.value] = by_status.get(job.status.value, 0) + 1
-        return {
+        if self.cluster is not None:
+            videos = self.cluster.catalog_size()
+            indexed = self.cluster.index_size()
+        else:
+            videos = len(self.db.catalog)
+            indexed = len(self.db.index)
+        payload = {
             "status": "ok" if self.ready else "draining",
             "ready": self.ready,
             "uptime_s": round(time.time() - self.started_at, 3),
-            "videos": len(self.db.catalog),
-            "indexed_shots": len(self.db.index),
+            "videos": videos,
+            "indexed_shots": indexed,
             "jobs": by_status,
             "breaker": self.breaker.state,
         }
+        if self.cluster is not None:
+            shard_status = [shard.status() for shard in self.cluster.shards]
+            payload["cluster"] = {
+                "n_shards": self.cluster.n_shards,
+                "shards_up": sum(1 for s in shard_status if s["up"]),
+                "shards": [
+                    {"shard": s["shard"], "up": s["up"], "videos": s["videos"]}
+                    for s in shard_status
+                ],
+            }
+        return payload
 
     def ready_payload(self) -> dict[str, Any]:
         """The readiness document served at ``GET /ready``."""
         return {
             "ready": self.ready,
             "accepting_ingest": self._accepting and self.breaker.admits(),
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": self._total_queue_depth(),
         }
 
     def overload_payload(self) -> dict[str, Any]:
@@ -900,8 +1023,8 @@ class ServiceEngine:
             busy = len(self._active)
         with self._jobs_lock:
             pending = self._pending
-        return {
-            "queue_depth": self._queue.qsize(),
+        payload = {
+            "queue_depth": self._total_queue_depth(),
             "queue_capacity": self.max_queue,
             "pending_jobs": pending,
             "accepting": self._accepting,
@@ -911,6 +1034,9 @@ class ServiceEngine:
             "default_deadline_ms": self.default_deadline_ms,
             "breaker": self.breaker.snapshot(),
         }
+        if self.n_queues > 1:
+            payload["queue_depth_per_shard"] = [q.qsize() for q in self._queues]
+        return payload
 
     def metrics_payload(self) -> dict[str, Any]:
         """The observability document served at ``GET /metrics``."""
@@ -923,6 +1049,8 @@ class ServiceEngine:
         payload["extractor_cache"] = SignatureExtractor.cache_stats()
         payload["fused_operator_cache"] = operator_cache_stats()
         payload["overload"] = self.overload_payload()
+        if self.cluster is not None:
+            payload["cluster"] = self.cluster.status()
         payload["uptime_s"] = round(time.time() - self.started_at, 3)
         return payload
 
@@ -969,13 +1097,17 @@ class ServiceEngine:
                 if not worker.is_alive():
                     self._active.pop(worker.name, None)
                     self._stall_flagged.discard(worker.name)
-                    self._workers[k] = self._spawn_worker_locked()
+                    # The replacement drains the same shard queue the
+                    # dead worker was pinned to.
+                    queue_index = self._worker_queue_index.pop(worker.name, 0)
+                    self._workers[k] = self._spawn_worker_locked(queue_index)
                     replaced += 1
             now = self._clock()
             for name, (_job, since) in list(self._active.items()):
                 if now - since > self.stall_timeout and name not in self._stall_flagged:
                     self._stall_flagged.add(name)
-                    self._workers.append(self._spawn_worker_locked())
+                    queue_index = self._worker_queue_index.get(name, 0)
+                    self._workers.append(self._spawn_worker_locked(queue_index))
                     supplemented += 1
         if replaced:
             self.metrics.increment("workers_replaced", replaced)
@@ -1018,6 +1150,13 @@ class ServiceEngine:
                 abandoned += 1
         if abandoned:
             self.metrics.increment("ingest_abandoned", abandoned)
+        if self.cluster is not None:
+            try:
+                self.cluster.save_all()
+            except (StorageError, OSError):  # pragma: no cover - best effort
+                pass
+            self.cluster.close()
+            return
         root = self.db.storage_root
         if root is not None:
             # Durable engines publish every ingest incrementally, so

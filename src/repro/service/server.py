@@ -44,6 +44,7 @@ from ..errors import (
     ServiceOverloadError,
     ServiceTimeout,
     ServiceUnavailableError,
+    ShardUnavailableError,
     StorageError,
     WorkloadError,
 )
@@ -155,6 +156,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "retry_after_s": exc.retry_after,
             }
             headers["Retry-After"] = str(max(1, round(exc.retry_after)))
+        except ShardUnavailableError as exc:
+            # A single-shard operation (ingest routing, per-video
+            # lookup) hit a down shard.  Scatter-gather queries never
+            # raise this — they degrade to a partial answer instead.
+            status = 503
+            payload = {"error": str(exc), "reason": "shard_down"}
+            headers["Retry-After"] = "5"
         except StorageError as exc:
             # A durability fault, not a bad request — the client's input
             # was fine; surface it as a server-side failure.

@@ -37,7 +37,7 @@ from .fsio import LocalFS
 from .manifest import TREE_PREFIX
 from .storage import DatabaseStorage
 
-__all__ = ["IngestReport", "QueryAnswer", "VideoDatabase"]
+__all__ = ["IngestReport", "QueryAnswer", "VideoDatabase", "VideoRecord"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +49,27 @@ class IngestReport:
     n_shots: int
     tree_height: int
     indexed_entries: int
+
+
+@dataclass(frozen=True, slots=True)
+class VideoRecord:
+    """One video's complete derived state, detached from any database.
+
+    The unit of transfer for the cluster rebalancer (and the fast
+    corpus loaders in :mod:`repro.testing`): everything
+    :meth:`VideoDatabase.adopt` needs to register the video on another
+    database without re-running the Step 1-2-3 pipeline.  Raw frames
+    and detection features are *not* carried — they are recomputable
+    and are not persisted by :meth:`VideoDatabase.save` either.
+    """
+
+    entry: CatalogEntry
+    tree: SceneTree
+    index_entries: tuple[IndexEntry, ...]
+
+    @property
+    def video_id(self) -> str:
+        return self.entry.video_id
 
 
 @dataclass(frozen=True, slots=True)
@@ -192,6 +213,7 @@ class VideoDatabase:
         category: VideoCategory | None = None,
         exclude_shot: tuple[str, int] | None = None,
         config: QueryConfig | None = None,
+        with_routes: bool = True,
     ) -> QueryAnswer:
         """Impression query: "how much is changing" in each area.
 
@@ -200,16 +222,34 @@ class VideoDatabase:
         assumption).  ``config`` overrides the configured alpha/beta
         tolerances for this query only (used by the service layer for
         per-request tolerances).
+
+        ``limit`` caps the answer at the top-k most similar shots.
+        Without a category filter the cap is pushed down into the
+        sorted index (a bounded-heap top-k over the band instead of a
+        full sort) — the shard-side half of the cluster coordinator's
+        limit pushdown; with one, the filter must see the full ranking
+        first, so the cap applies after it.
+
+        ``with_routes=False`` skips computing browsing routes and
+        returns ``routes=[]`` — for callers that rank candidates from
+        several databases and only route the merged winners (the
+        cluster coordinator), so per-shard top-k work is not thrown
+        away at the merge.
         """
         query = VarianceQuery(var_ba=var_ba, var_oa=var_oa)
         matches = self.index.search(
-            query, config=config or self.config.query, exclude_shot=exclude_shot
+            query,
+            config=config or self.config.query,
+            limit=limit if category is None else None,
+            exclude_shot=exclude_shot,
         )
         if category is not None:
             allowed = {entry.video_id for entry in self.catalog.in_category(category)}
             matches = [m for m in matches if m.video_id in allowed]
-        if limit is not None:
-            matches = matches[:limit]
+            if limit is not None:
+                matches = matches[:limit]
+        if not with_routes:
+            return QueryAnswer(matches=matches, routes=[])
         routes = route_to_scene_nodes(matches, self.trees)
         return QueryAnswer(matches=matches, routes=routes)
 
@@ -257,6 +297,55 @@ class VideoDatabase:
                     self.detections[video_id] = detection
                 raise
         return removed
+
+    # ------------------------------------------------------------------
+    # record transfer (cluster rebalancing)
+    # ------------------------------------------------------------------
+
+    def export_video(self, video_id: str) -> VideoRecord:
+        """Snapshot one video's derived state as a detached record.
+
+        The record is safe to hold across database mutations (the
+        catalog entry, index entries, and tree nodes are immutable) and
+        is everything :meth:`adopt` needs to register the video on
+        another database — the transfer primitive of the cluster
+        rebalancer.
+        """
+        entry = self.catalog.get(video_id)  # raises CatalogError when unknown
+        if video_id not in self.trees:
+            raise CatalogError(f"video {video_id!r} has no scene tree")
+        index_entries = tuple(
+            e for e in self.index.entries if e.video_id == video_id
+        )
+        return VideoRecord(
+            entry=entry, tree=self.trees[video_id], index_entries=index_entries
+        )
+
+    def adopt(self, record: VideoRecord) -> int:
+        """Register an exported video without re-running the pipeline.
+
+        The mirror of :meth:`ingest` for already-derived state: the
+        catalog row, index entries, and scene tree from ``record`` are
+        published through the same checksummed manifest-swap path, with
+        the same rollback-on-failed-publish guarantee.  Returns the
+        number of index entries registered.
+        """
+        video_id = record.entry.video_id
+        if video_id in self.catalog:
+            raise CatalogError(f"video {video_id!r} already ingested")
+        self.catalog.add(record.entry)
+        for entry in record.index_entries:
+            self.index.insert(entry)
+        self.trees[video_id] = record.tree
+        if self._storage is not None:
+            try:
+                self._publish_incremental(new_tree_id=video_id)
+            except StorageError:
+                self.catalog.remove(video_id)
+                self.index.remove_video(video_id)
+                self.trees.pop(video_id, None)
+                raise
+        return len(record.index_entries)
 
     def ask(self, text: str) -> QueryAnswer:
         """Run an impression-language query (see
@@ -346,7 +435,7 @@ class VideoDatabase:
         are serialized; every other tree is carried over by reference.
         """
         assert self._storage is not None
-        manifest = self._storage.read_manifest()
+        manifest = self._storage.current_manifest()
         tracked = set(manifest.files) if manifest is not None else set()
         payloads: dict[str, dict] = {
             "catalog": self.catalog.to_dict(),

@@ -158,6 +158,8 @@ class DatabaseStorage:
     def __init__(self, root: str | Path, fs: LocalFS | None = None) -> None:
         self.root = Path(root)
         self.fs = fs if fs is not None else LocalFS()
+        # The manifest this object committed last (publish fast path).
+        self._committed: Manifest | None = None
 
     # ------------------------------------------------------------------
     # layout helpers
@@ -256,6 +258,13 @@ class DatabaseStorage:
             ) from exc
         return Manifest.from_dict(payload)
 
+    def current_manifest(self) -> Manifest | None:
+        """The committed manifest, skipping the disk read when this
+        object was the last writer of the root (see :meth:`publish`)."""
+        if self._committed is not None:
+            return self._committed
+        return self.read_manifest()
+
     # ------------------------------------------------------------------
     # the publish protocol
     # ------------------------------------------------------------------
@@ -280,7 +289,17 @@ class DatabaseStorage:
         does not even bump the generation.
         """
         self.initialize()
-        old = self.read_manifest()
+        # Single-writer fast path: after the first publish this object
+        # is the only writer of the root (the engine's/shard's write
+        # lock enforces that), so the manifest it committed last time
+        # is still the one on disk — no need to re-read and re-parse it
+        # on every ingest.  Independent reader objects always see disk
+        # (read_manifest itself never caches).
+        old = (
+            self._committed
+            if self._committed is not None
+            else self.read_manifest()
+        )
         old_files = dict(old.files) if old is not None else {}
         generation = (old.generation if old is not None else 0) + 1
 
@@ -316,20 +335,30 @@ class DatabaseStorage:
             new_files[logical] = prior
 
         if old is not None and new_files == old_files:
+            self._committed = old
             return old
 
         manifest = Manifest(generation=generation, files=new_files)
         staged: list[Path] = []
         try:
             touched_dirs: set[Path] = set()
+            # Stage every file first, then sync, then rename: the first
+            # fsync's journal commit typically carries the other staged
+            # writes along, so a publish costs ~one data flush instead
+            # of one per file.  Crash safety is unchanged — nothing is
+            # visible until the manifest swap below.
+            renames: list[tuple[Path, Path]] = []
             for logical, data in to_write.items():
                 final = self.root / new_files[logical].path
                 stage = self._staging_path(final.name)
                 self.fs.write_bytes(stage, data)
                 staged.append(stage)
+                renames.append((stage, final))
+            for stage, _ in renames:
                 self.fs.fsync(stage)
+            for stage, final in renames:
                 self.fs.replace(stage, final)
-                staged.pop()
+                staged.remove(stage)
                 touched_dirs.add(final.parent)
             for directory in sorted(touched_dirs):
                 self.fs.fsync_dir(directory)
@@ -353,22 +382,45 @@ class DatabaseStorage:
                 except OSError:
                     pass
             raise StorageError(f"publish failed: {exc}") from exc
-        self._collect_garbage(manifest)
+        self._committed = manifest
+        self._collect_garbage(manifest, old)
         return manifest
 
-    def _collect_garbage(self, manifest: Manifest) -> None:
+    def _collect_garbage(self, manifest: Manifest, old: Manifest | None = None) -> None:
         """Delete managed files the committed manifest does not track.
+
+        With the superseded manifest in hand, the only garbage a
+        successful publish can create is the set of files that manifest
+        tracked and the new one dropped, plus staging litter — a set
+        difference, not a directory scan.  Without one (first publish,
+        or a publish replacing a legacy layout) fall back to sweeping
+        every managed file.  Orphans from *crashed* publishes are out of
+        scope either way: fsck reports them as untracked.
 
         Best-effort: a failure here cannot un-commit the publish, so
         errors are swallowed — the next publish or fsck retries.
         """
-        referenced = {self.root / record.path for record in manifest.files.values()}
-        for path in self._managed_files():
-            if path not in referenced:
-                try:
-                    self.fs.unlink(path)
-                except OSError:
-                    pass
+        referenced = {record.path for record in manifest.files.values()}
+        if old is not None:
+            stale = {
+                record.path for record in old.files.values()
+            } - referenced
+            candidates = {self.root / relpath for relpath in stale}
+            if self.staging_dir.is_dir():
+                candidates.update(
+                    p for p in self.staging_dir.iterdir() if p.is_file()
+                )
+        else:
+            candidates = {
+                p
+                for p in self._managed_files()
+                if p.relative_to(self.root).as_posix() not in referenced
+            }
+        for path in candidates:
+            try:
+                self.fs.unlink(path)
+            except OSError:
+                pass
 
     def _managed_files(self) -> list[Path]:
         """Every file publish/fsck considers part of the database state

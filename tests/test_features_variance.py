@@ -1,0 +1,106 @@
+"""Numerical contract of the sign-stream variance (Eqs. 3-6).
+
+The sorted D^v index assumes every variance is finite and >= 0; these
+tests pin the edge cases that historically break that assumption in
+streaming systems: float32 constant-plus-epsilon streams (catastrophic
+cancellation under the naive E[x^2]-E[x]^2 formula), single-frame
+shots, and non-finite inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShotError
+from repro.features.variance import (
+    shot_variance,
+    sign_stream_mean,
+    sign_stream_variance,
+)
+
+
+class TestAdversarialCancellation:
+    def test_float32_constant_plus_epsilon_never_negative(self):
+        """The classic killer: a huge constant with a tiny wiggle.
+
+        Under E[x^2] - E[x]^2 in float32 this famously yields a
+        *negative* variance; the two-pass float64 path must not.
+        """
+        rng = np.random.default_rng(7)
+        base = np.float32(4096.0)
+        for scale in (1e-3, 1e-4, 1e-5):
+            signs = (
+                base + rng.uniform(-scale, scale, size=(64, 3))
+            ).astype(np.float32)
+            var = sign_stream_variance(signs)
+            assert np.all(var >= 0.0), f"scale={scale}: {var}"
+            assert np.all(np.isfinite(np.sqrt(var)))
+
+    def test_exactly_constant_float32_stream_is_zero(self):
+        signs = np.full((32, 3), 2.5, dtype=np.float32)
+        var = sign_stream_variance(signs)
+        assert np.array_equal(var, np.zeros(3))
+        # No -0.0 leaking through the clamp.
+        assert not np.any(np.signbit(var))
+
+    def test_naive_formula_would_have_failed_here(self):
+        """Sanity-check the fixture actually triggers cancellation."""
+        rng = np.random.default_rng(0)
+        signs = (
+            np.float32(1e4) + rng.uniform(-1e-3, 1e-3, size=(64, 3))
+        ).astype(np.float32)
+        x = signs
+        n = np.float32(x.shape[0])
+        naive = (
+            np.sum(x * x, axis=0, dtype=np.float32) / n
+            - (np.sum(x, axis=0, dtype=np.float32) / n) ** 2
+        )
+        assert np.any(naive < 0.0), "fixture no longer adversarial"
+        assert np.all(sign_stream_variance(signs) >= 0.0)
+
+
+class TestEdgeLengths:
+    def test_single_frame_stream_is_exactly_zero(self):
+        assert np.array_equal(
+            sign_stream_variance(np.array([[3.0, -1.0, 2.0]])), np.zeros(3)
+        )
+        assert shot_variance(np.array([[9.0, 9.0, 9.0]])) == 0.0
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(ShotError):
+            sign_stream_variance(np.empty((0, 3)))
+        with pytest.raises(ShotError):
+            sign_stream_mean(np.empty((0, 3)))
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ShotError):
+            sign_stream_variance(np.zeros((4, 2)))
+
+
+class TestNonFinite:
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_non_finite_signs_raise(self, poison):
+        signs = np.ones((5, 3))
+        signs[2, 1] = poison
+        with pytest.raises(ShotError):
+            sign_stream_variance(signs)
+        with pytest.raises(ShotError):
+            sign_stream_mean(signs)
+
+
+class TestAgreementWithNumpy:
+    def test_matches_float64_sample_variance(self):
+        rng = np.random.default_rng(3)
+        signs = rng.normal(size=(50, 3))
+        expected = np.var(signs.astype(np.float64), axis=0, ddof=1)
+        np.testing.assert_allclose(
+            sign_stream_variance(signs), expected, rtol=1e-12
+        )
+
+    def test_scalar_is_channel_mean(self):
+        rng = np.random.default_rng(5)
+        signs = rng.normal(size=(20, 3))
+        assert shot_variance(signs) == pytest.approx(
+            float(sign_stream_variance(signs).mean())
+        )
