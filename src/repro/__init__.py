@@ -31,6 +31,7 @@ from .config import (
 )
 from .errors import ReproError
 from .features.vector import FeatureVector, extract_shot_features
+from .index.columnar import ColumnarVarianceIndex
 from .index.query import VarianceQuery
 from .index.sorted_index import SortedVarianceIndex
 from .index.table import IndexEntry, IndexTable
@@ -70,5 +71,6 @@ __all__ = [
     "IndexEntry",
     "VarianceQuery",
     "SortedVarianceIndex",
+    "ColumnarVarianceIndex",
     "VideoDatabase",
 ]

@@ -253,12 +253,10 @@ def _cmd_browse(args: argparse.Namespace, input_stream=None) -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    db = _load_existing(args.db)
-    answer = db.ask(args.text)
+def _print_answer(answer) -> None:
     if not answer.matches:
         print("no matching shots")
-        return 0
+        return
     for route in answer.routes:
         entry = route.entry
         print(
@@ -266,6 +264,49 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"sqrt(Var^BA)={entry.sqrt_var_ba:6.2f} -> "
             f"{route.node.label if route.node else '-'}"
         )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    if (args.text is None) == (args.batch_file is None):
+        print(
+            "error: give either a query text or --batch-file (not both)",
+            file=sys.stderr,
+        )
+        return 2
+    db = _load_existing(args.db)
+    if args.batch_file is None:
+        _print_answer(db.ask(args.text))
+        return 0
+    # Batch path: a JSON list of {"var_ba", "var_oa"} points (or an
+    # object wrapping one under "queries", with an optional "limit"),
+    # answered by one vectorized pass through the columnar engine.
+    try:
+        spec = json.loads(Path(args.batch_file).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: unreadable batch file {args.batch_file}: {exc}", file=sys.stderr)
+        return 2
+    limit = None
+    if isinstance(spec, dict):
+        limit = spec.get("limit")
+        spec = spec.get("queries")
+    if not isinstance(spec, list) or not spec:
+        print(
+            "error: batch file must hold a non-empty list of "
+            '{"var_ba": .., "var_oa": ..} objects',
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        points = [(float(q["var_ba"]), float(q["var_oa"])) for q in spec]
+    except (TypeError, KeyError, ValueError) as exc:
+        print(f"error: bad batch query object: {exc!r}", file=sys.stderr)
+        return 2
+    answers = db.query_batch(points, limit=limit)
+    for k, ((var_ba, var_oa), answer) in enumerate(zip(points, answers), start=1):
+        print(f"query {k}: Var^BA={var_ba:g} Var^OA={var_oa:g}")
+        _print_answer(answer)
     return 0
 
 
@@ -420,6 +461,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         workers=args.workers,
         ingests=args.ingests,
         query_pool=args.query_pool,
+        batch=args.batch,
         seed=args.seed,
         deadline_ms=args.deadline_ms,
     )
@@ -748,8 +790,19 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_browse)
 
     p = sub.add_parser("query", help="run an impression-language query")
-    p.add_argument("text", help='e.g. "background calm, foreground busy, limit 5"')
+    p.add_argument(
+        "text",
+        nargs="?",
+        help='e.g. "background calm, foreground busy, limit 5"',
+    )
     p.add_argument("--db", required=True)
+    p.add_argument(
+        "--batch-file",
+        metavar="PATH",
+        help="JSON file with a batch of query points — a list of "
+        '{"var_ba": .., "var_oa": ..} objects (or {"queries": [...], '
+        '"limit": ..}) answered in one vectorized pass',
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
@@ -835,6 +888,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4, help="client threads")
     p.add_argument("--ingests", type=int, default=2, help="ingest jobs to interleave")
     p.add_argument("--query-pool", type=int, default=8, help="distinct query points")
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="B",
+        help="send batches of B points to POST /query/batch instead of "
+        "single /query requests",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--deadline-ms",

@@ -572,6 +572,124 @@ class ClusterCoordinator:
                 break  # out of budget; the partial/merged answer stands
         return self._merge(query, entries, trees, limit, ok, failed)
 
+    def query_batch(
+        self,
+        points: list[tuple[float, float]],
+        limit: int | None = None,
+        category: VideoCategory | None = None,
+        config: QueryConfig | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[ClusterAnswer]:
+        """Answer B impression queries in a *single* scatter-gather round.
+
+        Each shard answers the whole batch in one vectorized index pass
+        (``VideoDatabase.query_batch``) under one read-lock acquisition,
+        with the per-shard top-k pushdown preserved per query; the
+        coordinator then runs the usual dedup/rank/route merge once per
+        query.  Failed shards degrade the whole batch uniformly: every
+        answer reports the same ``shards_queried`` and carries its own
+        copy of ``shards_failed``.
+        """
+        queries = [VarianceQuery(var_ba=ba, var_oa=oa) for ba, oa in points]
+        n_queries = len(queries)
+
+        def one(shard: Shard) -> tuple[list[list[IndexEntry]], dict[str, SceneTree]]:
+            shard.check_up("query")
+            timeout = None if deadline is None else deadline.remaining()
+            with shard.lock.read_locked(timeout):
+                answers = shard.db.query_batch(
+                    points,
+                    limit=limit,
+                    category=category,
+                    config=config,
+                    with_routes=False,
+                )
+                trees = {
+                    m.video_id: shard.db.trees[m.video_id]
+                    for answer in answers
+                    for m in answer.matches
+                }
+            shard.queries += 1
+            return [answer.matches for answer in answers], trees
+
+        # Same seqlock read side as ``query`` — one retry loop covers
+        # the whole batch, since the scatter is still a single
+        # multi-shard snapshot.
+        for _attempt in range(3):
+            seq = self._moves_snapshot()
+            shards = list(self.shards)
+            per_query: list[list[IndexEntry]] = [[] for _ in range(n_queries)]
+            trees: dict[str, SceneTree] = {}
+            failed: list[dict[str, Any]] = []
+            ok = 0
+
+            def consume(shard: Shard, get: Callable[[], Any]) -> None:
+                nonlocal ok
+                try:
+                    shard_matches, shard_trees = get()
+                    for bucket, matches in zip(per_query, shard_matches):
+                        bucket.extend(matches)
+                    trees.update(shard_trees)
+                    ok += 1
+                except (FutureTimeout, ServiceTimeout):
+                    failed.append(
+                        {
+                            "shard": shard.name,
+                            "reason": "deadline",
+                            "error": "per-shard deadline budget exhausted",
+                        }
+                    )
+                except ShardUnavailableError as exc:
+                    failed.append(
+                        {"shard": shard.name, "reason": "down", "error": str(exc)}
+                    )
+                except Exception as exc:  # degrade, never fail the batch
+                    shard.errors += 1
+                    failed.append(
+                        {
+                            "shard": shard.name,
+                            "reason": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+
+            if self.parallel_scatter:
+                futures = [
+                    (shard, self._pool.submit(one, shard)) for shard in shards
+                ]
+                for shard, future in futures:
+                    budget = (
+                        None
+                        if deadline is None
+                        else max(deadline.remaining(), 0.001)
+                    )
+
+                    def pooled(future=future, budget=budget):
+                        try:
+                            return future.result(timeout=budget)
+                        except FutureTimeout:
+                            future.cancel()
+                            raise
+
+                    consume(shard, pooled)
+            else:
+                for shard in shards:
+
+                    def inline(shard=shard):
+                        if deadline is not None and deadline.remaining() <= 0:
+                            raise FutureTimeout()
+                        return one(shard)
+
+                    consume(shard, inline)
+            if self._moves_snapshot() == seq:
+                break
+            if deadline is not None and deadline.remaining() <= 0:
+                break  # out of budget; the partial/merged answers stand
+        return [
+            self._merge(query, entries, trees, limit, ok, list(failed))
+            for query, entries in zip(queries, per_query)
+        ]
+
     @staticmethod
     def _merge(
         query: VarianceQuery,
@@ -642,7 +760,7 @@ class ClusterCoordinator:
         shard.check_up("shots")
         with shard.lock.read_locked():
             shard.db.catalog.get(video_id)  # raises CatalogError when unknown
-            rows = [e for e in shard.db.index.entries if e.video_id == video_id]
+            rows = shard.db.index.entries_for(video_id)
         return sorted(rows, key=lambda e: e.shot_number)
 
     def catalog_entries(self) -> list[CatalogEntry]:

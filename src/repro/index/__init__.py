@@ -7,6 +7,10 @@
 * :mod:`repro.index.sorted_index` — a sorted, persistent index over
   ``D^v`` answering range queries in O(log n + k) instead of a table
   scan;
+* :mod:`repro.index.columnar` — the default engine: the same index
+  packed into parallel numpy columns with vectorized single + batched
+  search and a checksummed binary serialization, decision-identical to
+  the sorted index;
 * :mod:`repro.index.routing` — mapping matching shots to the largest
   scene-tree nodes sharing their representative frame, the browsing
   hand-off of Sec. 4.2.
@@ -15,6 +19,7 @@
 from .table import IndexEntry, IndexTable
 from .query import VarianceQuery, entry_matches, search
 from .sorted_index import SortedVarianceIndex
+from .columnar import ColumnarVarianceIndex
 from .routing import route_to_scene_nodes
 from .extended import ExtendedEntry, ExtendedVarianceIndex
 from .grid import QuantizedGridIndex
@@ -27,6 +32,7 @@ __all__ = [
     "entry_matches",
     "search",
     "SortedVarianceIndex",
+    "ColumnarVarianceIndex",
     "route_to_scene_nodes",
     "ExtendedEntry",
     "ExtendedVarianceIndex",

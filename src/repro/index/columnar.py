@@ -1,0 +1,851 @@
+"""A columnar, vectorized variance index — the default query engine.
+
+The sorted entry list of :mod:`repro.index.sorted_index` answers one
+query in ``O(log n + band)``, but every step of the band work runs at
+interpreter speed: a Python loop applies Eq. 8, and ranking builds a
+``rank_key`` tuple (two square roots, a hypotenuse, two string/int
+comparisons) per entry.  At 100k shots the "uniquely suitable for
+large video databases" claim of Sec. 6 deserves better.
+
+:class:`ColumnarVarianceIndex` packs the same index into parallel
+numpy arrays sorted by ``D^v``:
+
+* ``var_ba``/``var_oa`` (float64) with derived ``d_v``/``sqrt_var_ba``
+  columns — the Eq. 7/8 matching coordinates;
+* ``shot_number``/``start_frame``/``end_frame`` (int32);
+* interned video-id and archetype string tables (int32 codes), plus a
+  lexicographic *rank* per video id so the string tie-break of
+  ``VarianceQuery.rank_key`` is an integer comparison.
+
+``range_scan`` becomes two :func:`numpy.searchsorted` calls, Eq. 8 a
+boolean mask over the band, and ranking a vectorized distance plus an
+:func:`numpy.lexsort` tie-break.  The engine is **decision-identical**
+to the legacy searchers: distances use the same correctly-rounded
+float64 operations (``sqrt(dx*dx + dy*dy)``) as
+:meth:`VarianceQuery.rank_distance`, and the lexsort keys mirror
+``rank_key``'s ``(distance, d_v, sqrt_var_ba, video_id, shot_number)``
+total order exactly — the contract the cluster scatter-gather merge
+relies on.
+
+:meth:`search_batch` answers B impression queries in one vectorized
+pass (shared searchsorted, one flat candidate array, one lexsort with
+the query index as the primary key) — the engine room of
+``VideoDatabase.query_batch`` and the ``POST /query/batch`` endpoint.
+
+Inserts append to a small pending buffer that is merged into the main
+columns past a threshold (or on the first read), so per-shot insertion
+costs O(1) instead of an O(n) array rebuild.  Readers call
+:meth:`_prepare` first; the merge rebinds fresh arrays under a lock,
+so concurrent readers (the service holds its read lock here) always
+see a consistent snapshot.
+
+Persistence is a checksummed little-endian binary column format
+(:meth:`to_bytes` / :meth:`from_bytes`, magic ``RVIX``): loading is
+O(columns) ``frombuffer`` reads instead of O(n) Python object
+construction.  The JSON document of the legacy index is still read
+and written (:meth:`to_dict` / :meth:`from_dict`,
+:meth:`from_payload_bytes` sniffs the magic), so old databases load
+unchanged and migrate to the binary format on their first save.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+import threading
+from hashlib import blake2s
+from itertools import count as _counter
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..config import QueryConfig
+from ..errors import IndexError_
+from ..features.vector import FeatureVector
+from .query import VarianceQuery
+from .sorted_index import _checked
+from .table import IndexEntry, IndexTable
+
+__all__ = ["COLUMNAR_MAGIC", "ColumnarVarianceIndex"]
+
+#: First bytes of the binary column format (format sniffing).
+COLUMNAR_MAGIC = b"RVIX"
+
+#: Binary column format version (the JSON document is "version 1").
+_BINARY_VERSION = 2
+
+#: JSON document version shared with the legacy sorted index.
+_JSON_VERSION = 1
+
+#: magic, version, flags, n_entries, n_videos, n_archetypes, tables_len
+_HEADER = struct.Struct("<4sHHQIII")
+
+#: Trailing whole-file checksum (blake2s, raw digest).
+_CHECKSUM_BYTES = 16
+
+#: Pending inserts tolerated before a merge into the main columns.
+_DEFAULT_MERGE_THRESHOLD = 512
+
+#: Average Eq. 7 band rows per query above which a batch abandons flat
+#: expansion for the per-query kernel (candidate bandwidth dominates
+#: per-call fixed cost past this point).
+_BATCH_FLAT_BAND_LIMIT = 1024
+
+_INT32_MIN, _INT32_MAX = -(2**31), 2**31 - 1
+
+#: (name, dtype) of the persisted columns, in file order.
+_COLUMNS = (
+    ("var_ba", "<f8"),
+    ("var_oa", "<f8"),
+    ("shot_number", "<i4"),
+    ("start_frame", "<i4"),
+    ("end_frame", "<i4"),
+    ("video_idx", "<i4"),
+    ("archetype_idx", "<i4"),
+)
+
+_STAGING_COUNTER = _counter(1)
+
+
+def _checked_int32(value: int, what: str) -> int:
+    if not _INT32_MIN <= value <= _INT32_MAX:
+        raise IndexError_(f"{what} {value} does not fit an int32 column")
+    return value
+
+
+class ColumnarVarianceIndex:
+    """Parallel numpy columns sorted by ``D^v``.
+
+    Drop-in replacement for
+    :class:`~repro.index.sorted_index.SortedVarianceIndex` (same
+    construction, query, and JSON persistence API) with vectorized
+    single and batched search and a binary column serialization.
+
+    Args:
+        entries: initial entries (any order; sorted internally).
+        merge_threshold: pending inserts tolerated before they are
+            merged into the main columns.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[IndexEntry] = (),
+        merge_threshold: int = _DEFAULT_MERGE_THRESHOLD,
+    ) -> None:
+        self._merge_threshold = max(1, int(merge_threshold))
+        self._lock = threading.Lock()
+        # Interned string tables.  The tables only grow; codes in the
+        # columns index into them.  ``_video_rank[code]`` is the video
+        # id's position in lexicographic order (the rank_key tie-break),
+        # rebuilt lazily after new ids are interned.
+        self._video_ids: list[str] = []
+        self._video_code: dict[str, int] = {}
+        self._archetypes: list[str] = []
+        self._archetype_code: dict[str, int] = {}
+        self._video_rank = np.empty(0, dtype=np.int32)
+        self._rank_dirty = False
+        self._set_columns(
+            {name: np.empty(0, dtype=dtype) for name, dtype in _COLUMNS}
+        )
+        #: Unsorted pending inserts, one row per column tuple.
+        self._pending: list[tuple] = []
+        self._entries_cache: tuple[IndexEntry, ...] | None = None
+        for entry in entries:
+            self.insert(entry)
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: IndexTable) -> "ColumnarVarianceIndex":
+        """Build the columnar index from an in-memory index table."""
+        return cls(table)
+
+    def _set_columns(self, cols: dict[str, np.ndarray]) -> None:
+        """Rebind the main columns (plus derived ones) atomically-ish:
+        each attribute assignment is atomic, and readers re-read them
+        only after :meth:`_prepare` returns under the lock."""
+        self._var_ba = cols["var_ba"]
+        self._var_oa = cols["var_oa"]
+        self._shot = cols["shot_number"]
+        self._start = cols["start_frame"]
+        self._end = cols["end_frame"]
+        self._vid = cols["video_idx"]
+        self._arch = cols["archetype_idx"]
+        # Derived matching coordinates.  np.sqrt is correctly rounded
+        # (IEEE 754), so these agree bit-for-bit with the math.sqrt
+        # values the legacy per-entry properties compute.
+        self._sqrt_ba = np.sqrt(self._var_ba)
+        self._d_v = self._sqrt_ba - np.sqrt(self._var_oa)
+        # Row tie-ranks and materialized entry objects are derived
+        # lazily (first search / first materialization) — rebinding
+        # columns invalidates both.
+        self._tie_rank: np.ndarray | None = None
+        self._entry_objs = np.empty(self._var_ba.shape[0], dtype=object)
+        self._entry_done = np.zeros(self._var_ba.shape[0], dtype=np.bool_)
+
+    def _intern_video(self, video_id: str) -> int:
+        code = self._video_code.get(video_id)
+        if code is None:
+            code = len(self._video_ids)
+            self._video_ids.append(video_id)
+            self._video_code[video_id] = code
+            self._rank_dirty = True
+        return code
+
+    def _intern_archetype(self, archetype: str | None) -> int:
+        if archetype is None:
+            return -1
+        code = self._archetype_code.get(archetype)
+        if code is None:
+            code = len(self._archetypes)
+            self._archetypes.append(archetype)
+            self._archetype_code[archetype] = code
+        return code
+
+    def insert(self, entry: IndexEntry) -> None:
+        """Insert one entry (O(1): appended to the pending buffer).
+
+        Raises :class:`IndexError_` when the entry's ``D^v`` is NaN
+        (which would break the sorted-column invariant) or a shot/frame
+        number overflows the int32 columns.
+        """
+        _checked(entry)
+        row = (
+            float(entry.features.var_ba),
+            float(entry.features.var_oa),
+            _checked_int32(entry.shot_number, "shot number"),
+            _checked_int32(entry.start_frame, "start frame"),
+            _checked_int32(entry.end_frame, "end frame"),
+            self._intern_video(entry.video_id),
+            self._intern_archetype(entry.archetype),
+        )
+        self._pending.append(row)
+        self._entries_cache = None
+        if len(self._pending) >= self._merge_threshold:
+            self._prepare()
+
+    def _prepare(self) -> None:
+        """Make the main columns complete and rank-ready for a read.
+
+        Merges the pending buffer (stable sort: existing ties keep
+        their order, pending ties follow in insertion order) and
+        rebuilds the lexicographic video ranks if new ids were
+        interned.  Guarded by a lock so concurrent readers racing the
+        first read after an insert batch cannot interleave; columns are
+        rebound, never mutated in place.
+        """
+        with self._lock:
+            if self._pending:
+                rows = self._pending
+                fresh = {
+                    name: np.array(
+                        [row[k] for row in rows], dtype=dtype
+                    )
+                    for k, (name, dtype) in enumerate(_COLUMNS)
+                }
+                merged = {
+                    name: np.concatenate([getattr(self, attr), fresh[name]])
+                    for name, attr in (
+                        ("var_ba", "_var_ba"),
+                        ("var_oa", "_var_oa"),
+                        ("shot_number", "_shot"),
+                        ("start_frame", "_start"),
+                        ("end_frame", "_end"),
+                        ("video_idx", "_vid"),
+                        ("archetype_idx", "_arch"),
+                    )
+                }
+                d_v = np.sqrt(merged["var_ba"]) - np.sqrt(merged["var_oa"])
+                order = np.argsort(d_v, kind="stable")
+                self._set_columns(
+                    {name: col[order] for name, col in merged.items()}
+                )
+                self._pending = []
+            if self._rank_dirty:
+                order = sorted(
+                    range(len(self._video_ids)),
+                    key=self._video_ids.__getitem__,
+                )
+                ranks = np.empty(len(order), dtype=np.int32)
+                for rank, code in enumerate(order):
+                    ranks[code] = rank
+                self._video_rank = ranks
+                self._rank_dirty = False
+                # Video ranks feed the row tie-ranks.
+                self._tie_rank = None
+
+    def _tie_ranks(self) -> np.ndarray:
+        """Per-row rank in the query-independent tie-break order.
+
+        ``rank_key`` breaks distance ties by ``(d_v, sqrt_var_ba,
+        video_id, shot_number)`` — a fixed total order on rows that
+        does not depend on the query.  Precomputing each row's position
+        in that order collapses the ranking sort from a five-key
+        lexsort over the candidates to a sort on ``(distance,
+        tie_rank)``.  Built on first use after a column rebind.
+        """
+        tie = self._tie_rank
+        if tie is None:
+            with self._lock:
+                tie = self._tie_rank
+                if tie is None:
+                    n = self._var_ba.shape[0]
+                    order = np.lexsort(
+                        (
+                            self._shot,
+                            self._video_rank[self._vid],
+                            self._sqrt_ba,
+                            self._d_v,
+                        )
+                    )
+                    tie = np.empty(n, dtype=np.int32)
+                    tie[order] = np.arange(n, dtype=np.int32)
+                    self._tie_rank = tie
+        return tie
+
+    def remove_video(self, video_id: str) -> int:
+        """Drop every entry of one video; returns how many were removed."""
+        code = self._video_code.get(video_id)
+        if code is None:
+            return 0
+        self._prepare()
+        mask = self._vid == code
+        removed = int(mask.sum())
+        if removed:
+            keep = ~mask
+            self._set_columns(
+                {
+                    "var_ba": self._var_ba[keep],
+                    "var_oa": self._var_oa[keep],
+                    "shot_number": self._shot[keep],
+                    "start_frame": self._start[keep],
+                    "end_frame": self._end[keep],
+                    "video_idx": self._vid[keep],
+                    "archetype_idx": self._arch[keep],
+                }
+            )
+            self._entries_cache = None
+        return removed
+
+    def __len__(self) -> int:
+        return int(self._var_ba.shape[0]) + len(self._pending)
+
+    # ------------------------------------------------------------------
+    # entry materialization
+    # ------------------------------------------------------------------
+
+    def _entry_at(self, i: int) -> IndexEntry:
+        entry = self._entry_objs[i]
+        if entry is None:
+            arch = int(self._arch[i])
+            entry = IndexEntry(
+                video_id=self._video_ids[int(self._vid[i])],
+                shot_number=int(self._shot[i]),
+                start_frame=int(self._start[i]),
+                end_frame=int(self._end[i]),
+                features=FeatureVector(
+                    var_ba=float(self._var_ba[i]), var_oa=float(self._var_oa[i])
+                ),
+                archetype=self._archetypes[arch] if arch >= 0 else None,
+            )
+            # Entries are frozen, so hot rows are materialized once and
+            # shared (the legacy index shares its stored objects the
+            # same way).  Benign if two readers race: same value.
+            self._entry_objs[i] = entry
+            self._entry_done[i] = True
+        return entry
+
+    def _entries_at(self, rows: np.ndarray) -> list[IndexEntry]:
+        """Materialize many rows at once: one object-array gather for
+        the warm rows, Python construction only for cache misses."""
+        if not self._entry_done[rows].all():
+            for i in rows:
+                self._entry_at(i)
+        return self._entry_objs[rows].tolist()
+
+    @property
+    def entries(self) -> tuple[IndexEntry, ...]:
+        """Entries in ``D^v`` order (immutable cached view, no copy
+        per access)."""
+        cached = self._entries_cache
+        if cached is None:
+            self._prepare()
+            cached = tuple(
+                self._entry_at(i) for i in range(self._var_ba.shape[0])
+            )
+            self._entries_cache = cached
+        return cached
+
+    def entries_for(self, video_id: str) -> list[IndexEntry]:
+        """One video's entries in ``D^v`` order (vectorized filter)."""
+        code = self._video_code.get(video_id)
+        if code is None:
+            return []
+        self._prepare()
+        return [self._entry_at(i) for i in np.nonzero(self._vid == code)[0]]
+
+    def lookup(self, video_id: str, shot_number: int) -> IndexEntry | None:
+        """One shot's entry, or None when absent."""
+        code = self._video_code.get(video_id)
+        if code is None:
+            return None
+        self._prepare()
+        hits = np.nonzero((self._vid == code) & (self._shot == shot_number))[0]
+        return self._entry_at(int(hits[0])) if hits.size else None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _band(self, low: float, high: float) -> tuple[int, int]:
+        """Index bounds of the Eq. 7 band (bisect semantics)."""
+        if math.isnan(low) or math.isnan(high):
+            raise IndexError_(f"range bounds must not be NaN, got [{low}, {high}]")
+        if high < low:
+            raise IndexError_(f"empty range [{low}, {high}]")
+        lo = int(np.searchsorted(self._d_v, low, side="left"))
+        hi = int(np.searchsorted(self._d_v, high, side="right"))
+        return lo, hi
+
+    def range_scan(self, low: float, high: float) -> list[IndexEntry]:
+        """Entries with ``low <= D^v <= high`` (the Eq. 7 band)."""
+        self._prepare()
+        lo, hi = self._band(low, high)
+        return [self._entry_at(i) for i in range(lo, hi)]
+
+    def search(
+        self,
+        query: VarianceQuery,
+        config: QueryConfig | None = None,
+        limit: int | None = None,
+        exclude_shot: tuple[str, int] | None = None,
+    ) -> list[IndexEntry]:
+        """Answer one impression query (same contract as the legacy
+        searchers, decision-identical results).
+
+        The Eq. 7 band comes from two searchsorted calls, Eq. 8 is a
+        boolean mask over the band, and ranking is a vectorized
+        distance + lexsort reproducing ``VarianceQuery.rank_key``.
+        """
+        config = config or QueryConfig()
+        self._prepare()
+        q_dv, q_sba = query.d_v, query.sqrt_var_ba
+        lo, hi = self._band(q_dv - config.alpha, q_dv + config.alpha)
+        if lo >= hi:
+            return []
+        sba = self._sqrt_ba[lo:hi]
+        mask = (sba >= q_sba - config.beta) & (sba <= q_sba + config.beta)
+        if exclude_shot is not None:
+            ex_code = self._video_code.get(exclude_shot[0], -1)
+            if ex_code >= 0:
+                mask &= ~(
+                    (self._vid[lo:hi] == ex_code)
+                    & (self._shot[lo:hi] == exclude_shot[1])
+                )
+        cand = np.nonzero(mask)[0]
+        if cand.size == 0:
+            return []
+        cand += lo
+        d_v = self._d_v[cand]
+        sqrt_ba = self._sqrt_ba[cand]
+        dx = q_dv - d_v
+        dy = q_sba - sqrt_ba
+        dist = np.sqrt(dx * dx + dy * dy)
+        if limit is not None and 0 < limit < cand.size:
+            # Top-k prune before the ranking sort: keep everything tied
+            # with the k-th smallest distance (ties at the bar are
+            # resolved by the tie-rank sort below), so the result is
+            # exactly the first k of the full ranking.
+            bar = np.partition(dist, limit - 1)[limit - 1]
+            keep = dist <= bar
+            cand = cand[keep]
+            dist = dist[keep]
+        tie = self._tie_ranks()[cand]
+        # (distance, tie_rank) via two argsorts — tie_rank is unique
+        # per row (no stability needed on the first pass), so this
+        # reproduces the full rank_key order.
+        ord0 = np.argsort(tie)
+        order = ord0[np.argsort(dist[ord0], kind="stable")]
+        if limit is not None:
+            order = order[:limit]
+        return [self._entry_at(i) for i in cand[order]]
+
+    def search_batch(
+        self,
+        queries: Sequence[VarianceQuery],
+        config: QueryConfig | None = None,
+        limit: int | None = None,
+        exclude_shots: Sequence[tuple[str, int] | None] | None = None,
+    ) -> list[list[IndexEntry]]:
+        """Answer B impression queries in one vectorized pass.
+
+        Equivalent to ``[self.search(q, ...) for q in queries]`` —
+        asserted by the property suite.  When the per-query Eq. 7
+        bands are small (the common top-k regime, where per-call fixed
+        cost dominates), the searchsorted calls, the Eq. 8 masks, the
+        distances, and the ranking sort all run once over a flat
+        candidate array with the query index as the primary sort key.
+        When the bands are large the work is candidate-bandwidth-bound
+        and flat expansion stops paying, so execution switches to the
+        per-query kernel — batching is then throughput-neutral and its
+        value is transport amortization (one HTTP/scatter round).
+
+        Args:
+            queries: the impression queries.
+            config: shared alpha/beta tolerances.
+            limit: per-query top-k cap (None = full ranking).
+            exclude_shots: optional per-query ``(video_id,
+                shot_number)`` exclusions, aligned with ``queries``.
+        """
+        config = config or QueryConfig()
+        n_queries = len(queries)
+        if n_queries == 0:
+            return []
+        if exclude_shots is not None and len(exclude_shots) != n_queries:
+            raise IndexError_(
+                f"{len(exclude_shots)} exclusions for {n_queries} queries"
+            )
+        self._prepare()
+        q_dv = np.array([q.d_v for q in queries], dtype=np.float64)
+        q_sba = np.array([q.sqrt_var_ba for q in queries], dtype=np.float64)
+        lows = q_dv - config.alpha
+        highs = q_dv + config.alpha
+        if np.isnan(lows).any() or np.isnan(highs).any():
+            bad = int(np.nonzero(np.isnan(lows) | np.isnan(highs))[0][0])
+            raise IndexError_(
+                f"range bounds must not be NaN, got "
+                f"[{lows[bad]}, {highs[bad]}] (query {bad})"
+            )
+        los = np.searchsorted(self._d_v, lows, side="left")
+        his = np.searchsorted(self._d_v, highs, side="right")
+        lengths = his - los
+        total = int(lengths.sum())
+        if total == 0:
+            return [[] for _ in range(n_queries)]
+        if total > n_queries * _BATCH_FLAT_BAND_LIMIT:
+            return [
+                self.search(
+                    query,
+                    config,
+                    limit=limit,
+                    exclude_shot=None if exclude_shots is None else exclude_shots[k],
+                )
+                for k, query in enumerate(queries)
+            ]
+        qidx = np.repeat(np.arange(n_queries), lengths)
+        starts = np.cumsum(lengths) - lengths
+        cand = np.arange(total) + np.repeat(los - starts, lengths)
+        sba = self._sqrt_ba[cand]
+        mask = (sba >= (q_sba - config.beta)[qidx]) & (
+            sba <= (q_sba + config.beta)[qidx]
+        )
+        if exclude_shots is not None:
+            ex_vid = np.array(
+                [
+                    -1 if ex is None else self._video_code.get(ex[0], -1)
+                    for ex in exclude_shots
+                ],
+                dtype=np.int64,
+            )
+            ex_shot = np.array(
+                [-1 if ex is None else ex[1] for ex in exclude_shots],
+                dtype=np.int64,
+            )
+            mask &= ~(
+                (self._vid[cand] == ex_vid[qidx])
+                & (self._shot[cand] == ex_shot[qidx])
+            )
+        cand = cand[mask]
+        qidx = qidx[mask]
+        results: list[list[IndexEntry]] = [[] for _ in range(n_queries)]
+        if cand.size == 0:
+            return results
+        d_v = self._d_v[cand]
+        sqrt_ba = self._sqrt_ba[cand]
+        dx = q_dv[qidx] - d_v
+        dy = q_sba[qidx] - sqrt_ba
+        dist = np.sqrt(dx * dx + dy * dy)
+        tie = self._tie_ranks()[cand]
+        # (query, distance, tie_rank) order via three successive
+        # argsorts (LSD radix over the keys; the unique first key needs
+        # no stability) — far cheaper than one multi-key lexsort at
+        # batch candidate counts.
+        ord0 = np.argsort(tie)
+        ord1 = ord0[np.argsort(dist[ord0], kind="stable")]
+        order = ord1[np.argsort(qidx[ord1], kind="stable")]
+        ranked_q = qidx[order]
+        bounds = np.searchsorted(ranked_q, np.arange(n_queries + 1))
+        if limit is not None and limit > 0:
+            # Vectorized per-query top-k: keep each candidate whose
+            # position within its query's block is below the limit,
+            # then materialize the survivors in one pass.
+            pos = np.arange(order.size, dtype=np.int64) - np.repeat(
+                bounds[:-1], np.diff(bounds)
+            )
+            order = order[pos < limit]
+            ranked_q = qidx[order]
+            bounds = np.searchsorted(ranked_q, np.arange(n_queries + 1))
+            ranked = self._entries_at(cand[order])
+            return [
+                ranked[bounds[b] : bounds[b + 1]] for b in range(n_queries)
+            ]
+        for b in range(n_queries):
+            sel = order[bounds[b] : bounds[b + 1]]
+            if limit is not None:
+                sel = sel[:limit]
+            results[b] = [self._entry_at(i) for i in cand[sel]]
+        return results
+
+    # ------------------------------------------------------------------
+    # JSON persistence (legacy-compatible, readable fallback)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to the legacy JSON document (version 1)."""
+        self._prepare()
+        return {
+            "version": _JSON_VERSION,
+            "entries": [
+                {
+                    "video_id": e.video_id,
+                    "shot_number": e.shot_number,
+                    "start_frame": e.start_frame,
+                    "end_frame": e.end_frame,
+                    "var_ba": e.features.var_ba,
+                    "var_oa": e.features.var_oa,
+                    "archetype": e.archetype,
+                }
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ColumnarVarianceIndex":
+        """Rebuild from :meth:`to_dict` output (or the legacy index's)."""
+        if payload.get("version") != _JSON_VERSION:
+            raise IndexError_(
+                f"unsupported index format version {payload.get('version')!r}"
+            )
+        return cls(
+            IndexEntry(
+                video_id=row["video_id"],
+                shot_number=row["shot_number"],
+                start_frame=row["start_frame"],
+                end_frame=row["end_frame"],
+                features=FeatureVector(var_ba=row["var_ba"], var_oa=row["var_oa"]),
+                archetype=row.get("archetype"),
+            )
+            for row in payload["entries"]
+        )
+
+    # ------------------------------------------------------------------
+    # binary column persistence
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the checksummed little-endian column format.
+
+        Layout: header (magic ``RVIX``, version, counts, table length),
+        a UTF-8 JSON blob with the used video-id/archetype tables, the
+        seven columns in ``D^v`` order, and a trailing blake2s-16
+        checksum over everything before it.  Deterministic for a given
+        entry set and order: string tables are compacted to used codes
+        in first-appearance order, so repeated saves of the same state
+        are byte-identical (the storage layer's no-op-save dedup).
+        """
+        self._prepare()
+        n = int(self._var_ba.shape[0])
+        # Compact the tables: only codes the columns reference, coded
+        # by first appearance, so litter from removed videos does not
+        # leak into the file.
+        vid_map: dict[int, int] = {}
+        videos: list[str] = []
+        for code in self._vid:
+            code = int(code)
+            if code not in vid_map:
+                vid_map[code] = len(videos)
+                videos.append(self._video_ids[code])
+        arch_map: dict[int, int] = {-1: -1}
+        archetypes: list[str] = []
+        for code in self._arch:
+            code = int(code)
+            if code not in arch_map:
+                arch_map[code] = len(archetypes)
+                archetypes.append(self._archetypes[code])
+        tables = json.dumps(
+            {"videos": videos, "archetypes": archetypes}
+        ).encode("utf-8")
+        vid_col = np.array(
+            [vid_map[int(c)] for c in self._vid], dtype="<i4"
+        )
+        arch_col = np.array(
+            [arch_map[int(c)] for c in self._arch], dtype="<i4"
+        )
+        parts = [
+            _HEADER.pack(
+                COLUMNAR_MAGIC,
+                _BINARY_VERSION,
+                0,
+                n,
+                len(videos),
+                len(archetypes),
+                len(tables),
+            ),
+            tables,
+            np.ascontiguousarray(self._var_ba, dtype="<f8").tobytes(),
+            np.ascontiguousarray(self._var_oa, dtype="<f8").tobytes(),
+            np.ascontiguousarray(self._shot, dtype="<i4").tobytes(),
+            np.ascontiguousarray(self._start, dtype="<i4").tobytes(),
+            np.ascontiguousarray(self._end, dtype="<i4").tobytes(),
+            vid_col.tobytes(),
+            arch_col.tobytes(),
+        ]
+        body = b"".join(parts)
+        return body + blake2s(body, digest_size=_CHECKSUM_BYTES).digest()
+
+    @classmethod
+    def _parse_binary(
+        cls, data: bytes
+    ) -> tuple[int, list[str], list[str], dict[str, np.ndarray]]:
+        """Validate the binary layout and return (n, tables, columns).
+
+        Raises :class:`IndexError_` on any structural problem — torn
+        tail, checksum mismatch, bad counts, out-of-range codes, NaN or
+        unsorted ``D^v``.
+        """
+        if len(data) < _HEADER.size + _CHECKSUM_BYTES:
+            raise IndexError_(
+                f"binary index truncated: {len(data)} bytes is shorter "
+                "than the fixed header"
+            )
+        magic, version, _flags, n, n_videos, n_arch, tables_len = _HEADER.unpack(
+            data[: _HEADER.size]
+        )
+        if magic != COLUMNAR_MAGIC:
+            raise IndexError_(f"bad binary index magic {magic!r}")
+        if version != _BINARY_VERSION:
+            raise IndexError_(
+                f"unsupported binary index version {version} "
+                f"(this build reads {_BINARY_VERSION})"
+            )
+        row_bytes = sum(np.dtype(dtype).itemsize for _, dtype in _COLUMNS)
+        expected = _HEADER.size + tables_len + n * row_bytes + _CHECKSUM_BYTES
+        if len(data) != expected:
+            raise IndexError_(
+                f"binary index is {len(data)} bytes, header implies "
+                f"{expected} (torn write?)"
+            )
+        body, checksum = data[:-_CHECKSUM_BYTES], data[-_CHECKSUM_BYTES:]
+        if blake2s(body, digest_size=_CHECKSUM_BYTES).digest() != checksum:
+            raise IndexError_("binary index checksum mismatch (corrupt file)")
+        try:
+            tables = json.loads(
+                data[_HEADER.size : _HEADER.size + tables_len].decode("utf-8")
+            )
+            videos = list(tables["videos"])
+            archetypes = list(tables["archetypes"])
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise IndexError_(f"corrupt binary index string tables: {exc}") from exc
+        if len(videos) != n_videos or len(archetypes) != n_arch:
+            raise IndexError_(
+                "binary index string tables disagree with the header counts"
+            )
+        cols: dict[str, np.ndarray] = {}
+        offset = _HEADER.size + tables_len
+        for name, dtype in _COLUMNS:
+            cols[name] = np.frombuffer(data, dtype=dtype, count=n, offset=offset)
+            offset += n * np.dtype(dtype).itemsize
+        if n:
+            if np.isnan(cols["var_ba"]).any() or np.isnan(cols["var_oa"]).any():
+                raise IndexError_("binary index contains NaN variances")
+            if (cols["var_ba"] < 0).any() or (cols["var_oa"] < 0).any():
+                raise IndexError_("binary index contains negative variances")
+            d_v = np.sqrt(cols["var_ba"]) - np.sqrt(cols["var_oa"])
+            if np.isnan(d_v).any():
+                raise IndexError_("binary index contains NaN D^v keys")
+            if (np.diff(d_v) < 0).any():
+                raise IndexError_("binary index D^v column is not sorted")
+            vid = cols["video_idx"]
+            if (vid < 0).any() or (vid >= n_videos).any():
+                raise IndexError_("binary index video codes out of range")
+            arch = cols["archetype_idx"]
+            if (arch < -1).any() or (arch >= n_arch).any():
+                raise IndexError_("binary index archetype codes out of range")
+        return n, videos, archetypes, cols
+
+    @classmethod
+    def validate_bytes(cls, data: bytes) -> None:
+        """Structural + checksum validation (the fsck primitive)."""
+        cls._parse_binary(data)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnarVarianceIndex":
+        """Load the binary column format: O(columns) array reads."""
+        n, videos, archetypes, cols = cls._parse_binary(data)
+        index = cls()
+        index._video_ids = videos
+        index._video_code = {vid: k for k, vid in enumerate(videos)}
+        index._archetypes = archetypes
+        index._archetype_code = {a: k for k, a in enumerate(archetypes)}
+        index._rank_dirty = bool(videos)
+        index._set_columns(
+            {
+                name: np.ascontiguousarray(col, dtype=np.dtype(dtype).newbyteorder("="))
+                for (name, dtype), col in zip(_COLUMNS, cols.values())
+            }
+        )
+        index._prepare()
+        return index
+
+    @classmethod
+    def from_payload_bytes(cls, data: bytes) -> "ColumnarVarianceIndex":
+        """Load either serialization, sniffed by the magic bytes.
+
+        Binary files start with ``RVIX``; anything else is parsed as
+        the legacy JSON document (the readable fallback, auto-migrated
+        to binary on the next save).
+        """
+        if data[: len(COLUMNAR_MAGIC)] == COLUMNAR_MAGIC:
+            return cls.from_bytes(data)
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IndexError_(f"unreadable index payload: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: str | Path, fs: Any = None) -> Path:
+        """Write the binary format via staging → fsync → rename.
+
+        The write goes through the :mod:`repro.vdbms.fsio` seam (pass a
+        fault-injecting ``fs`` to exercise it): a crash at any point
+        leaves either the previous file intact or the new one complete,
+        never a torn index.
+        """
+        if fs is None:
+            from ..vdbms.fsio import LocalFS
+
+            fs = LocalFS()
+        path = Path(path)
+        stage = path.with_name(
+            f".{path.name}.stage-{os.getpid()}-{next(_STAGING_COUNTER):06d}"
+        )
+        try:
+            fs.write_bytes(stage, self.to_bytes())
+            fs.fsync(stage)
+            fs.replace(stage, path)
+        except OSError:
+            fs.unlink(stage)
+            raise
+        fs.fsync_dir(path.parent)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ColumnarVarianceIndex":
+        """Load an index written by :meth:`save` (either format)."""
+        return cls.from_payload_bytes(Path(path).read_bytes())

@@ -16,7 +16,7 @@ reproducing the "three most similar shots" of Figs. 8-10.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..config import QueryConfig
 from ..errors import QueryError
@@ -33,10 +33,18 @@ class VarianceQuery:
     Attributes:
         var_ba: queried background variance ``Var_q^BA``.
         var_oa: queried object-area variance ``Var_q^OA``.
+        sqrt_var_ba: ``sqrt(Var_q^BA)``, cached at construction (a
+            query is compared against every entry in the Eq. 7 band,
+            so recomputing the square roots per comparison is pure
+            waste).
+        d_v: ``D_q^v = sqrt(Var_q^BA) - sqrt(Var_q^OA)``, cached
+            likewise.
     """
 
     var_ba: float
     var_oa: float
+    sqrt_var_ba: float = field(init=False, repr=False, compare=False)
+    d_v: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.var_ba < 0 or self.var_oa < 0:
@@ -44,26 +52,32 @@ class VarianceQuery:
                 f"query variances must be non-negative, got "
                 f"({self.var_ba}, {self.var_oa})"
             )
+        object.__setattr__(self, "sqrt_var_ba", math.sqrt(self.var_ba))
+        object.__setattr__(
+            self, "d_v", self.sqrt_var_ba - math.sqrt(self.var_oa)
+        )
 
     @classmethod
     def from_features(cls, features: FeatureVector) -> "VarianceQuery":
         """Query-by-example: use an indexed shot's vector as the query."""
         return cls(var_ba=features.var_ba, var_oa=features.var_oa)
 
-    @property
-    def sqrt_var_ba(self) -> float:
-        return math.sqrt(self.var_ba)
-
-    @property
-    def d_v(self) -> float:
-        """``D_q^v = sqrt(Var_q^BA) - sqrt(Var_q^OA)``."""
-        return self.sqrt_var_ba - math.sqrt(self.var_oa)
-
     def rank_distance(self, entry: IndexEntry) -> float:
-        """Presentation ranking distance to an entry (not a match test)."""
-        return math.hypot(
-            self.d_v - entry.d_v, self.sqrt_var_ba - entry.sqrt_var_ba
-        )
+        """Presentation ranking distance to an entry (not a match test).
+
+        Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot``:
+        multiply, add, and sqrt are correctly rounded under IEEE 754,
+        so the vectorized columnar engine (numpy, same three
+        operations) produces bit-identical distances — ``hypot``
+        implementations are only accurate to ~1 ulp and may disagree
+        between the scalar and vector paths, which would break the
+        cross-searcher decision-identity contract.  Overflow is not a
+        concern at realistic variance magnitudes (pixel variances are
+        bounded by 255^2).
+        """
+        dx = self.d_v - entry.d_v
+        dy = self.sqrt_var_ba - entry.sqrt_var_ba
+        return math.sqrt(dx * dx + dy * dy)
 
     def rank_key(self, entry: IndexEntry) -> tuple[float, float, float, str, int]:
         """A *total* presentation order over entries.

@@ -17,6 +17,8 @@ import bisect
 import heapq
 import json
 import math
+import os
+from itertools import count as _counter
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -29,6 +31,8 @@ from .table import IndexEntry, IndexTable
 __all__ = ["SortedVarianceIndex"]
 
 _FORMAT_VERSION = 1
+
+_STAGING_COUNTER = _counter(1)
 
 
 def _checked(entry: IndexEntry) -> IndexEntry:
@@ -57,6 +61,7 @@ class SortedVarianceIndex:
             (_checked(entry) for entry in entries), key=lambda e: e.d_v
         )
         self._keys: list[float] = [e.d_v for e in self._entries]
+        self._entries_cache: tuple[IndexEntry, ...] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -77,23 +82,43 @@ class SortedVarianceIndex:
         position = bisect.bisect_left(self._keys, entry.d_v)
         self._entries.insert(position, entry)
         self._keys.insert(position, entry.d_v)
+        self._entries_cache = None
 
     def remove_video(self, video_id: str) -> int:
-        """Drop every entry of one video; returns how many were removed."""
-        kept = [entry for entry in self._entries if entry.video_id != video_id]
+        """Drop every entry of one video; returns how many were removed.
+
+        Entries and keys are rebuilt in one pass, and only when
+        something was actually removed — a miss costs a single scan,
+        not a rebuild.
+        """
+        kept: list[IndexEntry] = []
+        kept_keys: list[float] = []
+        for entry, key in zip(self._entries, self._keys):
+            if entry.video_id != video_id:
+                kept.append(entry)
+                kept_keys.append(key)
         removed = len(self._entries) - len(kept)
         if removed:
             self._entries = kept
-            self._keys = [entry.d_v for entry in kept]
+            self._keys = kept_keys
+            self._entries_cache = None
         return removed
 
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
-    def entries(self) -> list[IndexEntry]:
-        """Entries in ``D^v`` order (copy-safe view)."""
-        return list(self._entries)
+    def entries(self) -> tuple[IndexEntry, ...]:
+        """Entries in ``D^v`` order.
+
+        An immutable cached view: repeated accesses (hot in export and
+        shard-move paths) no longer copy the whole list, and the tuple
+        cannot be mutated out from under the index.
+        """
+        cached = self._entries_cache
+        if cached is None:
+            cached = self._entries_cache = tuple(self._entries)
+        return cached
 
     # ------------------------------------------------------------------
     # queries
@@ -184,10 +209,30 @@ class SortedVarianceIndex:
         ]
         return cls(entries)
 
-    def save(self, path: str | Path) -> Path:
-        """Write the index to a JSON file; returns the path."""
+    def save(self, path: str | Path, fs: Any = None) -> Path:
+        """Write the index to a JSON file; returns the path.
+
+        The write is staged, fsynced, and renamed into place through
+        the :mod:`repro.vdbms.fsio` seam (pass a fault-injecting ``fs``
+        to exercise it): a crash mid-save leaves either the previous
+        file intact or the new one complete, never a torn index.
+        """
+        if fs is None:
+            from ..vdbms.fsio import LocalFS
+
+            fs = LocalFS()
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        stage = path.with_name(
+            f".{path.name}.stage-{os.getpid()}-{next(_STAGING_COUNTER):06d}"
+        )
+        try:
+            fs.write_bytes(stage, json.dumps(self.to_dict()).encode("utf-8"))
+            fs.fsync(stage)
+            fs.replace(stage, path)
+        except OSError:
+            fs.unlink(stage)
+            raise
+        fs.fsync_dir(path.parent)
         return path
 
     @classmethod

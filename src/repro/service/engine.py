@@ -42,6 +42,7 @@ import numpy as np
 from ..config import PipelineConfig, QueryConfig
 from ..errors import (
     CircuitOpenError,
+    QueryError,
     ReproError,
     ServiceOverloadError,
     ServiceTimeout,
@@ -888,6 +889,87 @@ class ServiceEngine:
         self.cache.put(key, payload, generation=generation)
         return payload, False
 
+    #: Upper bound on one batch request's size — a single request must
+    #: not monopolize the read path (or the response body) indefinitely.
+    MAX_BATCH_QUERIES = 256
+
+    def query_batch(
+        self,
+        queries: Any,
+        *,
+        limit: int | None = None,
+        alpha: float | None = None,
+        beta: float | None = None,
+        category: VideoCategory | None = None,
+        deadline: Deadline | None = None,
+    ) -> dict[str, Any]:
+        """Answer a batch of impression queries in one vectorized pass.
+
+        ``queries`` is the request's ``queries`` field: a non-empty
+        list of ``{"var_ba": .., "var_oa": ..}`` objects (at most
+        :data:`MAX_BATCH_QUERIES`).  The whole batch runs under one
+        read-lock acquisition (or one cluster scatter-gather round)
+        bounded by the request ``deadline``, and shares one
+        alpha/beta/limit/category scope.
+
+        The result cache is bypassed: a batch is answered by one index
+        pass, so per-point cache probes would serialize exactly the
+        work batching amortizes.  Per-batch metrics:
+        ``query_batch_requests`` counts calls, ``query_batch_queries``
+        the points answered.
+        """
+        if not isinstance(queries, list) or not queries:
+            raise QueryError("'queries' must be a non-empty list of query objects")
+        if len(queries) > self.MAX_BATCH_QUERIES:
+            raise QueryError(
+                f"batch of {len(queries)} queries exceeds the per-request "
+                f"maximum of {self.MAX_BATCH_QUERIES}"
+            )
+        points: list[tuple[float, float]] = []
+        for k, item in enumerate(queries):
+            if not isinstance(item, dict):
+                raise QueryError(f"query {k} is not an object")
+            try:
+                points.append((float(item["var_ba"]), float(item["var_oa"])))
+            except KeyError as exc:
+                raise QueryError(f"query {k} is missing {exc.args[0]!r}") from exc
+            except (TypeError, ValueError) as exc:
+                raise QueryError(f"query {k} has non-numeric variances") from exc
+        base = self.db.config.query
+        query_config = QueryConfig(
+            alpha=base.alpha if alpha is None else float(alpha),
+            beta=base.beta if beta is None else float(beta),
+        )
+        self.metrics.increment("query_batch_requests")
+        self.metrics.increment("query_batch_queries", len(points))
+        if self.cluster is not None:
+            self._read_timeout(deadline)  # fail fast on a spent budget
+            answers = self.cluster.query_batch(
+                points,
+                limit=limit,
+                category=category,
+                config=query_config,
+                deadline=deadline,
+            )
+            results = []
+            partial = False
+            for answer in answers:
+                payload = self._answer_payload(answer)
+                payload["shards_queried"] = answer.shards_queried
+                payload["shards_failed"] = answer.shards_failed
+                payload["partial"] = answer.partial
+                partial = partial or answer.partial
+                results.append(payload)
+            if partial:
+                self.metrics.increment("cluster_partial_answers")
+            return {"count": len(results), "results": results}
+        with self.lock.read_locked(self._read_timeout(deadline)):
+            answers = self.db.query_batch(
+                points, limit=limit, category=category, config=query_config
+            )
+            results = [self._answer_payload(answer) for answer in answers]
+        return {"count": len(results), "results": results}
+
     @staticmethod
     def _answer_payload(answer: QueryAnswer) -> dict[str, Any]:
         matches = [
@@ -946,7 +1028,7 @@ class ServiceEngine:
         with self.lock.read_locked(self._read_timeout(deadline)):
             self.db.catalog.get(video_id)  # raises CatalogError when unknown
             rows = sorted(
-                (e for e in self.db.index.entries if e.video_id == video_id),
+                self.db.index.entries_for(video_id),
                 key=lambda e: e.shot_number,
             )
             shots = [entry.to_row() for entry in rows]

@@ -40,6 +40,9 @@ class LoadgenConfig:
         ingests: synthetic ingest jobs submitted while queries run.
         query_pool: number of distinct query points clients draw from
             (smaller pool -> higher cache hit rate).
+        batch: when > 0, query requests carry ``batch`` points each to
+            ``POST /query/batch`` (one vectorized pass server-side)
+            instead of one point to ``/query``.
         browse_every: every k-th request per worker is a catalog /
             shots / tree read instead of a query.
         seed: RNG seed for query points and browse choices.
@@ -55,6 +58,7 @@ class LoadgenConfig:
     workers: int = 4
     ingests: int = 2
     query_pool: int = 8
+    batch: int = 0
     browse_every: int = 10
     seed: int = 0
     timeout: float = 30.0
@@ -66,6 +70,8 @@ class LoadgenConfig:
             raise ValueError("n_requests and workers must be >= 1")
         if self.query_pool < 1 or self.browse_every < 2:
             raise ValueError("query_pool must be >= 1 and browse_every >= 2")
+        if self.batch < 0:
+            raise ValueError("batch must be >= 0")
 
 
 def _percentile(sorted_values: list[float], p: float) -> float:
@@ -148,6 +154,20 @@ def _worker(
                 "browse",
                 "GET",
                 f"/videos/{quote(video_id, safe='')}/{leaf}",
+            )
+        elif config.batch > 0:
+            batch = [rng.choice(points) for _ in range(config.batch)]
+            client.request(
+                "query_batch",
+                "POST",
+                "/query/batch",
+                {
+                    "queries": [
+                        {"var_ba": var_ba, "var_oa": var_oa}
+                        for var_ba, var_oa in batch
+                    ],
+                    "limit": 5,
+                },
             )
         else:
             var_ba, var_oa = rng.choice(points)
@@ -254,6 +274,7 @@ def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
             "workers": config.workers,
             "ingests": config.ingests,
             "query_pool": config.query_pool,
+            "batch": config.batch,
             "seed": config.seed,
             "deadline_ms": config.deadline_ms,
         },

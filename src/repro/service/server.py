@@ -230,6 +230,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 pattern("GET /videos/{id}/tree")
                 return 200, engine.tree_payload(video_id, deadline=self._deadline)
             raise _HTTPProblem(404, f"unknown video resource {leaf!r}")
+        if method == "POST" and segments == ["query", "batch"]:
+            pattern("POST /query/batch")
+            body = self._json_body()
+            payload = engine.query_batch(
+                body.get("queries"),
+                limit=self._int_param(body, "limit"),
+                alpha=self._optional_float(body, "alpha"),
+                beta=self._optional_float(body, "beta"),
+                deadline=self._deadline,
+            )
+            return 200, payload
         if segments == ["query"]:
             pattern(f"{method} /query")
             if method == "GET":

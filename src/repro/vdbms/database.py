@@ -16,13 +16,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 from ..config import PipelineConfig, QueryConfig
-from ..errors import CatalogError, StorageError
+from ..errors import CatalogError, IndexError_, StorageError
+from ..index.columnar import ColumnarVarianceIndex
 from ..index.query import VarianceQuery
 from ..index.routing import SceneRoute, route_to_scene_nodes
-from ..index.sorted_index import SortedVarianceIndex
 from ..index.table import IndexEntry, IndexTable
 from ..scenetree.browse import BrowsingSession
 from ..scenetree.builder import SceneTreeBuilder
@@ -98,7 +98,7 @@ class VideoDatabase:
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self.config = config or PipelineConfig()
         self.catalog = Catalog()
-        self.index = SortedVarianceIndex()
+        self.index = ColumnarVarianceIndex()
         self.trees: dict[str, SceneTree] = {}
         self.detections: dict[str, DetectionResult] = {}
         #: Videos dropped by a recovering load (see :meth:`load`).
@@ -253,6 +253,53 @@ class VideoDatabase:
         routes = route_to_scene_nodes(matches, self.trees)
         return QueryAnswer(matches=matches, routes=routes)
 
+    def query_batch(
+        self,
+        points: Sequence[tuple[float, float]],
+        limit: int | None = None,
+        category: VideoCategory | None = None,
+        config: QueryConfig | None = None,
+        with_routes: bool = True,
+        exclude_shots: Sequence[tuple[str, int] | None] | None = None,
+    ) -> list[QueryAnswer]:
+        """Answer B impression queries in one vectorized index pass.
+
+        Equivalent to ``[self.query(ba, oa, ...) for ba, oa in
+        points]`` (asserted by the property suite), but the columnar
+        engine answers the whole batch with shared searchsorted calls,
+        one flat Eq. 8 mask, and a single ranking sort — the per-call
+        overhead that dominates small top-k queries is paid once.
+
+        Args:
+            points: ``(var_ba, var_oa)`` pairs, one per query.
+            limit: per-query top-k cap (pushed down into the batch
+                pass when no category filter is active).
+            category: optional classification scope shared by the batch.
+            config: per-batch alpha/beta override.
+            with_routes: as in :meth:`query`.
+            exclude_shots: optional per-query exclusions, aligned with
+                ``points`` (query-by-example probes).
+        """
+        queries = [VarianceQuery(var_ba=ba, var_oa=oa) for ba, oa in points]
+        batched = self.index.search_batch(
+            queries,
+            config=config or self.config.query,
+            limit=limit if category is None else None,
+            exclude_shots=exclude_shots,
+        )
+        answers: list[QueryAnswer] = []
+        allowed: set[str] | None = None
+        if category is not None:
+            allowed = {entry.video_id for entry in self.catalog.in_category(category)}
+        for matches in batched:
+            if allowed is not None:
+                matches = [m for m in matches if m.video_id in allowed]
+                if limit is not None:
+                    matches = matches[:limit]
+            routes = route_to_scene_nodes(matches, self.trees) if with_routes else []
+            answers.append(QueryAnswer(matches=matches, routes=routes))
+        return answers
+
     def query_by_shot(
         self,
         video_id: str,
@@ -282,7 +329,7 @@ class VideoDatabase:
         entry = self.catalog.remove(video_id)  # raises CatalogError when unknown
         tree = self.trees.pop(video_id, None)
         detection = self.detections.pop(video_id, None)
-        index_entries = [e for e in self.index.entries if e.video_id == video_id]
+        index_entries = self.index.entries_for(video_id)
         removed = self.index.remove_video(video_id)
         if self._storage is not None:
             try:
@@ -314,9 +361,7 @@ class VideoDatabase:
         entry = self.catalog.get(video_id)  # raises CatalogError when unknown
         if video_id not in self.trees:
             raise CatalogError(f"video {video_id!r} has no scene tree")
-        index_entries = tuple(
-            e for e in self.index.entries if e.video_id == video_id
-        )
+        index_entries = tuple(self.index.entries_for(video_id))
         return VideoRecord(
             entry=entry, tree=self.trees[video_id], index_entries=index_entries
         )
@@ -365,10 +410,10 @@ class VideoDatabase:
 
     def shot_entry(self, video_id: str, shot_number: int) -> IndexEntry:
         """The index entry of one shot (1-based shot number)."""
-        for entry in self.index.entries:
-            if entry.video_id == video_id and entry.shot_number == shot_number:
-                return entry
-        raise CatalogError(f"no indexed shot #{shot_number} in {video_id!r}")
+        entry = self.index.lookup(video_id, shot_number)
+        if entry is None:
+            raise CatalogError(f"no indexed shot #{shot_number} in {video_id!r}")
+        return entry
 
     def shots(self, video_id: str) -> list[Shot]:
         """The detected shots of one video."""
@@ -418,10 +463,12 @@ class VideoDatabase:
         storage.publish(self._full_state_payloads())
         return storage.root
 
-    def _full_state_payloads(self) -> dict[str, dict]:
-        payloads: dict[str, dict] = {
+    def _full_state_payloads(self) -> dict[str, Any]:
+        payloads: dict[str, Any] = {
             "catalog": self.catalog.to_dict(),
-            "index": self.index.to_dict(),
+            # Pre-serialized binary columns; the storage layer writes
+            # bytes payloads verbatim.
+            "index": self.index.to_bytes(),
         }
         for video_id, tree in self.trees.items():
             payloads[TREE_PREFIX + video_id] = scene_tree_to_dict(tree)
@@ -437,9 +484,9 @@ class VideoDatabase:
         assert self._storage is not None
         manifest = self._storage.current_manifest()
         tracked = set(manifest.files) if manifest is not None else set()
-        payloads: dict[str, dict] = {
+        payloads: dict[str, Any] = {
             "catalog": self.catalog.to_dict(),
-            "index": self.index.to_dict(),
+            "index": self.index.to_bytes(),
         }
         keep: list[str] = []
         for video_id, tree in self.trees.items():
@@ -520,9 +567,16 @@ class VideoDatabase:
                 db.quarantined.append(video_id)
             return db
         db.catalog = Catalog.from_dict(storage.verified_json("catalog", manifest))
-        db.index = SortedVarianceIndex.from_dict(
-            storage.verified_json("index", manifest)
-        )
+        index_bytes = storage.verified_bytes("index", manifest)
+        try:
+            # Binary columns or the legacy JSON document, sniffed by
+            # the magic bytes; a JSON index migrates on the next save.
+            db.index = ColumnarVarianceIndex.from_payload_bytes(index_bytes)
+        except IndexError_ as exc:
+            raise StorageError(
+                f"corrupt database file "
+                f"{storage.root / manifest.files['index'].path}: {exc}"
+            ) from exc
         bad: list[str] = []
         for video_id in db.catalog.ids():
             try:

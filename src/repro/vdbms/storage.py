@@ -3,7 +3,10 @@
     <root>/
       manifest.json               the commit point (see vdbms.manifest)
       catalog-g<NNNNNNNN>.json    the video catalog, one file per write
-      index-g<NNNNNNNN>.json      the sorted variance index
+      index-g<NNNNNNNN>.bin       the variance index (binary columns;
+                                  legacy databases may still hold a
+                                  readable index-g<NNNNNNNN>.json,
+                                  migrated on their next save)
       trees/<id>-g<NNNNNNNN>.json one scene tree per video
       videos/<id>.rvid            raw clips (optional; large; untracked)
       staging/                    in-flight writes (pid + counter names)
@@ -35,8 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
-from ..errors import StorageError, StorageIntegrityError
-from ..index.sorted_index import SortedVarianceIndex
+from ..errors import IndexError_, StorageError, StorageIntegrityError
+from ..index.columnar import COLUMNAR_MAGIC, ColumnarVarianceIndex
 from ..scenetree.nodes import SceneTree
 from ..scenetree.serialize import scene_tree_from_dict, scene_tree_to_dict
 from ..video.clip import VideoClip
@@ -83,7 +86,8 @@ class FileCheck:
     """The verdict on one tracked file.
 
     ``status`` is one of ``ok``, ``missing``, ``size-mismatch``,
-    ``checksum-mismatch``, ``corrupt-json``, ``legacy-ok``.
+    ``checksum-mismatch``, ``corrupt-json``, ``corrupt-binary``,
+    ``legacy-ok``.
     """
 
     logical: str
@@ -208,13 +212,19 @@ class DatabaseStorage:
         record = manifest.files.get(TREE_PREFIX + video_id)
         return self.root / record.path if record is not None else None
 
-    def _target_relpath(self, logical: str, generation: int) -> str:
-        """Where a freshly-written component of one publish lives."""
+    def _target_relpath(self, logical: str, generation: int, data: bytes = b"") -> str:
+        """Where a freshly-written component of one publish lives.
+
+        The index extension follows the serialization actually being
+        written (sniffed from the payload's magic bytes): ``.bin`` for
+        the binary column format, ``.json`` for the readable fallback.
+        """
         suffix = f"g{generation:08d}"
         if logical == "catalog":
             return f"catalog-{suffix}.json"
         if logical == "index":
-            return f"index-{suffix}.json"
+            ext = "bin" if data.startswith(COLUMNAR_MAGIC) else "json"
+            return f"index-{suffix}.{ext}"
         if logical.startswith(TREE_PREFIX):
             video_id = logical[len(TREE_PREFIX):]
             return f"trees/{_safe_id(video_id)}-{suffix}.json"
@@ -306,7 +316,9 @@ class DatabaseStorage:
         new_files: dict[str, FileRecord] = {}
         to_write: dict[str, bytes] = {}
         for logical, payload in payloads.items():
-            data = _json_bytes(payload)
+            # Components may hand over pre-serialized bytes (the binary
+            # index) or a JSON-compatible document.
+            data = payload if isinstance(payload, bytes) else _json_bytes(payload)
             digest = digest_bytes(data)
             prior = old_files.get(logical)
             if (
@@ -318,7 +330,7 @@ class DatabaseStorage:
                 new_files[logical] = prior
                 continue
             record = FileRecord(
-                path=self._target_relpath(logical, generation),
+                path=self._target_relpath(logical, generation, data),
                 blake2s=digest,
                 n_bytes=len(data),
             )
@@ -428,6 +440,7 @@ class DatabaseStorage:
         found: list[Path] = []
         found.extend(self.root.glob("catalog*.json"))
         found.extend(self.root.glob("index*.json"))
+        found.extend(self.root.glob("index*.bin"))
         trees = self.root / "trees"
         if trees.is_dir():
             found.extend(trees.glob("*.json"))
@@ -439,8 +452,8 @@ class DatabaseStorage:
     # verified reads
     # ------------------------------------------------------------------
 
-    def verified_json(self, logical: str, manifest: Manifest) -> dict[str, Any]:
-        """Read one tracked file, checking size and digest first.
+    def verified_bytes(self, logical: str, manifest: Manifest) -> bytes:
+        """Read one tracked file's raw bytes, checking size and digest.
 
         Raises :class:`StorageError` when the manifest does not track
         ``logical`` or the file is missing, and
@@ -470,11 +483,19 @@ class DatabaseStorage:
                 f"{path}: blake2s digest does not match the manifest "
                 f"(corrupt {logical!r})"
             )
+        return data
+
+    def verified_json(self, logical: str, manifest: Manifest) -> dict[str, Any]:
+        """Read one tracked JSON file (see :meth:`verified_bytes`)."""
+        data = self.verified_bytes(logical, manifest)
         try:
             return json.loads(data)
         except json.JSONDecodeError as exc:  # pragma: no cover - digest
             # matched, so this means the *writer* serialized bad JSON
-            raise StorageError(f"corrupt database file {path}: {exc}") from exc
+            record = manifest.files[logical]
+            raise StorageError(
+                f"corrupt database file {self.root / record.path}: {exc}"
+            ) from exc
 
     def _read_json(self, path: Path) -> dict[str, Any]:
         """Legacy unverified read (manifest-less directories)."""
@@ -509,15 +530,38 @@ class DatabaseStorage:
         """Load the catalog, digest-verified when a manifest exists."""
         return Catalog.from_dict(self._load_json("catalog", self.catalog_path))
 
-    def save_index(self, index: SortedVarianceIndex) -> None:
-        """Atomically commit the variance index."""
-        self._publish_single("index", index.to_dict())
+    def save_index(self, index: Any) -> None:
+        """Atomically commit the variance index.
 
-    def load_index(self) -> SortedVarianceIndex:
-        """Load the variance index, digest-verified when possible."""
-        return SortedVarianceIndex.from_dict(
-            self._load_json("index", self.index_path)
+        A :class:`ColumnarVarianceIndex` is written in its checksummed
+        binary column format; anything exposing only ``to_dict`` (the
+        legacy sorted index) falls back to JSON.
+        """
+        payload = (
+            index.to_bytes() if hasattr(index, "to_bytes") else index.to_dict()
         )
+        self._publish_single("index", payload)
+
+    def load_index(self) -> ColumnarVarianceIndex:
+        """Load the variance index, digest-verified when possible.
+
+        Reads either serialization (binary columns or the legacy JSON
+        document, sniffed by the magic bytes); the next save migrates a
+        JSON index to binary.
+        """
+        manifest = self.read_manifest()
+        if manifest is None:
+            path = self.index_path
+            if not path.exists():
+                raise StorageError(f"missing database file {path}")
+            data = path.read_bytes()
+        else:
+            data = self.verified_bytes("index", manifest)
+            path = self.root / manifest.files["index"].path
+        try:
+            return ColumnarVarianceIndex.from_payload_bytes(data)
+        except IndexError_ as exc:
+            raise StorageError(f"corrupt database file {path}: {exc}") from exc
 
     def save_tree(self, tree: SceneTree, video_id: str) -> None:
         """Atomically commit one video's scene tree."""
@@ -652,6 +696,13 @@ class DatabaseStorage:
             )
         if digest_bytes(data) != record.blake2s:
             return "checksum-mismatch", "blake2s digest does not match the manifest"
+        if data.startswith(COLUMNAR_MAGIC):
+            try:
+                ColumnarVarianceIndex.validate_bytes(data)
+            except IndexError_ as exc:  # pragma: no cover - digest
+                # matched, so this means the *writer* produced bad columns
+                return "corrupt-binary", str(exc)
+            return "ok", ""
         try:
             json.loads(data)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:  # pragma: no cover
