@@ -18,9 +18,16 @@ synthetic corpora of 10k and 100k shots:
 * **open() latency** — deserializing the checksummed binary column
   format vs parsing the JSON document of the same index.
 
+A fourth section bounds the cost of the tracing layer
+(docs/OBSERVABILITY.md): with tracing disabled, the instrumented read
+path pays one thread-local ``current_trace()`` read per stage, and the
+bench asserts that bound stays under 3% of query cost.  ``--overhead``
+runs just that gate (fast, for CI).
+
 Acceptance bars (asserted by ``main()``, relaxed under ``--smoke``):
 single-query >= 10x at 100k shots, batch-of-64 >= 3x sequential at
-2k shots, binary open() faster than JSON.
+2k shots, binary open() faster than JSON, disabled-tracing overhead
+bound <= 3%.
 
 Run as a bench:
 
@@ -164,6 +171,74 @@ def run_open_bench(entries: list[IndexEntry], rounds: int = 5) -> dict[str, Any]
     }
 
 
+# Guard sites one traced request crosses on the single-database read path
+# (request, cache.get, service.lock_wait, db.query, index.search, db.routes,
+# plus slack for batch/cluster spans) — the disabled-overhead bound charges
+# this many thread-local reads per query.
+GUARD_SITES = 8
+
+MAX_DISABLED_OVERHEAD_PCT = 3.0
+
+
+def run_overhead_bench(
+    n_shots: int = 20_000, n_queries: int = 200, rounds: int = 5
+) -> dict[str, Any]:
+    """Cost of the tracing layer (docs/OBSERVABILITY.md).
+
+    Two numbers:
+
+    * ``disabled_overhead_pct`` — the asserted bar.  With tracing off,
+      every instrumented stage pays exactly one ``current_trace()``
+      thread-local read (the span guard); the bound times that read in
+      isolation and charges :data:`GUARD_SITES` reads per query against
+      the measured untraced query cost.  This is an *upper* bound: real
+      queries cross fewer guard sites than the constant assumes.
+    * ``traced_overhead_pct`` — informational: full span bookkeeping
+      (begin/end, annotations, tree assembly) on the index search loop,
+      the worst case because the traced work is tiny.
+    """
+    from repro.obs import TraceContext, current_trace, tracing
+
+    columnar = ColumnarVarianceIndex(build_entries(n_shots))
+    queries = build_queries(n_queries, seed=23)
+
+    untraced_s = _best_of(
+        lambda: [columnar.search(q, limit=LIMIT) for q in queries], rounds
+    )
+
+    def traced() -> None:
+        ctx = TraceContext(name="bench")
+        with tracing(ctx):
+            for q in queries:
+                columnar.search(q, limit=LIMIT)
+        ctx.finish()
+
+    traced_s = _best_of(traced, rounds)
+
+    guard_calls = 100_000
+
+    def guard_loop() -> None:
+        for _ in range(guard_calls):
+            current_trace()
+
+    guard_s = _best_of(guard_loop, rounds)
+    guard_per_call_s = guard_s / guard_calls
+    per_query_s = untraced_s / n_queries
+    disabled_pct = 100.0 * (GUARD_SITES * guard_per_call_s) / per_query_s
+    return {
+        "n_shots": n_shots,
+        "n_queries": n_queries,
+        "guard_sites": GUARD_SITES,
+        "guard_ns": round(guard_per_call_s * 1e9, 1),
+        "untraced_query_us": round(per_query_s * 1e6, 2),
+        "disabled_overhead_pct": round(disabled_pct, 3),
+        "traced_overhead_pct": round(
+            100.0 * (traced_s - untraced_s) / untraced_s, 1
+        ),
+        "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+    }
+
+
 def run_query_bench(
     corpus_sizes: tuple[int, ...] = (2_000, 10_000, 100_000),
     n_queries: int = 100,
@@ -181,6 +256,7 @@ def run_query_bench(
             run_batch_bench(corpora[n], rounds=max(rounds, 5)) for n in corpus_sizes
         ],
         "open": [run_open_bench(corpora[n]) for n in corpus_sizes],
+        "overhead": run_overhead_bench(rounds=rounds),
         "asserted_corpora": {"single": largest, "batch": smallest, "open": largest},
     }
 
@@ -211,6 +287,13 @@ def check_acceptance(report: dict[str, Any], smoke: bool = False) -> None:
     assert opened >= min_open, (
         f"binary open() speedup {opened}x below {min_open}x"
     )
+    overhead = report.get("overhead")
+    if overhead is not None:
+        disabled = overhead["disabled_overhead_pct"]
+        assert disabled <= MAX_DISABLED_OVERHEAD_PCT, (
+            f"disabled-tracing overhead bound {disabled}% exceeds "
+            f"{MAX_DISABLED_OVERHEAD_PCT}%"
+        )
 
 
 def bench_query_engine(benchmark):
@@ -227,9 +310,27 @@ def bench_query_engine(benchmark):
     benchmark.extra_info["open_speedup"] = _bar(report, "open")
 
 
+def _print_overhead(row: dict[str, Any]) -> None:
+    print(
+        f"overhead: guard {row['guard_ns']}ns x {row['guard_sites']} sites "
+        f"over {row['untraced_query_us']}us/query -> "
+        f"{row['disabled_overhead_pct']}% disabled bound "
+        f"(traced: +{row['traced_overhead_pct']}%)"
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     args = argv if argv is not None else sys.argv[1:]
     smoke = "--smoke" in args
+    if "--overhead" in args:
+        # Fast CI gate: just the disabled-tracing overhead bound.
+        row = run_overhead_bench(n_shots=10_000, n_queries=100, rounds=3)
+        _print_overhead(row)
+        assert row["disabled_overhead_pct"] <= MAX_DISABLED_OVERHEAD_PCT, (
+            f"disabled-tracing overhead bound {row['disabled_overhead_pct']}% "
+            f"exceeds {MAX_DISABLED_OVERHEAD_PCT}%"
+        )
+        return
     if smoke:
         report = run_query_bench(
             corpus_sizes=(2_000, 20_000), n_queries=50, rounds=2
@@ -252,6 +353,7 @@ def main(argv: list[str] | None = None) -> None:
             f"open   {row['n_shots']:>7} shots: json {row['json_open_ms']:.3f}ms vs "
             f"binary {row['binary_open_ms']:.3f}ms ({row['speedup']}x)"
         )
+    _print_overhead(report["overhead"])
     check_acceptance(report, smoke=smoke)
     if not smoke:
         out = Path(__file__).resolve().parent.parent / "BENCH_query.json"

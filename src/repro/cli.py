@@ -266,6 +266,25 @@ def _print_answer(answer) -> None:
         )
 
 
+def _explain_context():
+    """A fresh trace context for ``query --explain`` (None when off)."""
+    from .obs import TraceContext
+
+    return TraceContext(name="query")
+
+
+def _print_explain(db, ctx) -> None:
+    """Render the finished trace plus index statistics (EXPLAIN output)."""
+    from .obs import render_index_stats, render_trace
+
+    print()
+    print(render_trace(ctx.finish()))
+    index = getattr(db, "index", None)
+    if index is not None and hasattr(index, "stats"):
+        print()
+        print(render_index_stats(index.stats()))
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
@@ -277,7 +296,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     db = _load_existing(args.db)
     if args.batch_file is None:
-        _print_answer(db.ask(args.text))
+        if args.explain:
+            from .obs import tracing
+
+            ctx = _explain_context()
+            with tracing(ctx):
+                answer = db.ask(args.text)
+            _print_answer(answer)
+            _print_explain(db, ctx)
+        else:
+            _print_answer(db.ask(args.text))
         return 0
     # Batch path: a JSON list of {"var_ba", "var_oa"} points (or an
     # object wrapping one under "queries", with an optional "limit"),
@@ -303,10 +331,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except (TypeError, KeyError, ValueError) as exc:
         print(f"error: bad batch query object: {exc!r}", file=sys.stderr)
         return 2
-    answers = db.query_batch(points, limit=limit)
+    if args.explain:
+        from .obs import tracing
+
+        ctx = _explain_context()
+        with tracing(ctx):
+            answers = db.query_batch(points, limit=limit)
+    else:
+        answers = db.query_batch(points, limit=limit)
     for k, ((var_ba, var_oa), answer) in enumerate(zip(points, answers), start=1):
         print(f"query {k}: Var^BA={var_ba:g} Var^OA={var_oa:g}")
         _print_answer(answer)
+    if args.explain:
+        _print_explain(db, ctx)
     return 0
 
 
@@ -392,6 +429,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.default_deadline,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset,
+        trace_capacity=args.trace_capacity,
+        slow_query_ms=args.slow_query_ms,
     )
     if args.demo:
         have = (
@@ -803,6 +842,13 @@ def _build_parser() -> argparse.ArgumentParser:
         '{"var_ba": .., "var_oa": ..} objects (or {"queries": [...], '
         '"limit": ..}) answered in one vectorized pass',
     )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query's span tree (band-probe bounds, candidate "
+        "and pruned counts, kernel choice, per-stage timings) plus "
+        "index statistics after the results (docs/OBSERVABILITY.md)",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
@@ -876,6 +922,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         metavar="S",
         help="seconds to let in-flight ingests finish on SIGTERM/shutdown",
+    )
+    p.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="recent request traces retained for GET /debug/traces "
+        "(0 disables tracing entirely)",
+    )
+    p.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log requests slower than MS and pin their traces in a "
+        "separate slow-trace ring (default: off)",
     )
     add_extraction_flags(p)
     p.set_defaults(func=_cmd_serve)

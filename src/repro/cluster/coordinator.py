@@ -52,6 +52,7 @@ from ..errors import (
 from ..index.query import VarianceQuery
 from ..index.routing import SceneRoute, route_to_scene_nodes
 from ..index.table import IndexEntry
+from ..obs import attach as _attach, current_trace as _current_trace, span as _span
 from ..scenetree.nodes import SceneTree
 from ..service.resilience import Deadline
 from ..vdbms.catalog import CatalogEntry
@@ -471,29 +472,37 @@ class ClusterCoordinator:
         candidates that lose the merge cost no route work.
         """
         query = VarianceQuery(var_ba=var_ba, var_oa=var_oa)
+        ctx = _current_trace()
+        scatter = ctx.begin("cluster.scatter") if ctx is not None else None
 
         def one(shard: Shard) -> tuple[list[IndexEntry], dict[str, SceneTree]]:
-            shard.check_up("query")
-            timeout = None if deadline is None else deadline.remaining()
-            with shard.lock.read_locked(timeout):
-                answer = shard.db.query(
-                    var_ba,
-                    var_oa,
-                    limit=limit,
-                    category=category,
-                    exclude_shot=exclude_shot,
-                    config=config,
-                    with_routes=False,
-                )
-                # Immutable snapshots for post-merge routing: captured
-                # under the lock, so they match the matches even if a
-                # rebalance removes the video from this shard later.
-                trees = {
-                    m.video_id: shard.db.trees[m.video_id]
-                    for m in answer.matches
-                }
-            shard.queries += 1
-            return answer.matches, trees
+            # Re-attach the trace on pool workers so per-shard spans
+            # parent under the scatter span (no-op when untraced).
+            with _attach(ctx, scatter):
+                with _span("shard.query", shard=shard.name) as shard_span:
+                    shard.check_up("query")
+                    timeout = None if deadline is None else deadline.remaining()
+                    with shard.lock.read_locked(timeout):
+                        answer = shard.db.query(
+                            var_ba,
+                            var_oa,
+                            limit=limit,
+                            category=category,
+                            exclude_shot=exclude_shot,
+                            config=config,
+                            with_routes=False,
+                        )
+                        # Immutable snapshots for post-merge routing:
+                        # captured under the lock, so they match the
+                        # matches even if a rebalance removes the video
+                        # from this shard later.
+                        trees = {
+                            m.video_id: shard.db.trees[m.video_id]
+                            for m in answer.matches
+                        }
+                    shard.queries += 1
+                    shard_span.annotate(matches=len(answer.matches))
+                    return answer.matches, trees
 
         # Seqlock read side: a scatter is a non-atomic multi-shard
         # snapshot, so a concurrent move could in principle hide its
@@ -570,7 +579,20 @@ class ClusterCoordinator:
                 break
             if deadline is not None and deadline.remaining() <= 0:
                 break  # out of budget; the partial/merged answer stands
-        return self._merge(query, entries, trees, limit, ok, failed)
+        if scatter is not None:
+            scatter.annotate(
+                fan_out=len(shards),
+                shards_ok=ok,
+                attempts=_attempt + 1,
+                gathered=len(entries),
+            )
+            if failed:
+                scatter.annotate(shards_failed=[f["shard"] for f in failed])
+            scatter.end()
+        with _span("cluster.merge", gathered=len(entries)) as merge_span:
+            answer = self._merge(query, entries, trees, limit, ok, failed)
+            merge_span.annotate(returned=len(answer.matches))
+        return answer
 
     def query_batch(
         self,
@@ -592,25 +614,34 @@ class ClusterCoordinator:
         """
         queries = [VarianceQuery(var_ba=ba, var_oa=oa) for ba, oa in points]
         n_queries = len(queries)
+        ctx = _current_trace()
+        scatter = ctx.begin("cluster.scatter") if ctx is not None else None
+        if scatter is not None:
+            scatter.annotate(n_queries=n_queries)
 
         def one(shard: Shard) -> tuple[list[list[IndexEntry]], dict[str, SceneTree]]:
-            shard.check_up("query")
-            timeout = None if deadline is None else deadline.remaining()
-            with shard.lock.read_locked(timeout):
-                answers = shard.db.query_batch(
-                    points,
-                    limit=limit,
-                    category=category,
-                    config=config,
-                    with_routes=False,
-                )
-                trees = {
-                    m.video_id: shard.db.trees[m.video_id]
-                    for answer in answers
-                    for m in answer.matches
-                }
-            shard.queries += 1
-            return [answer.matches for answer in answers], trees
+            with _attach(ctx, scatter):
+                with _span("shard.query_batch", shard=shard.name) as shard_span:
+                    shard.check_up("query")
+                    timeout = None if deadline is None else deadline.remaining()
+                    with shard.lock.read_locked(timeout):
+                        answers = shard.db.query_batch(
+                            points,
+                            limit=limit,
+                            category=category,
+                            config=config,
+                            with_routes=False,
+                        )
+                        trees = {
+                            m.video_id: shard.db.trees[m.video_id]
+                            for answer in answers
+                            for m in answer.matches
+                        }
+                    shard.queries += 1
+                    shard_span.annotate(
+                        matches=sum(len(answer.matches) for answer in answers)
+                    )
+                    return [answer.matches for answer in answers], trees
 
         # Same seqlock read side as ``query`` — one retry loop covers
         # the whole batch, since the scatter is still a single
@@ -685,10 +716,25 @@ class ClusterCoordinator:
                 break
             if deadline is not None and deadline.remaining() <= 0:
                 break  # out of budget; the partial/merged answers stand
-        return [
-            self._merge(query, entries, trees, limit, ok, list(failed))
-            for query, entries in zip(queries, per_query)
-        ]
+        if scatter is not None:
+            scatter.annotate(
+                fan_out=len(shards),
+                shards_ok=ok,
+                attempts=_attempt + 1,
+                gathered=sum(len(bucket) for bucket in per_query),
+            )
+            if failed:
+                scatter.annotate(shards_failed=[f["shard"] for f in failed])
+            scatter.end()
+        with _span("cluster.merge", n_queries=n_queries) as merge_span:
+            merged = [
+                self._merge(query, entries, trees, limit, ok, list(failed))
+                for query, entries in zip(queries, per_query)
+            ]
+            merge_span.annotate(
+                returned=sum(len(answer.matches) for answer in merged)
+            )
+        return merged
 
     @staticmethod
     def _merge(

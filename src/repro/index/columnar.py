@@ -65,6 +65,7 @@ import numpy as np
 from ..config import QueryConfig
 from ..errors import IndexError_
 from ..features.vector import FeatureVector
+from ..obs import current_trace as _current_trace
 from .query import VarianceQuery
 from .sorted_index import _checked
 from .table import IndexEntry, IndexTable
@@ -336,6 +337,25 @@ class ColumnarVarianceIndex:
     def __len__(self) -> int:
         return int(self._var_ba.shape[0]) + len(self._pending)
 
+    def stats(self) -> dict[str, Any]:
+        """Index shape summary for ``repro query --explain``.
+
+        Read-only: reports the pending-buffer depth as-is instead of
+        forcing a merge."""
+        rows = int(self._var_ba.shape[0])
+        stats: dict[str, Any] = {
+            "rows": rows,
+            "pending": len(self._pending),
+            "videos": len(self._video_ids),
+            "archetypes": len(self._archetypes),
+            "merge_threshold": self._merge_threshold,
+        }
+        if rows:
+            # _d_v is sorted, so the endpoints are the Eq. 7 domain.
+            stats["d_v_range"] = [float(self._d_v[0]), float(self._d_v[-1])]
+            stats["sqrt_var_ba_max"] = float(self._sqrt_ba.max())
+        return stats
+
     # ------------------------------------------------------------------
     # entry materialization
     # ------------------------------------------------------------------
@@ -434,47 +454,76 @@ class ColumnarVarianceIndex:
         distance + lexsort reproducing ``VarianceQuery.rank_key``.
         """
         config = config or QueryConfig()
-        self._prepare()
-        q_dv, q_sba = query.d_v, query.sqrt_var_ba
-        lo, hi = self._band(q_dv - config.alpha, q_dv + config.alpha)
-        if lo >= hi:
-            return []
-        sba = self._sqrt_ba[lo:hi]
-        mask = (sba >= q_sba - config.beta) & (sba <= q_sba + config.beta)
-        if exclude_shot is not None:
-            ex_code = self._video_code.get(exclude_shot[0], -1)
-            if ex_code >= 0:
-                mask &= ~(
-                    (self._vid[lo:hi] == ex_code)
-                    & (self._shot[lo:hi] == exclude_shot[1])
+        ctx = _current_trace()
+        span = ctx.begin("index.search") if ctx is not None else None
+        try:
+            pending = len(self._pending)
+            self._prepare()
+            q_dv, q_sba = query.d_v, query.sqrt_var_ba
+            lo, hi = self._band(q_dv - config.alpha, q_dv + config.alpha)
+            if span is not None:
+                # Annotations only echo values already computed above —
+                # the traced and untraced paths take identical decisions.
+                span.annotate(
+                    kernel="single",
+                    band_low=q_dv - config.alpha,
+                    band_high=q_dv + config.alpha,
+                    band_rows=hi - lo,
+                    pending_merged=pending,
                 )
-        cand = np.nonzero(mask)[0]
-        if cand.size == 0:
-            return []
-        cand += lo
-        d_v = self._d_v[cand]
-        sqrt_ba = self._sqrt_ba[cand]
-        dx = q_dv - d_v
-        dy = q_sba - sqrt_ba
-        dist = np.sqrt(dx * dx + dy * dy)
-        if limit is not None and 0 < limit < cand.size:
-            # Top-k prune before the ranking sort: keep everything tied
-            # with the k-th smallest distance (ties at the bar are
-            # resolved by the tie-rank sort below), so the result is
-            # exactly the first k of the full ranking.
-            bar = np.partition(dist, limit - 1)[limit - 1]
-            keep = dist <= bar
-            cand = cand[keep]
-            dist = dist[keep]
-        tie = self._tie_ranks()[cand]
-        # (distance, tie_rank) via two argsorts — tie_rank is unique
-        # per row (no stability needed on the first pass), so this
-        # reproduces the full rank_key order.
-        ord0 = np.argsort(tie)
-        order = ord0[np.argsort(dist[ord0], kind="stable")]
-        if limit is not None:
-            order = order[:limit]
-        return [self._entry_at(i) for i in cand[order]]
+            if lo >= hi:
+                if span is not None:
+                    span.annotate(candidates=0, pruned=0, returned=0)
+                return []
+            sba = self._sqrt_ba[lo:hi]
+            mask = (sba >= q_sba - config.beta) & (sba <= q_sba + config.beta)
+            if exclude_shot is not None:
+                ex_code = self._video_code.get(exclude_shot[0], -1)
+                if ex_code >= 0:
+                    mask &= ~(
+                        (self._vid[lo:hi] == ex_code)
+                        & (self._shot[lo:hi] == exclude_shot[1])
+                    )
+            cand = np.nonzero(mask)[0]
+            if span is not None:
+                span.annotate(
+                    candidates=int(cand.size),
+                    pruned=(hi - lo) - int(cand.size),
+                )
+            if cand.size == 0:
+                if span is not None:
+                    span.annotate(returned=0)
+                return []
+            cand += lo
+            d_v = self._d_v[cand]
+            sqrt_ba = self._sqrt_ba[cand]
+            dx = q_dv - d_v
+            dy = q_sba - sqrt_ba
+            dist = np.sqrt(dx * dx + dy * dy)
+            if limit is not None and 0 < limit < cand.size:
+                # Top-k prune before the ranking sort: keep everything tied
+                # with the k-th smallest distance (ties at the bar are
+                # resolved by the tie-rank sort below), so the result is
+                # exactly the first k of the full ranking.
+                bar = np.partition(dist, limit - 1)[limit - 1]
+                keep = dist <= bar
+                cand = cand[keep]
+                dist = dist[keep]
+            tie = self._tie_ranks()[cand]
+            # (distance, tie_rank) via two argsorts — tie_rank is unique
+            # per row (no stability needed on the first pass), so this
+            # reproduces the full rank_key order.
+            ord0 = np.argsort(tie)
+            order = ord0[np.argsort(dist[ord0], kind="stable")]
+            if limit is not None:
+                order = order[:limit]
+            result = [self._entry_at(i) for i in cand[order]]
+            if span is not None:
+                span.annotate(returned=len(result))
+            return result
+        finally:
+            if span is not None:
+                span.end()
 
     def search_batch(
         self,
@@ -511,6 +560,26 @@ class ColumnarVarianceIndex:
             raise IndexError_(
                 f"{len(exclude_shots)} exclusions for {n_queries} queries"
             )
+        ctx = _current_trace()
+        span = ctx.begin("index.search_batch") if ctx is not None else None
+        try:
+            return self._search_batch(queries, config, limit, exclude_shots, span)
+        finally:
+            if span is not None:
+                span.end()
+
+    def _search_batch(
+        self,
+        queries: Sequence[VarianceQuery],
+        config: QueryConfig,
+        limit: int | None,
+        exclude_shots: Sequence[tuple[str, int] | None] | None,
+        span: Any,
+    ) -> list[list[IndexEntry]]:
+        """The batch kernel; ``span`` (a Span or None) collects the
+        kernel-choice and candidate-count annotations."""
+        n_queries = len(queries)
+        pending = len(self._pending)
         self._prepare()
         q_dv = np.array([q.d_v for q in queries], dtype=np.float64)
         q_sba = np.array([q.sqrt_var_ba for q in queries], dtype=np.float64)
@@ -526,9 +595,19 @@ class ColumnarVarianceIndex:
         his = np.searchsorted(self._d_v, highs, side="right")
         lengths = his - los
         total = int(lengths.sum())
+        if span is not None:
+            span.annotate(
+                n_queries=n_queries, band_rows=total, pending_merged=pending
+            )
         if total == 0:
+            if span is not None:
+                span.annotate(kernel="flat", candidates=0, pruned=0)
             return [[] for _ in range(n_queries)]
         if total > n_queries * _BATCH_FLAT_BAND_LIMIT:
+            # The per-query fallback calls ``search``, whose own spans
+            # nest under this one.
+            if span is not None:
+                span.annotate(kernel="per-query")
             return [
                 self.search(
                     query,
@@ -563,6 +642,12 @@ class ColumnarVarianceIndex:
             )
         cand = cand[mask]
         qidx = qidx[mask]
+        if span is not None:
+            span.annotate(
+                kernel="flat",
+                candidates=int(cand.size),
+                pruned=total - int(cand.size),
+            )
         results: list[list[IndexEntry]] = [[] for _ in range(n_queries)]
         if cand.size == 0:
             return results

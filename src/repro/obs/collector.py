@@ -1,0 +1,92 @@
+"""Bounded, thread-safe retention for finished trace documents.
+
+The collector is two ring buffers: ``recent`` (every recorded trace,
+newest evicting oldest past ``capacity``) and ``slow`` (traces whose
+total duration met the ``slow_ms`` threshold, kept separately so a
+burst of fast traffic cannot flush the interesting outliers).  Both are
+``collections.deque(maxlen=...)``, so memory stays bounded no matter
+how many requests flow through; eviction is counted, never silent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Ring buffer of finished trace documents (plain dicts)."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        slow_ms: float | None = None,
+        slow_capacity: int = 32,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if slow_capacity < 1:
+            raise ValueError(f"slow_capacity must be >= 1, got {slow_capacity}")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
+        self.capacity = capacity
+        self.slow_ms = slow_ms
+        self._lock = threading.Lock()
+        self._recent: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._slow: deque[dict[str, Any]] = deque(maxlen=slow_capacity)
+        self._recorded = 0
+        self._evicted = 0
+        self._slow_seen = 0
+
+    def record(self, doc: dict[str, Any]) -> bool:
+        """Retain a finished trace document; True if it was slow."""
+        duration = doc.get("duration_ms")
+        is_slow = (
+            self.slow_ms is not None
+            and duration is not None
+            and duration >= self.slow_ms
+        )
+        with self._lock:
+            self._recorded += 1
+            if len(self._recent) == self._recent.maxlen:
+                self._evicted += 1
+            self._recent.append(doc)
+            if is_slow:
+                self._slow_seen += 1
+                self._slow.append(doc)
+        return is_slow
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Retained traces, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def slow_snapshot(self) -> list[dict[str, Any]]:
+        """Retained slow traces, oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    def find(self, trace_id: str) -> dict[str, Any] | None:
+        """Most recent retained trace with the given id, if any."""
+        with self._lock:
+            for doc in reversed(self._recent):
+                if doc.get("trace_id") == trace_id:
+                    return doc
+        return None
+
+    def stats(self) -> dict[str, Any]:
+        """Collector counters (capacity, retained/recorded/evicted,
+        slow-ring tallies) — the ``tracing`` section of ``/metrics``."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._recent),
+                "recorded": self._recorded,
+                "evicted": self._evicted,
+                "slow_ms": self.slow_ms,
+                "slow_seen": self._slow_seen,
+                "slow_retained": len(self._slow),
+            }

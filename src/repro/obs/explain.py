@@ -1,0 +1,67 @@
+"""Human-readable rendering of trace documents for ``repro query --explain``."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_trace", "render_index_stats"]
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_fmt_value(v) for v in value) + "]"
+    return str(value)
+
+
+def _fmt_annotations(annotations: dict[str, Any]) -> str:
+    return "  ".join(f"{k}={_fmt_value(v)}" for k, v in annotations.items())
+
+
+def _render_node(
+    node: dict[str, Any], prefix: str, is_last: bool, lines: list[str]
+) -> None:
+    connector = "└─ " if is_last else "├─ "
+    duration = node.get("duration_ms")
+    timing = "   ?" if duration is None else f"{duration:8.3f} ms"
+    line = f"{prefix}{connector}{node['name']:<24} {timing}"
+    annotations = node.get("annotations")
+    if annotations:
+        line += "  " + _fmt_annotations(annotations)
+    lines.append(line)
+    children = node.get("children", [])
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(children):
+        _render_node(child, child_prefix, i == len(children) - 1, lines)
+
+
+def render_trace(doc: dict[str, Any]) -> str:
+    """Render a finished trace document as an indented span tree."""
+    root = doc.get("root")
+    if root is None:
+        return f"trace {doc.get('trace_id', '?')}  (empty)"
+    total = root.get("duration_ms")
+    header = f"trace {doc['trace_id']}"
+    if total is not None:
+        header += f"  ({total:.3f} ms total, {doc.get('n_spans', '?')} spans)"
+    lines = [header]
+    duration = root.get("duration_ms")
+    timing = "   ?" if duration is None else f"{duration:8.3f} ms"
+    root_line = f"{root['name']:<27} {timing}"
+    annotations = root.get("annotations")
+    if annotations:
+        root_line += "  " + _fmt_annotations(annotations)
+    lines.append(root_line)
+    children = root.get("children", [])
+    for i, child in enumerate(children):
+        _render_node(child, "", i == len(children) - 1, lines)
+    return "\n".join(lines)
+
+
+def render_index_stats(stats: dict[str, Any]) -> str:
+    """Render ``ColumnarVarianceIndex.stats()`` for the EXPLAIN footer."""
+    lines = ["index statistics:"]
+    for key, value in stats.items():
+        lines.append(f"  {key:<18} {_fmt_value(value)}")
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import itertools
 import queue
 import random
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -50,6 +51,12 @@ from ..errors import (
     StorageError,
     StorageIntegrityError,
     WorkloadError,
+)
+from ..obs import (
+    TraceCollector,
+    TraceContext,
+    iter_spans,
+    span as _span,
 )
 from ..scenetree.serialize import scene_tree_to_dict
 from ..vdbms.database import QueryAnswer, VideoDatabase
@@ -207,13 +214,35 @@ class IngestJob:
     job_id: str
     description: str
     status: JobStatus = JobStatus.QUEUED
+    #: Wall-clock stamps, for display only — a client correlating job
+    #: records with its own logs wants civil time.
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    #: Engine-clock (monotonic) stamps — all duration math happens on
+    #: these, so an NTP step between start and finish cannot skew (or
+    #: negate) a reported duration.
+    submitted_mono: float | None = field(default=None, repr=False)
+    started_mono: float | None = field(default=None, repr=False)
+    finished_mono: float | None = field(default=None, repr=False)
     attempts: int = 0
     error: str | None = None
     report: dict[str, Any] | None = None
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        """Seconds spent queued, on the monotonic clock."""
+        if self.submitted_mono is None or self.started_mono is None:
+            return None
+        return self.started_mono - self.submitted_mono
+
+    @property
+    def duration_s(self) -> float | None:
+        """Seconds spent running, on the monotonic clock."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
 
     def to_dict(self) -> dict[str, Any]:
         """The ``GET /jobs/<id>`` JSON document."""
@@ -226,6 +255,10 @@ class IngestJob:
             "finished_at": self.finished_at,
             "attempts": self.attempts,
         }
+        if self.queue_wait_s is not None:
+            payload["queue_wait_s"] = round(self.queue_wait_s, 6)
+        if self.duration_s is not None:
+            payload["duration_s"] = round(self.duration_s, 6)
         if self.error is not None:
             payload["error"] = self.error
         if self.report is not None:
@@ -384,6 +417,12 @@ class ServiceEngine:
         stall_timeout: seconds a single ingest attempt may run before
             the watchdog declares the worker stuck and adds a
             supplementary worker to restore pool capacity.
+        trace_capacity: finished request traces retained for
+            ``GET /debug/traces``; 0 disables request tracing entirely
+            (the read path then costs one thread-local read per guard).
+        slow_query_ms: traces at least this many milliseconds long are
+            additionally retained in the slow-query log and counted in
+            the ``slow_queries`` metric (None disables the log).
     """
 
     def __init__(
@@ -405,6 +444,8 @@ class ServiceEngine:
         sleep: Callable[[float], None] | None = None,
         watchdog_interval: float = 1.0,
         stall_timeout: float = 300.0,
+        trace_capacity: int = 64,
+        slow_query_ms: float | None = None,
     ) -> None:
         from .cache import QueryResultCache
         from .metrics import MetricsRegistry
@@ -415,6 +456,8 @@ class ServiceEngine:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if max_queue is not None and max_queue < 1:
             raise ValueError(f"max_queue must be >= 1 (or None), got {max_queue}")
+        if trace_capacity < 0:
+            raise ValueError(f"trace_capacity must be >= 0, got {trace_capacity}")
         self.max_attempts = max_attempts
         self.retry_base_delay = retry_base_delay
         self.ingest_hook = ingest_hook
@@ -437,6 +480,16 @@ class ServiceEngine:
             clock=self._clock,
         )
         self.started_at = time.time()
+        # Uptime math runs on the engine clock; the wall-clock stamp
+        # above is display-only (an NTP step must not bend uptime).
+        self._started_mono = self._clock()
+        #: Bounded retention of finished request traces (None = off).
+        self.traces = (
+            TraceCollector(capacity=trace_capacity, slow_ms=slow_query_ms)
+            if trace_capacity > 0
+            else None
+        )
+        self.slow_query_ms = slow_query_ms
         self._jobs: dict[str, IngestJob] = {}
         self._jobs_lock = threading.Lock()
         self._job_counter = itertools.count(1)
@@ -548,6 +601,7 @@ class ServiceEngine:
                 retry_after=max(self.breaker.retry_after(), 0.1),
             )
         job = IngestJob(job_id=f"job-{next(self._job_counter)}", description=description)
+        job.submitted_mono = self._clock()
         # In cluster mode, land the job on its home shard's queue (the
         # router is deterministic, so the hint — the eventual clip
         # name — picks the same shard the coordinator will).
@@ -625,6 +679,7 @@ class ServiceEngine:
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.status = JobStatus.FAILED
                     job.finished_at = time.time()
+                    job.finished_mono = self._clock()
                     job.done_event.set()
                     self.metrics.increment("ingest_failed")
                 self.metrics.increment("worker_crashes")
@@ -678,6 +733,7 @@ class ServiceEngine:
     def _run_job(self, job: IngestJob, payload: Any) -> None:
         job.status = JobStatus.RUNNING
         job.started_at = time.time()
+        job.started_mono = self._clock()
         try:
             if isinstance(payload, tuple):
                 clip, category = payload
@@ -753,6 +809,7 @@ class ServiceEngine:
             self.metrics.increment("ingest_failed")
         finally:
             job.finished_at = time.time()
+            job.finished_mono = self._clock()
             # Still RUNNING here means a BaseException (worker crash) is
             # escaping: leave the event unset so the crash handler in
             # _worker_loop settles the job as FAILED with the error
@@ -817,6 +874,24 @@ class ServiceEngine:
         deadline.check("request")
         return deadline.remaining()
 
+    @contextmanager
+    def _traced_read_lock(self, timeout: float | None) -> Iterator[None]:
+        """``read_locked`` with the acquisition wait timed as its own
+        span — when a p99 regresses, "queued behind a writer" and
+        "slow index scan" must be distinguishable."""
+        with _span("service.lock_wait") as lock_span:
+            acquired = self.lock.acquire_read(timeout)
+            lock_span.annotate(acquired=acquired)
+        if not acquired:
+            raise ServiceTimeout(
+                f"read lock not acquired within {timeout:.3f}s "
+                f"(a writer is holding or queued)"
+            )
+        try:
+            yield
+        finally:
+            self.lock.release_read()
+
     def query(
         self,
         var_ba: float,
@@ -851,7 +926,9 @@ class ServiceEngine:
             limit,
             category.label if category is not None else None,
         )
-        cached = self.cache.get(key)
+        with _span("cache.get") as cache_span:
+            cached = self.cache.get(key)
+            cache_span.annotate(hit=cached is not None)
         if cached is not None:
             self.metrics.increment("query_cache_hits")
             return cached, True
@@ -880,7 +957,7 @@ class ServiceEngine:
                 return payload, False
             self.cache.put(key, payload, generation=generation)
             return payload, False
-        with self.lock.read_locked(self._read_timeout(deadline)):
+        with self._traced_read_lock(self._read_timeout(deadline)):
             generation = self.cache.generation
             answer = self.db.query(
                 var_ba, var_oa, limit=limit, category=category, config=query_config
@@ -963,7 +1040,7 @@ class ServiceEngine:
             if partial:
                 self.metrics.increment("cluster_partial_answers")
             return {"count": len(results), "results": results}
-        with self.lock.read_locked(self._read_timeout(deadline)):
+        with self._traced_read_lock(self._read_timeout(deadline)):
             answers = self.db.query_batch(
                 points, limit=limit, category=category, config=query_config
             )
@@ -1072,7 +1149,7 @@ class ServiceEngine:
         payload = {
             "status": "ok" if self.ready else "draining",
             "ready": self.ready,
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(self._clock() - self._started_mono, 3),
             "videos": videos,
             "indexed_shots": indexed,
             "jobs": by_status,
@@ -1133,7 +1210,54 @@ class ServiceEngine:
         payload["overload"] = self.overload_payload()
         if self.cluster is not None:
             payload["cluster"] = self.cluster.status()
-        payload["uptime_s"] = round(time.time() - self.started_at, 3)
+        if self.traces is not None:
+            payload["tracing"] = self.traces.stats()
+        payload["uptime_s"] = round(self._clock() - self._started_mono, 3)
+        return payload
+
+    # ------------------------------------------------------------------
+    # request tracing
+    # ------------------------------------------------------------------
+
+    def trace_context(self, trace_id: str | None = None) -> TraceContext | None:
+        """A fresh per-request trace, or None when tracing is disabled.
+
+        ``trace_id`` (the ``X-Trace-Id`` header) lets a client correlate
+        the response with ``GET /debug/traces``; unset ids are generated.
+        """
+        if self.traces is None:
+            return None
+        return TraceContext(trace_id=trace_id, name="request")
+
+    def observe_trace(self, ctx: TraceContext) -> dict[str, Any]:
+        """Settle a request trace: finish it, retain it, and feed every
+        span duration into the per-stage ``/metrics`` histograms."""
+        doc = ctx.finish()
+        if self.traces is not None:
+            if self.traces.record(doc):
+                self.metrics.increment("slow_queries")
+                root = doc.get("root") or {}
+                route = (root.get("annotations") or {}).get("route", "?")
+                print(
+                    f"slow query: trace={doc['trace_id']} route={route} "
+                    f"duration={doc['duration_ms']:.3f}ms "
+                    f"(threshold {self.slow_query_ms:g}ms)",
+                    file=sys.stderr,
+                )
+        for _, node in iter_spans(doc):
+            duration_ms = node.get("duration_ms")
+            if duration_ms is not None:
+                self.metrics.observe_stage(node["name"], duration_ms / 1_000.0)
+        return doc
+
+    def debug_traces_payload(self) -> dict[str, Any]:
+        """The ``GET /debug/traces`` document."""
+        if self.traces is None:
+            return {"enabled": False, "traces": [], "slow": []}
+        payload = self.traces.stats()
+        payload["enabled"] = True
+        payload["traces"] = self.traces.snapshot()
+        payload["slow"] = self.traces.slow_snapshot()
         return payload
 
     # ------------------------------------------------------------------
@@ -1228,6 +1352,7 @@ class ServiceEngine:
                 job.error = "server shut down before the job finished"
                 job.status = JobStatus.FAILED
                 job.finished_at = time.time()
+                job.finished_mono = self._clock()
                 job.done_event.set()
                 abandoned += 1
         if abandoned:

@@ -113,6 +113,7 @@ class MetricsRegistry:
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._requests: dict[str, dict[str, Any]] = {}
+        self._stages: dict[str, LatencyHistogram] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
         """Bump a named counter (created on first use)."""
@@ -157,6 +158,19 @@ class MetricsRegistry:
             histogram = record["latency"]
         histogram.observe(seconds)
 
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one per-stage duration (a finished trace span).
+
+        ``stage`` is the span name (``index.search``, ``cluster.scatter``,
+        ...) — a small fixed vocabulary, so cardinality stays bounded
+        like the route patterns of :meth:`observe_request`.
+        """
+        with self._lock:
+            histogram = self._stages.get(stage)
+            if histogram is None:
+                histogram = self._stages[stage] = LatencyHistogram()
+        histogram.observe(seconds)
+
     def snapshot(self) -> dict[str, Any]:
         """The full ``/metrics`` document (sans cache stats, merged by
         the engine)."""
@@ -167,6 +181,7 @@ class MetricsRegistry:
                 endpoint: (record["count"], record["errors"], record["latency"])
                 for endpoint, record in self._requests.items()
             }
+            stages = dict(self._stages)
         return {
             "counters": counters,
             "gauges": gauges,
@@ -177,5 +192,9 @@ class MetricsRegistry:
                     "latency": histogram.snapshot(),
                 }
                 for endpoint, (count, errors, histogram) in sorted(requests.items())
+            },
+            "stages": {
+                stage: histogram.snapshot()
+                for stage, histogram in sorted(stages.items())
             },
         }

@@ -16,10 +16,18 @@ same shape: ``{"error": "<message>"}`` with a 4xx/5xx status.
     POST /ingest                     submit an ingest job -> 202 + job id
     GET  /jobs                       every job and its status
     GET  /jobs/<id>                  one job's lifecycle record
+    GET  /debug/traces               recent + slow request traces
 
 Each handled request is timed and recorded against its *route
 pattern* (``GET /videos/{id}/shots``), keeping ``/metrics`` cardinality
 bounded no matter how many videos exist.
+
+Request tracing (see docs/OBSERVABILITY.md): unless the engine was
+built with ``trace_capacity=0``, every non-observability request runs
+under a :class:`~repro.obs.TraceContext` whose finished span tree is
+retained for ``GET /debug/traces`` and folded into the per-stage
+histograms on ``/metrics``.  A client-supplied ``X-Trace-Id`` header
+names the trace and echoes back as ``trace_id`` in the response body.
 
 Overload contract (see docs/SERVICE.md "Overload & degradation"): a
 full ingest queue answers ``429`` with ``Retry-After``; a request
@@ -48,6 +56,7 @@ from ..errors import (
     StorageError,
     WorkloadError,
 )
+from ..obs import tracing as _tracing
 from .engine import ServiceEngine
 from .resilience import Deadline
 
@@ -113,6 +122,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         """Handle one POST request."""
         self._dispatch("POST")
 
+    #: Route heads that are themselves observability surface; tracing
+    #: them would fill the ring buffer with scrapes of itself.
+    _UNTRACED_HEADS = frozenset({"health", "ready", "metrics", "debug"})
+
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
         split = urlsplit(self.path)
@@ -122,10 +135,42 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         # bounded route label rather than the concrete path.
         self._route_pattern = f"{method} /<unrouted>"
         self._deadline = None
+        head = segments[0] if segments else ""
+        client_trace_id = self.headers.get("X-Trace-Id")
+        ctx = (
+            None
+            if head in self._UNTRACED_HEADS
+            else self.engine.trace_context(client_trace_id)
+        )
+        if ctx is None:
+            status, payload, headers = self._handle(method, segments, split.query)
+        else:
+            with _tracing(ctx):
+                status, payload, headers = self._handle(method, segments, split.query)
+            ctx.root.annotate(route=self._route_pattern, status=status)
+            # Shed work still leaves a complete (short) trace: the
+            # rejection reason rides on the root span, so overload
+            # behavior is debuggable from /debug/traces alone.
+            if status in (429, 503):
+                ctx.root.annotate(rejected=payload.get("reason", "unavailable"))
+            elif status >= 400:
+                ctx.root.annotate(error=payload.get("error", True))
+            self.engine.observe_trace(ctx)
+            if client_trace_id:
+                payload = dict(payload, trace_id=ctx.trace_id)
+        self._send_json(status, payload, headers)
+        self.engine.metrics.observe_request(
+            self._route_pattern, status, time.perf_counter() - started
+        )
+
+    def _handle(
+        self, method: str, segments: list[str], query_string: str
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Route one request, mapping every failure to its status."""
         headers: dict[str, str] = {}
         try:
             self._deadline = self._request_deadline()
-            status, payload = self._route(method, segments, split.query)
+            status, payload = self._route(method, segments, query_string)
         except _HTTPProblem as problem:
             status, payload = problem.status, {"error": str(problem), **problem.extra}
         except CatalogError as exc:
@@ -173,10 +218,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             status, payload = 500, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
             status, payload = 500, {"error": f"internal error: {exc}"}
-        self._send_json(status, payload, headers)
-        self.engine.metrics.observe_request(
-            self._route_pattern, status, time.perf_counter() - started
-        )
+        return status, payload, headers
 
     def _request_deadline(self) -> Deadline | None:
         """The request's deadline budget (header, else engine default)."""
@@ -218,6 +260,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if method == "GET" and segments == ["metrics"]:
             pattern("GET /metrics")
             return 200, engine.metrics_payload()
+        if method == "GET" and segments == ["debug", "traces"]:
+            pattern("GET /debug/traces")
+            return 200, engine.debug_traces_payload()
         if method == "GET" and segments == ["videos"]:
             pattern("GET /videos")
             return 200, engine.catalog_payload(deadline=self._deadline)

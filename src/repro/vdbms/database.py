@@ -24,6 +24,7 @@ from ..index.columnar import ColumnarVarianceIndex
 from ..index.query import VarianceQuery
 from ..index.routing import SceneRoute, route_to_scene_nodes
 from ..index.table import IndexEntry, IndexTable
+from ..obs import current_trace as _current_trace, span as _span
 from ..scenetree.browse import BrowsingSession
 from ..scenetree.builder import SceneTreeBuilder
 from ..scenetree.nodes import SceneTree
@@ -236,22 +237,36 @@ class VideoDatabase:
         cluster coordinator), so per-shard top-k work is not thrown
         away at the merge.
         """
-        query = VarianceQuery(var_ba=var_ba, var_oa=var_oa)
-        matches = self.index.search(
-            query,
-            config=config or self.config.query,
-            limit=limit if category is None else None,
-            exclude_shot=exclude_shot,
-        )
-        if category is not None:
-            allowed = {entry.video_id for entry in self.catalog.in_category(category)}
-            matches = [m for m in matches if m.video_id in allowed]
-            if limit is not None:
-                matches = matches[:limit]
-        if not with_routes:
-            return QueryAnswer(matches=matches, routes=[])
-        routes = route_to_scene_nodes(matches, self.trees)
-        return QueryAnswer(matches=matches, routes=routes)
+        ctx = _current_trace()
+        span = ctx.begin("db.query") if ctx is not None else None
+        try:
+            query = VarianceQuery(var_ba=var_ba, var_oa=var_oa)
+            matches = self.index.search(
+                query,
+                config=config or self.config.query,
+                limit=limit if category is None else None,
+                exclude_shot=exclude_shot,
+            )
+            if category is not None:
+                allowed = {
+                    entry.video_id for entry in self.catalog.in_category(category)
+                }
+                matches = [m for m in matches if m.video_id in allowed]
+                if limit is not None:
+                    matches = matches[:limit]
+                if span is not None:
+                    span.annotate(category=category.label, after_filter=len(matches))
+            if span is not None:
+                span.annotate(matches=len(matches))
+            if not with_routes:
+                return QueryAnswer(matches=matches, routes=[])
+            with _span("db.routes") as route_span:
+                routes = route_to_scene_nodes(matches, self.trees)
+                route_span.annotate(routes=len(routes))
+            return QueryAnswer(matches=matches, routes=routes)
+        finally:
+            if span is not None:
+                span.end()
 
     def query_batch(
         self,
@@ -280,25 +295,40 @@ class VideoDatabase:
             exclude_shots: optional per-query exclusions, aligned with
                 ``points`` (query-by-example probes).
         """
-        queries = [VarianceQuery(var_ba=ba, var_oa=oa) for ba, oa in points]
-        batched = self.index.search_batch(
-            queries,
-            config=config or self.config.query,
-            limit=limit if category is None else None,
-            exclude_shots=exclude_shots,
-        )
-        answers: list[QueryAnswer] = []
-        allowed: set[str] | None = None
-        if category is not None:
-            allowed = {entry.video_id for entry in self.catalog.in_category(category)}
-        for matches in batched:
-            if allowed is not None:
-                matches = [m for m in matches if m.video_id in allowed]
-                if limit is not None:
-                    matches = matches[:limit]
-            routes = route_to_scene_nodes(matches, self.trees) if with_routes else []
-            answers.append(QueryAnswer(matches=matches, routes=routes))
-        return answers
+        ctx = _current_trace()
+        span = ctx.begin("db.query_batch") if ctx is not None else None
+        try:
+            queries = [VarianceQuery(var_ba=ba, var_oa=oa) for ba, oa in points]
+            batched = self.index.search_batch(
+                queries,
+                config=config or self.config.query,
+                limit=limit if category is None else None,
+                exclude_shots=exclude_shots,
+            )
+            answers: list[QueryAnswer] = []
+            allowed: set[str] | None = None
+            if category is not None:
+                allowed = {
+                    entry.video_id for entry in self.catalog.in_category(category)
+                }
+            for matches in batched:
+                if allowed is not None:
+                    matches = [m for m in matches if m.video_id in allowed]
+                    if limit is not None:
+                        matches = matches[:limit]
+                routes = (
+                    route_to_scene_nodes(matches, self.trees) if with_routes else []
+                )
+                answers.append(QueryAnswer(matches=matches, routes=routes))
+            if span is not None:
+                span.annotate(
+                    n_queries=len(answers),
+                    matches=sum(len(a.matches) for a in answers),
+                )
+            return answers
+        finally:
+            if span is not None:
+                span.end()
 
     def query_by_shot(
         self,

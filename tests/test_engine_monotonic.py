@@ -1,0 +1,100 @@
+"""Job timing must run on the engine's monotonic clock, not wall time.
+
+Regression guard for a real class of bug: ``IngestJob`` previously
+stamped lifecycle times with ``time.time()``, so an NTP step between
+start and finish skewed (or negated) reported durations.  With a
+:class:`FakeClock` injected as the engine clock, these tests pin that
+queue-wait and run durations are computed *exactly* on that clock and
+that wall-clock stamps survive untouched for display.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service.engine import JobStatus, ServiceEngine
+from repro.testing.chaos import FakeClock
+
+pytestmark = pytest.mark.obs
+
+
+def _spec(video_id: str) -> dict:
+    return {
+        "source": "synthetic",
+        "video_id": video_id,
+        "n_shots": 2,
+        "frames_per_shot": 4,
+        "rows": 16,
+        "cols": 16,
+    }
+
+
+@pytest.fixture
+def fake_engine():
+    clock = FakeClock(start=1_000.0)
+    engine = ServiceEngine(
+        n_workers=1,
+        watchdog_interval=0,
+        clock=clock,
+        sleep=clock.sleep,
+        ingest_hook=lambda clip: clock.advance(5.0),
+    )
+    yield engine, clock
+    engine.shutdown()
+
+
+def test_duration_is_measured_on_the_engine_clock(fake_engine):
+    engine, clock = fake_engine
+    job = engine.submit_spec(_spec("mono-1"))
+    engine.wait_for(job.job_id, timeout=60)
+    job = engine.job(job.job_id)
+    assert job.status is JobStatus.DONE
+    # The hook advanced the fake clock by exactly 5s mid-run; nothing
+    # else moves it, so the monotonic duration is exact — real elapsed
+    # time (milliseconds) would never equal this.
+    assert job.duration_s == pytest.approx(5.0)
+    assert job.queue_wait_s is not None and job.queue_wait_s >= 0.0
+    payload = job.to_dict()
+    assert payload["duration_s"] == pytest.approx(5.0)
+    assert payload["queue_wait_s"] == pytest.approx(job.queue_wait_s)
+
+
+def test_wall_clock_stamps_remain_for_display(fake_engine):
+    engine, clock = fake_engine
+    before = time.time()
+    job = engine.submit_spec(_spec("mono-2"))
+    engine.wait_for(job.job_id, timeout=60)
+    job = engine.job(job.job_id)
+    # Display stamps stay civil time (near now), not the fake clock.
+    assert abs(job.submitted_at - before) < 120.0
+    assert job.started_at is not None and abs(job.started_at - before) < 120.0
+    assert job.finished_at is not None
+    # Duration math never touches those wall stamps.
+    assert job.duration_s == pytest.approx(5.0)
+    assert job.finished_at - job.started_at != pytest.approx(5.0)
+
+
+def test_uptime_follows_the_engine_clock(fake_engine):
+    engine, clock = fake_engine
+    first = engine.health_payload()["uptime_s"]
+    clock.advance(100.0)
+    second = engine.health_payload()["uptime_s"]
+    assert second - first == pytest.approx(100.0, abs=1e-3)
+
+
+def test_unfinished_jobs_report_no_duration():
+    clock = FakeClock()
+    engine = ServiceEngine(n_workers=1, watchdog_interval=0, clock=clock,
+                           sleep=clock.sleep)
+    try:
+        job = engine.submit_spec(_spec("mono-3"))
+        # Freshly submitted (possibly already running): never a negative
+        # or fabricated duration.
+        assert engine.job(job.job_id).duration_s in (None, 0.0)
+        payload = engine.job(job.job_id).to_dict()
+        assert payload.get("duration_s") in (None, 0.0)
+        engine.wait_for(job.job_id, timeout=60)
+    finally:
+        engine.shutdown()

@@ -1,0 +1,149 @@
+"""Tracing under duress: shed and refused requests still trace fully.
+
+The overload contract (docs/SERVICE.md) says a saturated server sheds
+load with 429 and a tripped breaker refuses ingest with 503 — these
+tests pin that the *observability* contract holds at the same time:
+every shed or refused request leaves a complete, settled trace in
+``/debug/traces`` carrying a ``rejected`` annotation naming the
+reason, so an operator can see exactly what the server was refusing
+and why during an incident.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.obs import iter_spans, unsettled_spans
+from repro.service.engine import ServiceEngine
+from repro.service.server import create_server
+from repro.testing.chaos import FakeClock, StallingHook, run_overload_burst
+
+pytestmark = [pytest.mark.chaos, pytest.mark.obs]
+
+
+@contextmanager
+def _serve(engine):
+    server = create_server(engine)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        engine.shutdown()
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _post(url: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _rejected_traces(base_url: str) -> list[dict]:
+    status, debug = _get(base_url + "/debug/traces")
+    assert status == 200
+    return [
+        doc
+        for doc in debug["traces"]
+        if "rejected" in doc["root"].get("annotations", {})
+    ]
+
+
+def test_shed_requests_trace_completely_under_burst():
+    """429s produced by a saturated queue still settle full traces."""
+    hook = StallingHook()
+    engine = ServiceEngine(
+        n_workers=1,
+        max_queue=1,
+        watchdog_interval=0,
+        ingest_hook=hook,
+        trace_capacity=256,
+    )
+    try:
+        with _serve(engine) as base_url:
+            # Wedge the single worker so the burst saturates instantly.
+            status, payload = _post(
+                base_url + "/ingest",
+                {"source": "synthetic", "video_id": "wedge", "n_shots": 2,
+                 "frames_per_shot": 4, "rows": 16, "cols": 16},
+            )
+            assert status == 202
+            assert hook.entered.wait(timeout=30)
+
+            burst = run_overload_burst(base_url, 8, workers=4, seed=17)
+            assert burst["server_errors"] == 0, burst
+            assert burst["rejected_429"] >= 1, burst
+
+            rejected = _rejected_traces(base_url)
+            assert len(rejected) >= burst["rejected_429"]
+            for doc in rejected:
+                ann = doc["root"]["annotations"]
+                assert ann["rejected"] == "overloaded"
+                assert ann["status"] == 429
+                assert ann["route"] == "POST /ingest"
+                assert unsettled_spans(doc) == []
+                assert doc["n_spans"] == sum(1 for _ in iter_spans(doc))
+
+            hook.release()
+            engine.drain(timeout=60)
+    finally:
+        hook.release()
+
+
+def test_tripped_breaker_refusals_trace_with_circuit_open():
+    """An open breaker's 503s carry rejected=circuit_open traces."""
+    clock = FakeClock()
+    engine = ServiceEngine(
+        n_workers=1,
+        watchdog_interval=0,
+        breaker_threshold=2,
+        breaker_reset_s=60.0,
+        clock=clock,
+        sleep=clock.sleep,
+        trace_capacity=64,
+    )
+    with _serve(engine) as base_url:
+        for _ in range(2):
+            engine.breaker.record_failure()
+        assert not engine.breaker.admits()
+
+        status, payload = _post(
+            base_url + "/ingest",
+            {"source": "synthetic", "video_id": "refused", "n_shots": 2,
+             "frames_per_shot": 4, "rows": 16, "cols": 16},
+        )
+        assert status == 503
+        assert payload["reason"] == "circuit_open"
+
+        rejected = _rejected_traces(base_url)
+        assert len(rejected) == 1
+        doc = rejected[0]
+        ann = doc["root"]["annotations"]
+        assert ann["rejected"] == "circuit_open"
+        assert ann["status"] == 503
+        assert unsettled_spans(doc) == []

@@ -1,0 +1,144 @@
+"""Decision identity: tracing must never change what a query returns.
+
+The tracing layer only *echoes* values the read path already computed
+— its annotations are observations, not inputs.  These tests pin that
+property across 25 seeded corpora on all three query surfaces (single,
+batch, 2-shard cluster): a traced run must be bit-identical to an
+untraced run, and the span accounting must be internally consistent
+(band rows = kept candidates + pruned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.obs import TraceContext, iter_spans, tracing, unsettled_spans
+from repro.testing.synth import synth_database
+
+pytestmark = pytest.mark.obs
+
+SEEDS = list(range(25))
+LIMIT = 5
+
+
+def _points(seed: int, n: int = 4) -> list[tuple[float, float]]:
+    """Deterministic query points spanning the synthetic variance range."""
+    rng = np.random.default_rng(10_000 + seed)
+    return [
+        (float(rng.uniform(0.0, 400.0)), float(rng.uniform(0.0, 400.0)))
+        for _ in range(n)
+    ]
+
+
+def _fingerprint(answer) -> tuple:
+    """Everything a caller can observe about one answer, hashable-ish."""
+    return (
+        [(e.video_id, e.shot_number, e.d_v, e.sqrt_var_ba) for e in answer.matches],
+        [
+            (
+                r.entry.video_id,
+                r.entry.shot_number,
+                r.node.label if r.node else None,
+            )
+            for r in answer.routes
+        ],
+    )
+
+
+def _traced(fn):
+    """Run ``fn`` under a fresh trace; returns (result, finished doc)."""
+    ctx = TraceContext(name="identity")
+    with tracing(ctx):
+        result = fn()
+    return result, ctx.finish()
+
+
+def _assert_search_accounting(doc: dict) -> int:
+    """Every index span's band rows must split into kept + pruned.
+
+    Returns how many index spans were checked (so callers can assert
+    the instrumentation actually fired).
+    """
+    checked = 0
+    for _, node in iter_spans(doc):
+        if node["name"] not in ("index.search", "index.search_batch"):
+            continue
+        ann = node.get("annotations", {})
+        if "band_rows" not in ann:
+            continue
+        assert ann["band_rows"] == ann["candidates"] + ann["pruned"], (
+            f"span {node['name']} accounting broken: {ann}"
+        )
+        checked += 1
+    return checked
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_query_identity(seed):
+    db = synth_database(seed, n_videos=3)
+    points = _points(seed)
+    baseline = [_fingerprint(db.query(ba, oa, limit=LIMIT)) for ba, oa in points]
+    traced, doc = _traced(
+        lambda: [_fingerprint(db.query(ba, oa, limit=LIMIT)) for ba, oa in points]
+    )
+    assert traced == baseline
+    assert unsettled_spans(doc) == []
+    assert _assert_search_accounting(doc) == len(points)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_query_identity(seed):
+    db = synth_database(seed, n_videos=3)
+    points = _points(seed)
+    baseline = [_fingerprint(a) for a in db.query_batch(points, limit=LIMIT)]
+    traced, doc = _traced(
+        lambda: [_fingerprint(a) for a in db.query_batch(points, limit=LIMIT)]
+    )
+    assert traced == baseline
+    assert unsettled_spans(doc) == []
+    assert _assert_search_accounting(doc) >= 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cluster_query_identity(seed):
+    db = synth_database(seed, n_videos=4)
+    cluster = ClusterCoordinator.ephemeral(2)
+    try:
+        for video_id in db.catalog.ids():
+            cluster.adopt(db.export_video(video_id))
+        ba, oa = _points(seed, n=1)[0]
+        baseline = _fingerprint(cluster.query(ba, oa, limit=LIMIT))
+        base_batch = [
+            _fingerprint(a)
+            for a in cluster.query_batch(_points(seed, n=3), limit=LIMIT)
+        ]
+        traced, doc = _traced(
+            lambda: _fingerprint(cluster.query(ba, oa, limit=LIMIT))
+        )
+        traced_batch, batch_doc = _traced(
+            lambda: [
+                _fingerprint(a)
+                for a in cluster.query_batch(_points(seed, n=3), limit=LIMIT)
+            ]
+        )
+        assert traced == baseline
+        assert traced_batch == base_batch
+        for d in (doc, batch_doc):
+            assert unsettled_spans(d) == []
+            assert _assert_search_accounting(d) >= 1
+        # The scatter span must account for both shards.
+        scatter = next(
+            node
+            for _, node in iter_spans(doc)
+            if node["name"] == "cluster.scatter"
+        )
+        assert scatter["annotations"]["fan_out"] == 2
+        assert scatter["annotations"]["shards_ok"] == 2
+        shard_spans = [
+            node for _, node in iter_spans(doc) if node["name"] == "shard.query"
+        ]
+        assert len(shard_spans) == 2
+    finally:
+        cluster.close()
