@@ -407,14 +407,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # 'repro cluster rebalance --shards N').
         from .cluster import ClusterCoordinator
 
+        # --replicas only *sets* the factor when a cluster is being
+        # created (default: 2 copies); reopening defers to the saved
+        # factor, and an explicit flag that contradicts it is refused
+        # by open_or_create (changing R is 'repro cluster repair').
         if args.db and args.shards:
+            replication = args.replicas
+            if replication is None and not _is_cluster_root(args.db):
+                replication = 2
             db = ClusterCoordinator.open_or_create(
-                args.db, args.shards, config=config
+                args.db, args.shards, config=config, replication=replication
             )
         elif args.db:
             db = ClusterCoordinator.open(args.db, config=config)
+            if args.replicas is not None and args.replicas != db.replication:
+                saved = db.replication
+                db.close()
+                raise ReproError(
+                    f"cluster at {args.db} has replication={saved}, not "
+                    f"{args.replicas}; edit the factor with "
+                    f"'repro cluster repair --replicas {args.replicas}'"
+                )
         else:
-            db = ClusterCoordinator.ephemeral(max(args.shards, 1), config)
+            db = ClusterCoordinator.ephemeral(
+                max(args.shards, 1),
+                config,
+                replication=args.replicas if args.replicas is not None else 2,
+            )
     elif args.db:
         # A --db server is durable: open() binds the database to its
         # directory, so every accepted ingest is committed (staging
@@ -431,6 +450,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_reset_s=args.breaker_reset,
         trace_capacity=args.trace_capacity,
         slow_query_ms=args.slow_query_ms,
+        scrub_interval_s=args.scrub_interval,
     )
     if args.demo:
         have = (
@@ -456,7 +476,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     health = engine.health_payload()
     sharding = (
-        f" across {engine.cluster.n_shards} shards"
+        f" across {engine.cluster.n_shards} shards, "
+        f"replication x{engine.cluster.effective_replication}"
         if engine.cluster is not None
         else ""
     )
@@ -503,6 +524,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         batch=args.batch,
         seed=args.seed,
         deadline_ms=args.deadline_ms,
+        kill_shard=args.kill_shard,
+        kill_at_s=args.at_seconds,
     )
     report = run_loadgen(config)
     if args.output:
@@ -516,6 +539,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"{report['failed_requests']} failed, "
         f"{report['shed_requests']} shed (429/503)"
     )
+    outage = report.get("shard_outage")
+    if outage is not None:
+        killed = "killed" if outage["killed"] else "KILL FAILED"
+        revived = "revived" if outage["revived"] else "not revived"
+        print(
+            f"  shard outage: shard {outage['shard']} {killed} at "
+            f"{outage['at_s']:g}s ({revived}); "
+            f"{report['failover_answers']} failover answers (complete), "
+            f"{report['partial_answers']} partial answers"
+        )
     for op, stats in report["operations"].items():
         print(
             f"  {op:14s} n={stats['count']:<5d} p50={stats['p50_ms']:.1f}ms "
@@ -623,6 +656,82 @@ def _cmd_cluster_rebalance(args: argparse.Namespace) -> int:
         cluster.close()
 
 
+def _cmd_cluster_repair(args: argparse.Namespace) -> int:
+    """One anti-entropy pass: converge every video to R healthy copies."""
+    import json as json_module
+
+    from .cluster import AntiEntropyRepairer, ClusterCoordinator
+
+    cluster = ClusterCoordinator.open(args.root, recover=True)
+    try:
+        if args.replicas is not None and args.replicas != cluster.replication:
+            cluster.set_replication(args.replicas)
+            if not args.json:
+                print(f"replication factor set to {args.replicas}")
+        report = AntiEntropyRepairer(cluster).run()
+        cluster.save_all()
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2))
+            return 0 if report.converged else 1
+        print(
+            f"{report.videos_checked} videos checked: "
+            f"{report.copies_added} copies added, "
+            f"{report.divergent_repaired} divergent repaired, "
+            f"{report.strays_removed} strays removed"
+        )
+        for video_id in report.unrepairable:
+            print(f"  UNREPAIRABLE {video_id!r}: no healthy source for a copy")
+        for error in report.errors:
+            print(f"  error: {error}")
+        print("converged" if report.converged else "NOT CONVERGED")
+        return 0 if report.converged else 1
+    finally:
+        cluster.close()
+
+
+def _cmd_cluster_scrub(args: argparse.Namespace) -> int:
+    """Re-verify committed digests shard by shard; repair from replicas."""
+    import json as json_module
+
+    from .cluster import ClusterCoordinator, IntegrityScrubber
+
+    cluster = ClusterCoordinator.open(args.root, recover=True)
+    try:
+        scrubber = IntegrityScrubber(
+            cluster,
+            files_per_tick=args.files_per_tick,
+            interval_s=0.0,  # offline: no pacing between batches
+        )
+        totals: dict[str, int] = {}
+        for _ in range(max(1, args.passes)):
+            for name, delta in scrubber.run_once().items():
+                totals[name] = totals.get(name, 0) + delta
+        cluster.save_all()
+        # Clean = every corruption was healed (repaired from a replica
+        # or republished from live state) and nothing was lost.
+        healed = totals.get("videos_repaired", 0) + totals.get(
+            "files_republished", 0
+        )
+        clean = (
+            totals.get("videos_lost", 0) == 0
+            and totals.get("corruption_found", 0) == healed
+        )
+        if args.json:
+            print(json_module.dumps({**totals, "clean": clean}, indent=2))
+            return 0 if clean else 1
+        print(
+            f"{totals.get('files_checked', 0)} files checked: "
+            f"{totals.get('corruption_found', 0)} corrupt, "
+            f"{totals.get('videos_repaired', 0)} repaired from replicas, "
+            f"{totals.get('files_republished', 0)} republished, "
+            f"{totals.get('videos_lost', 0)} lost (no healthy replica)"
+        )
+        print("clean" if clean else "PROBLEMS REMAIN")
+        return 0 if clean else 1
+    finally:
+        cluster.close()
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     """Verify (and optionally repair) a database directory.
 
@@ -643,17 +752,25 @@ def _fsck_cluster(args: argparse.Namespace) -> int:
 
     from .cluster import ClusterCoordinator
 
+    from .vdbms.manifest import TREE_PREFIX
+
     cluster = ClusterCoordinator.open(args.root, recover=True)
     shard_roots = [
         (shard.name, shard.root) for shard in cluster.shards if shard.root
     ]
+    shard_names = [shard.name for shard in cluster.shards]
     n_shards = cluster.n_shards
+    replication = cluster.replication
+    holders = cluster.holders_snapshot()
     cluster.close()
     worst = 0
     reports = []
+    #: video id -> names of the shards whose copy fsck flagged
+    damaged_videos: dict[str, set[str]] = {}
     for name, shard_root in shard_roots:
         shard_args = copy.copy(args)
         shard_args.root = str(shard_root)
+        sink: list = []
         if args.json:
             # Buffer per-shard reports into one aggregate document.
             import contextlib
@@ -661,33 +778,68 @@ def _fsck_cluster(args: argparse.Namespace) -> int:
 
             buffer = io.StringIO()
             with contextlib.redirect_stdout(buffer):
-                code = _fsck_single(shard_args)
+                code = _fsck_single(shard_args, report_sink=sink)
             reports.append(
                 {"shard": name, "clean": code == 0,
                  "report": json_module.loads(buffer.getvalue())}
             )
         else:
             print(f"--- {name} ---")
-            code = _fsck_single(shard_args)
+            code = _fsck_single(shard_args, report_sink=sink)
+        for report in sink:
+            for check in report.problems():
+                if check.logical.startswith(TREE_PREFIX):
+                    video_id = check.logical[len(TREE_PREFIX):]
+                    damaged_videos.setdefault(video_id, set()).add(name)
         worst = max(worst, code)
-    if args.json:
-        print(
-            json_module.dumps(
-                {"cluster": True, "n_shards": n_shards, "shards": reports},
-                indent=2,
-            )
+    # A damaged video with a copy on a shard fsck did *not* flag is
+    # recoverable without backups — point the operator at anti-entropy
+    # repair.  (The recover-mode open above may already have dropped
+    # the rotted copy from the holder map, so any surviving holder
+    # outside the damaged set counts.)
+    repairable = sorted(
+        video_id
+        for video_id, sick in damaged_videos.items()
+        if any(
+            shard_names[shard_id] not in sick
+            for shard_id in holders.get(video_id, ())
         )
+    )
+    if args.json:
+        payload: dict = {"cluster": True, "n_shards": n_shards, "shards": reports}
+        if repairable:
+            payload["repairable_from_replica"] = repairable
+            payload["hint"] = f"repro cluster repair --root {args.root}"
+        print(json_module.dumps(payload, indent=2))
     else:
-        print(f"cluster: {n_shards} shards, " + ("clean" if worst == 0 else "PROBLEMS FOUND"))
+        print(f"cluster: {n_shards} shards, replication x{replication}, "
+              + ("clean" if worst == 0 else "PROBLEMS FOUND"))
+        if repairable:
+            print(
+                f"  {len(repairable)} damaged videos have a replica on "
+                f"another shard — run "
+                f"'repro cluster repair --root {args.root}' to restore them"
+            )
     return worst
 
 
-def _fsck_single(args: argparse.Namespace) -> int:
-    """Verify (and optionally repair) one database directory."""
+def _fsck_single(
+    args: argparse.Namespace, report_sink: list | None = None
+) -> int:
+    """Verify (and optionally repair) one database directory.
+
+    ``report_sink``, when given, receives the final
+    :class:`~repro.vdbms.storage.FsckReport` — the cluster fsck uses it
+    to cross-reference damaged videos against the replica holder map.
+    """
     import json as json_module
 
     storage = DatabaseStorage(args.root)
     report = storage.fsck()
+    if report_sink is not None:
+        # The pre-repair report: damage discovery must see what fsck
+        # found, not the clean state a --repair rewrite leaves behind.
+        report_sink.append(report)
     quarantined_files: list[str] = []
     dropped_videos: list[str] = []
     if args.repair and report.mode != "empty" and (
@@ -874,6 +1026,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "root that already holds a cluster reopens with its saved "
         "shard count when omitted",
     )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="R",
+        help="copies of each video when creating a cluster (default: 2; "
+        "an existing cluster keeps its saved factor — change it with "
+        "'repro cluster repair --replicas R')",
+    )
+    p.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="run the background integrity scrubber, sleeping S seconds "
+        "between batches (cluster mode only; default: off)",
+    )
     p.add_argument("--workers", type=int, default=2, help="ingest worker threads")
     p.add_argument("--cache-size", type=int, default=256, help="query-cache entries")
     p.add_argument(
@@ -966,6 +1135,22 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="send X-Deadline-Ms with every request",
     )
+    p.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kill shard N mid-run via POST /admin/shards/N/kill "
+        "(replication failover drill; revived when the run ends)",
+    )
+    p.add_argument(
+        "--at-seconds",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="when to kill the shard, seconds after the run starts "
+        "(default: 1.0; requires --kill-shard)",
+    )
     p.add_argument("-o", "--output", help="write the full JSON report here")
     p.set_defaults(func=_cmd_loadgen)
 
@@ -984,7 +1169,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser(
-        "cluster", help="inspect or rebalance a sharded cluster (docs/CLUSTER.md)"
+        "cluster",
+        help="inspect, rebalance, repair, or scrub a sharded cluster "
+        "(docs/CLUSTER.md)",
     )
     cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
 
@@ -1019,6 +1206,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cp.add_argument("--json", action="store_true", help="emit JSON")
     cp.set_defaults(func=_cmd_cluster_rebalance)
+
+    cp = cluster_sub.add_parser(
+        "repair",
+        help="anti-entropy pass: converge every video to R healthy copies",
+    )
+    cp.add_argument("--root", required=True, help="cluster directory")
+    cp.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="R",
+        help="first set the replication factor to R, then converge to it",
+    )
+    cp.add_argument("--json", action="store_true", help="emit JSON")
+    cp.set_defaults(func=_cmd_cluster_repair)
+
+    cp = cluster_sub.add_parser(
+        "scrub",
+        help="re-verify every committed digest; repair bit rot from replicas",
+    )
+    cp.add_argument("--root", required=True, help="cluster directory")
+    cp.add_argument(
+        "--passes", type=int, default=1, metavar="N", help="scrub passes to run"
+    )
+    cp.add_argument(
+        "--files-per-tick",
+        type=int,
+        default=64,
+        metavar="N",
+        help="files verified per batch (offline scrubbing needs no pacing)",
+    )
+    cp.add_argument("--json", action="store_true", help="emit JSON")
+    cp.set_defaults(func=_cmd_cluster_scrub)
 
     p = sub.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument("name", help="table1..table5, figure6, figure7, figures8_10, sensitivity, retrieval_matrix")

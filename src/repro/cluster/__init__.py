@@ -1,4 +1,4 @@
-"""``repro.cluster`` — a sharded video database.
+"""``repro.cluster`` — a sharded, replicated video database.
 
 N independent :class:`~repro.vdbms.database.VideoDatabase` shards
 (each with its own durable storage root, manifest, and locks) behind
@@ -6,29 +6,44 @@ one database-shaped API:
 
 * :class:`ConsistentHashRouter` — video id -> shard placement on a
   deterministic 64-bit hash ring with minimal movement on reshard,
+  plus distinct-successor replica placement (``shards_for``),
 * :class:`ClusterCoordinator` — scatter-gather impression queries
-  with per-shard deadline budgets and graceful degradation (partial
-  answers + ``shards_failed``), routed ingest, and a derived,
-  always-consistent placement map,
-* :class:`Rebalancer` — online video moves and grow/shrink resharding
-  through the checksummed publish path, without stopping reads.
+  with per-shard deadline budgets, graceful degradation (partial
+  answers + ``shards_failed``), write-path replica fan-out, and —
+  with replication >= 2 — automatic read failover (a single-shard
+  outage yields a complete, decision-identical answer),
+* :class:`Rebalancer` — online, replica-aware video moves and
+  grow/shrink resharding through the checksummed publish path,
+  without stopping reads,
+* :class:`AntiEntropyRepairer` / :class:`IntegrityScrubber` —
+  placement-level convergence and byte-level digest scrubbing with
+  repair from healthy replicas,
+* :class:`ShardSupervisor` — breaker-style consecutive-failure
+  tracking that benches sick shards and re-admits them after repair.
 
 See ``docs/CLUSTER.md`` for the design document.
 """
 
 from .coordinator import CLUSTER_MANIFEST, ClusterAnswer, ClusterCoordinator
 from .rebalance import RebalanceMove, RebalanceReport, Rebalancer
+from .repair import AntiEntropyRepairer, IntegrityScrubber, RepairReport
+from .replication import ShardSupervisor, copy_video
 from .router import DEFAULT_REPLICAS, ConsistentHashRouter
 from .shard import Shard
 
 __all__ = [
     "CLUSTER_MANIFEST",
+    "AntiEntropyRepairer",
     "ClusterAnswer",
     "ClusterCoordinator",
     "ConsistentHashRouter",
     "DEFAULT_REPLICAS",
+    "IntegrityScrubber",
     "RebalanceMove",
     "RebalanceReport",
     "Rebalancer",
+    "RepairReport",
+    "ShardSupervisor",
     "Shard",
+    "copy_video",
 ]

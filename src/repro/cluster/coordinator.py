@@ -23,6 +23,20 @@ by shot identity (a video briefly lives on two shards mid-rebalance),
 sort, cap — which makes a K-shard cluster *decision-identical* to one
 big database.
 
+With a replication factor R > 1 (``replication=R``), every video is
+committed on R distinct shards — its home plus the next R-1 distinct
+successors on the hash ring — and queries gain **automatic
+failover**: when a shard fails mid-scatter, the coordinator first
+checks whether every video the failed shard holds has a live copy
+among the shards that answered (the common single-failure case — the
+replicas' contributions make the merged answer provably complete, and
+the per-shard top-k pushdown keeps it decision-identical because a
+shot's local rank on any holder is never worse than its global rank).
+Only when replicas do not cover does it retry the failed shard once
+inside the same ``Deadline``.  A covered failure is still reported in
+``shards_failed`` (and echoed in ``shards_recovered``) but the answer
+is *not* partial.
+
 Placement conflicts (the same video on two shards, e.g. after a crash
 between a rebalance copy and its source delete) are detected on open:
 the copy on the video's home shard wins (falling back to the lowest
@@ -81,21 +95,28 @@ class ClusterAnswer:
     ``matches``/``routes`` follow the exact contract of
     :class:`~repro.vdbms.database.QueryAnswer`.  ``shards_failed``
     lists, per unavailable shard, ``{"shard", "reason", "error"}``;
-    :attr:`partial` is True when at least one shard did not contribute
-    — the client-visible signal that the answer may be missing shots.
+    :attr:`partial` is True when at least one failed shard's data was
+    *not* recovered from replicas — the client-visible signal that the
+    answer may be missing shots.  With replication, a single-shard
+    outage normally lands in both ``shards_failed`` and
+    ``shards_recovered`` and the answer stays complete.
     """
 
     matches: list[IndexEntry]
     routes: list[SceneRoute]
     shards_queried: int = 0
     shards_failed: list[dict[str, Any]] = field(default_factory=list)
+    #: Failed shards whose entire corpus was served by live replicas —
+    #: the failure is reported, but the answer is complete.
+    shards_recovered: list[str] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.matches)
 
     @property
     def partial(self) -> bool:
-        return bool(self.shards_failed)
+        recovered = set(self.shards_recovered)
+        return any(f["shard"] not in recovered for f in self.shards_failed)
 
     @property
     def suggestions(self) -> list[str]:
@@ -124,6 +145,7 @@ class ClusterCoordinator:
         root: Path | None = None,
         config: PipelineConfig | None = None,
         parallel_scatter: bool | None = None,
+        replication: int = 1,
     ) -> None:
         if not shards:
             raise ClusterError("a cluster needs at least one shard")
@@ -131,9 +153,17 @@ class ClusterCoordinator:
             raise ClusterError(
                 f"router expects {router.n_shards} shards, got {len(shards)}"
             )
+        if replication < 1:
+            raise ClusterError(f"replication must be >= 1, got {replication}")
         self.shards = shards
         self.router = router
         self.root = root
+        #: Copies of every video the cluster commits (capped at
+        #: ``n_shards`` in practice — see :meth:`effective_replication`).
+        self.replication = replication
+        #: Scatter rounds in which a shard failure was fully absorbed
+        #: (covered by replicas or answered on the in-deadline retry).
+        self.failovers = 0
         self.config = config or PipelineConfig()
         if parallel_scatter is None:
             # On a single-core host pooled sub-queries cannot run
@@ -149,6 +179,10 @@ class ClusterCoordinator:
         )
         self._placement_lock = threading.Lock()
         self._placement: dict[str, int] = {}
+        #: video id -> every shard currently holding a committed copy
+        #: (primary and replicas alike); the failover coverage check and
+        #: the repair subsystem both read this.
+        self._holders: dict[str, tuple[int, ...]] = {}
         # Seqlock for scatter-gather vs. online moves: the rebalancer
         # bumps this *inside* a move's copy->delete window, so a query
         # whose scatter straddled a whole move (dest shard read before
@@ -171,13 +205,19 @@ class ClusterCoordinator:
         n_shards: int,
         config: PipelineConfig | None = None,
         replicas: int = DEFAULT_REPLICAS,
+        replication: int = 1,
     ) -> "ClusterCoordinator":
-        """An in-memory cluster (no durable roots)."""
+        """An in-memory cluster (no durable roots).
+
+        ``replicas`` is the number of *virtual ring points* per shard
+        (hash-ring smoothing); ``replication`` is the number of
+        *committed copies* of every video.
+        """
         router = ConsistentHashRouter(n_shards, replicas=replicas)
         shards = [
             Shard(shard_id, VideoDatabase(config)) for shard_id in range(n_shards)
         ]
-        return cls(shards, router, config=config)
+        return cls(shards, router, config=config, replication=replication)
 
     @classmethod
     def create(
@@ -186,13 +226,14 @@ class ClusterCoordinator:
         n_shards: int,
         config: PipelineConfig | None = None,
         replicas: int = DEFAULT_REPLICAS,
+        replication: int = 1,
     ) -> "ClusterCoordinator":
         """Initialize a new durable cluster under ``root``.
 
-        Writes ``cluster.json`` and binds one durable
-        :class:`VideoDatabase` per shard directory.  Refuses a root
-        that already holds a cluster (open it instead) or a
-        single-database layout (shard it with the rebalancer).
+        Writes ``cluster.json`` (including the replication factor) and
+        binds one durable :class:`VideoDatabase` per shard directory.
+        Refuses a root that already holds a cluster (open it instead)
+        or a single-database layout (shard it with the rebalancer).
         """
         root = Path(root)
         if (root / CLUSTER_MANIFEST).exists():
@@ -201,9 +242,9 @@ class ClusterCoordinator:
             )
         router = ConsistentHashRouter(n_shards, replicas=replicas)
         root.mkdir(parents=True, exist_ok=True)
-        cls._write_manifest(root, router)
+        cls._write_manifest(root, router, replication=replication)
         shards = cls._bind_shards(root, n_shards, config)
-        return cls(shards, router, root=root, config=config)
+        return cls(shards, router, root=root, config=config, replication=replication)
 
     @classmethod
     def open(
@@ -234,8 +275,11 @@ class ClusterCoordinator:
                 f"unsupported cluster format version {payload.get('version')!r}"
             )
         router = ConsistentHashRouter.from_dict(payload["router"])
+        replication = int(payload.get("replication", 1))
         shards = cls._bind_shards(root, router.n_shards, config, recover=recover)
-        return cls(shards, router, root=root, config=config)
+        return cls(
+            shards, router, root=root, config=config, replication=replication
+        )
 
     @classmethod
     def open_or_create(
@@ -243,12 +287,18 @@ class ClusterCoordinator:
         root: str | Path,
         n_shards: int,
         config: PipelineConfig | None = None,
+        replication: int | None = None,
     ) -> "ClusterCoordinator":
         """Open an existing cluster, or create one with ``n_shards``.
 
         An existing cluster whose shard count differs from ``n_shards``
         is an error (resharding moves data; it must be explicit):
         ``repro cluster rebalance --shards N`` performs it online.
+        Likewise an explicit ``replication`` that contradicts the
+        persisted factor is refused — changing R means copying data,
+        which ``repro cluster repair`` performs after rewriting the
+        manifest.  ``replication=None`` defers to the manifest (or 1
+        when creating).
         """
         root = Path(root)
         if (root / CLUSTER_MANIFEST).exists():
@@ -260,8 +310,18 @@ class ClusterCoordinator:
                     f"{n_shards}; reshard explicitly with "
                     f"'repro cluster rebalance --shards {n_shards}'"
                 )
+            if replication is not None and cluster.replication != replication:
+                cluster.close()
+                raise ClusterError(
+                    f"cluster at {root} has replication "
+                    f"{cluster.replication}, not {replication}; changing it "
+                    f"moves data — edit the factor with "
+                    f"'repro cluster repair --replicas {replication}'"
+                )
             return cluster
-        return cls.create(root, n_shards, config=config)
+        return cls.create(
+            root, n_shards, config=config, replication=replication or 1
+        )
 
     @classmethod
     def _bind_shards(
@@ -280,9 +340,15 @@ class ClusterCoordinator:
         return shards
 
     @staticmethod
-    def _write_manifest(root: Path, router: ConsistentHashRouter) -> None:
+    def _write_manifest(
+        root: Path, router: ConsistentHashRouter, replication: int = 1
+    ) -> None:
         """Atomically publish ``cluster.json`` (write -> fsync -> rename)."""
-        payload = {"version": _FORMAT_VERSION, "router": router.to_dict()}
+        payload = {
+            "version": _FORMAT_VERSION,
+            "router": router.to_dict(),
+            "replication": replication,
+        }
         data = json.dumps(payload, indent=2).encode("utf-8")
         tmp = root / (CLUSTER_MANIFEST + f".tmp-{os.getpid()}")
         fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
@@ -299,25 +365,42 @@ class ClusterCoordinator:
             os.close(dir_fd)
 
     def _build_placement(self) -> None:
-        """Derive the placement map (and conflicts) from shard catalogs."""
-        holders: dict[str, list[int]] = {}
+        """Derive placement, holders, and conflicts from shard catalogs.
+
+        With replication, a video legitimately lives on every shard in
+        ``router.shards_for(id, R)``; the primary is the ring home when
+        it holds a copy (falling back to the lowest legitimate holder,
+        then the lowest holder of any kind).  Copies *outside* the
+        expected set are conflicts — strays from a crashed move — for
+        the rebalancer/repairer to clean; they still count as holders
+        meanwhile, since their data is real and merge-time dedup keeps
+        queries correct.
+        """
+        held: dict[str, list[int]] = {}
         for shard in self.shards:
             for video_id in shard.db.catalog.ids():
-                holders.setdefault(video_id, []).append(shard.shard_id)
+                held.setdefault(video_id, []).append(shard.shard_id)
         placement: dict[str, int] = {}
+        holders: dict[str, tuple[int, ...]] = {}
         conflicts: list[tuple[str, int]] = []
-        for video_id, shard_ids in holders.items():
-            if len(shard_ids) == 1:
-                placement[video_id] = shard_ids[0]
-                continue
-            home = self.router.shard_for(video_id)
-            winner = home if home in shard_ids else min(shard_ids)
+        for video_id, shard_ids in held.items():
+            expected = self.router.shards_for(video_id, self.replication)
+            expected_set = set(expected)
+            legitimate = [s for s in shard_ids if s in expected_set]
+            if legitimate:
+                winner = (
+                    expected[0] if expected[0] in legitimate else min(legitimate)
+                )
+                strays = [s for s in shard_ids if s not in expected_set]
+            else:
+                winner = min(shard_ids)
+                strays = [s for s in shard_ids if s != winner]
             placement[video_id] = winner
-            conflicts.extend(
-                (video_id, shard_id) for shard_id in shard_ids if shard_id != winner
-            )
+            holders[video_id] = tuple(sorted(shard_ids))
+            conflicts.extend((video_id, shard_id) for shard_id in strays)
         with self._placement_lock:
             self._placement = placement
+            self._holders = holders
         self.conflicts = conflicts
 
     # ------------------------------------------------------------------
@@ -327,6 +410,27 @@ class ClusterCoordinator:
     @property
     def n_shards(self) -> int:
         return len(self.shards)
+
+    @property
+    def effective_replication(self) -> int:
+        """The copies actually placed: ``min(replication, n_shards)``."""
+        return min(self.replication, self.n_shards)
+
+    def set_replication(self, replication: int) -> None:
+        """Change the replication factor (persisted when durable).
+
+        Rewrites only the manifest and the placement maps — no data
+        moves here.  Copies converge to the new factor on the next
+        anti-entropy pass (``repro cluster repair``), which adds the
+        missing replicas (raised R) or drops the now-stray ones
+        (lowered R).
+        """
+        if replication < 1:
+            raise ClusterError(f"replication must be >= 1, got {replication}")
+        self.replication = replication
+        if self.root is not None:
+            self._write_manifest(self.root, self.router, replication=replication)
+        self._build_placement()
 
     def shard(self, shard_id: int) -> Shard:
         """The shard object for one slot."""
@@ -338,12 +442,27 @@ class ClusterCoordinator:
             ) from None
 
     def locate(self, video_id: str) -> Shard:
-        """The shard currently holding ``video_id``."""
+        """The preferred live shard holding ``video_id``.
+
+        Returns the primary when it is up; with replication, falls back
+        to any live replica holder so single-video reads (scene trees,
+        shot lookups, query-by-example probes) survive a primary
+        outage.  When every copy is down the primary is returned — the
+        caller's ``check_up`` turns that into the usual structured
+        :class:`~repro.errors.ShardUnavailableError`.
+        """
         with self._placement_lock:
             shard_id = self._placement.get(video_id)
+            holders = self._holders.get(video_id, ())
         if shard_id is None:
             raise CatalogError(f"unknown video {video_id!r}")
-        return self.shard(shard_id)
+        primary = self.shard(shard_id)
+        if not primary.down:
+            return primary
+        for holder_id in holders:
+            if holder_id != shard_id and not self.shard(holder_id).down:
+                return self.shard(holder_id)
+        return primary
 
     def __contains__(self, video_id: str) -> bool:
         with self._placement_lock:
@@ -355,24 +474,63 @@ class ClusterCoordinator:
             return sorted(self._placement)
 
     def placement_snapshot(self) -> dict[str, int]:
-        """A copy of the video -> shard map (rebalancer planning)."""
+        """A copy of the video -> primary shard map (rebalancer planning)."""
         with self._placement_lock:
             return dict(self._placement)
 
-    def _claim(self, video_id: str, shard_id: int) -> None:
+    def holders_snapshot(self) -> dict[str, tuple[int, ...]]:
+        """A copy of the video -> holder-set map (repair/failover use)."""
+        with self._placement_lock:
+            return dict(self._holders)
+
+    def holders_of(self, video_id: str) -> tuple[int, ...]:
+        """Every shard currently holding a copy of ``video_id``."""
+        with self._placement_lock:
+            holders = self._holders.get(video_id)
+        if holders is None:
+            raise CatalogError(f"unknown video {video_id!r}")
+        return holders
+
+    def _claim(self, video_id: str, shard_ids: list[int]) -> None:
         with self._placement_lock:
             if video_id in self._placement:
                 raise CatalogError(f"video {video_id!r} already ingested")
-            self._placement[video_id] = shard_id
+            self._placement[video_id] = shard_ids[0]
+            self._holders[video_id] = tuple(shard_ids)
 
     def _unclaim(self, video_id: str) -> None:
         with self._placement_lock:
             self._placement.pop(video_id, None)
+            self._holders.pop(video_id, None)
 
     def reassign(self, video_id: str, shard_id: int) -> None:
-        """Point the placement map at a new holder (rebalancer use)."""
+        """Point the primary at a new holder (rebalancer move)."""
         with self._placement_lock:
             self._placement[video_id] = shard_id
+            held = set(self._holders.get(video_id, ()))
+            held.add(shard_id)
+            self._holders[video_id] = tuple(sorted(held))
+
+    def note_copy(self, video_id: str, shard_id: int) -> None:
+        """Record a new committed copy (repair/rebalance bookkeeping)."""
+        with self._placement_lock:
+            held = set(self._holders.get(video_id, ()))
+            held.add(shard_id)
+            self._holders[video_id] = tuple(sorted(held))
+            self._placement.setdefault(video_id, shard_id)
+
+    def note_drop(self, video_id: str, shard_id: int) -> None:
+        """Record a removed copy; repoint the primary if it was dropped."""
+        with self._placement_lock:
+            held = [s for s in self._holders.get(video_id, ()) if s != shard_id]
+            if not held:
+                self._placement.pop(video_id, None)
+                self._holders.pop(video_id, None)
+                return
+            self._holders[video_id] = tuple(held)
+            if self._placement.get(video_id) == shard_id:
+                home = self.router.shard_for(video_id)
+                self._placement[video_id] = home if home in held else held[0]
 
     def note_move_visible(self) -> None:
         """Rebalancer hook: a move's copy just became queryable.
@@ -392,61 +550,187 @@ class ClusterCoordinator:
     # writes
     # ------------------------------------------------------------------
 
+    def _write_targets(self, video_id: str, what: str) -> list[Shard]:
+        """The primary + replica shards for a new write, all checked up."""
+        targets = [
+            self.shard(shard_id)
+            for shard_id in self.router.shards_for(video_id, self.replication)
+        ]
+        for shard in targets:
+            shard.check_up(what)
+        return targets
+
+    def _rollback_copies(self, video_id: str, committed: list[Shard]) -> None:
+        """Best-effort undo of a half-fanned-out write (all-or-nothing).
+
+        A copy that refuses to roll back is left behind as a stray —
+        the anti-entropy repairer removes it on its next pass.
+        """
+        for shard in committed:
+            try:
+                with shard.lock.write_locked():
+                    shard.db.remove(video_id)
+            except Exception:
+                pass
+        self._unclaim(video_id)
+
     def ingest(
         self,
         clip: VideoClip,
         category: VideoCategory | None = None,
         archetypes: Any = None,
     ) -> IngestReport:
-        """Route ``clip`` to its home shard and ingest it there.
+        """Route ``clip`` to its home shard, ingest, and fan replicas out.
 
         The cluster-wide duplicate check happens at claim time (under
         the placement mutex), so two concurrent ingests of the same id
-        cannot both proceed even when racing.  The shard's write lock
-        covers the whole pipeline + durable publish, exactly like the
-        single-database service path — but only *that shard* is
-        exclusive; every other shard keeps ingesting and answering.
+        cannot both proceed even when racing.  The primary shard's
+        write lock covers the whole pipeline + durable publish, exactly
+        like the single-database service path; with replication > 1 the
+        derived state is then exported once and adopted — through the
+        same checksummed staged-publish protocol — on each replica
+        shard under its own write lock.  An ingest is acknowledged only
+        with all R copies committed; any failure rolls the committed
+        copies back and releases the claim.
         """
-        shard = self.shard(self.router.shard_for(clip.name))
-        shard.check_up("ingest")
-        self._claim(clip.name, shard.shard_id)
+        targets = self._write_targets(clip.name, "ingest")
+        self._claim(clip.name, [shard.shard_id for shard in targets])
+        primary, current = targets[0], targets[0]
+        committed: list[Shard] = []
         try:
-            with shard.lock.write_locked():
-                report = shard.db.ingest(clip, category=category, archetypes=archetypes)
-            shard.ingests += 1
+            with primary.lock.write_locked():
+                report = primary.db.ingest(
+                    clip, category=category, archetypes=archetypes
+                )
+            committed.append(primary)
+            primary.ingests += 1
+            if len(targets) > 1:
+                with primary.lock.read_locked():
+                    record = primary.db.export_video(clip.name)
+                for replica in targets[1:]:
+                    current = replica
+                    with replica.lock.write_locked():
+                        replica.db.adopt(record)
+                    committed.append(replica)
+                    replica.replications += 1
             return report
         except BaseException:
-            shard.errors += 1
-            self._unclaim(clip.name)
+            current.errors += 1
+            self._rollback_copies(clip.name, committed)
             raise
 
     def adopt(self, record: VideoRecord) -> int:
-        """Register already-derived state on the record's home shard."""
-        shard = self.shard(self.router.shard_for(record.video_id))
-        shard.check_up("adopt")
-        self._claim(record.video_id, shard.shard_id)
+        """Register already-derived state on its home + replica shards."""
+        targets = self._write_targets(record.video_id, "adopt")
+        self._claim(record.video_id, [shard.shard_id for shard in targets])
+        current = targets[0]
+        committed: list[Shard] = []
+        n = 0
         try:
-            with shard.lock.write_locked():
-                n = shard.db.adopt(record)
-            shard.ingests += 1
+            for k, shard in enumerate(targets):
+                current = shard
+                with shard.lock.write_locked():
+                    applied = shard.db.adopt(record)
+                committed.append(shard)
+                if k == 0:
+                    n = applied
+                    shard.ingests += 1
+                else:
+                    shard.replications += 1
             return n
         except BaseException:
-            shard.errors += 1
-            self._unclaim(record.video_id)
+            current.errors += 1
+            self._rollback_copies(record.video_id, committed)
             raise
 
     def remove(self, video_id: str) -> int:
-        """Drop a video from whichever shard holds it."""
-        shard = self.locate(video_id)
-        shard.check_up("remove")
-        with shard.lock.write_locked():
-            removed = shard.db.remove(video_id)
+        """Drop a video from every shard holding a copy."""
+        holder_ids = self.holders_of(video_id)
+        shards = [self.shard(shard_id) for shard_id in holder_ids]
+        for shard in shards:
+            shard.check_up("remove")
+        removed = 0
+        dropped: list[int] = []
+        try:
+            for shard in shards:
+                with shard.lock.write_locked():
+                    removed = max(removed, shard.db.remove(video_id))
+                dropped.append(shard.shard_id)
+        except BaseException:
+            # Keep the maps honest about the copies still on disk.
+            for shard_id in dropped:
+                self.note_drop(video_id, shard_id)
+            raise
         self._unclaim(video_id)
         return removed
 
     # ------------------------------------------------------------------
     # scatter-gather queries
     # ------------------------------------------------------------------
+
+    def _covered_by(self, shard_id: int, ok_ids: set[int]) -> bool:
+        """Whether every video on ``shard_id`` has a holder in ``ok_ids``.
+
+        This is the failover completeness proof: when it holds, the
+        shards that answered collectively contain a copy of everything
+        the failed shard would have contributed, so the merged answer
+        is complete (and decision-identical — a shot's local rank on
+        any holder is never worse than its global rank, so it survives
+        the per-shard top-k pushdown wherever it lives).
+        """
+        with self._placement_lock:
+            for holders in self._holders.values():
+                if shard_id not in holders:
+                    continue
+                if not any(h in ok_ids for h in holders if h != shard_id):
+                    return False
+        return True
+
+    def _recover_failures(
+        self,
+        failed: list[dict[str, Any]],
+        ok_ids: set[int],
+        one: Callable[[Shard], Any],
+        absorb: Callable[[Any], None],
+        deadline: Deadline | None,
+    ) -> tuple[list[dict[str, Any]], list[str]]:
+        """Automatic failover after a scatter (no-op when R == 1).
+
+        For each failed shard: when the shards that answered already
+        cover its corpus (the common single-failure case with R >= 2),
+        the failure is marked *recovered* — reported but not partial.
+        Otherwise, a transiently-failed shard (error/deadline, not
+        marked down) gets one retry inside the same ``Deadline``; a
+        successful retry folds its contribution in and clears the
+        failure entirely.  Returns ``(still_failed, recovered_names)``.
+        """
+        if self.replication <= 1 or not failed:
+            return failed, []
+        by_name = {shard.name: shard for shard in self.shards}
+        remaining: list[dict[str, Any]] = []
+        recovered: list[str] = []
+        for failure in failed:
+            shard = by_name.get(failure["shard"])
+            if shard is None:  # pragma: no cover - reshard mid-query
+                remaining.append(failure)
+                continue
+            if self._covered_by(shard.shard_id, ok_ids):
+                remaining.append(failure)
+                recovered.append(shard.name)
+                continue
+            retryable = failure["reason"] in ("deadline", "error")
+            in_budget = deadline is None or deadline.remaining() > 0
+            if retryable and in_budget and not shard.down:
+                try:
+                    absorb(one(shard))
+                    ok_ids.add(shard.shard_id)
+                    continue  # the retry answered: shard is not failed
+                except Exception:
+                    pass  # the original failure entry stands
+            remaining.append(failure)
+        if recovered or len(remaining) < len(failed):
+            self.failovers += 1
+        return remaining, recovered
 
     def query(
         self,
@@ -516,15 +800,14 @@ class ClusterCoordinator:
             entries: list[IndexEntry] = []
             trees: dict[str, SceneTree] = {}
             failed: list[dict[str, Any]] = []
-            ok = 0
+            ok_ids: set[int] = set()
 
             def consume(shard: Shard, get: Callable[[], Any]) -> None:
-                nonlocal ok
                 try:
                     shard_entries, shard_trees = get()
                     entries.extend(shard_entries)
                     trees.update(shard_trees)
-                    ok += 1
+                    ok_ids.add(shard.shard_id)
                 except (FutureTimeout, ServiceTimeout):
                     failed.append(
                         {
@@ -579,18 +862,31 @@ class ClusterCoordinator:
                 break
             if deadline is not None and deadline.remaining() <= 0:
                 break  # out of budget; the partial/merged answer stands
+
+        def absorb(result: Any) -> None:
+            shard_entries, shard_trees = result
+            entries.extend(shard_entries)
+            trees.update(shard_trees)
+
+        failed, recovered = self._recover_failures(
+            failed, ok_ids, one, absorb, deadline
+        )
         if scatter is not None:
             scatter.annotate(
                 fan_out=len(shards),
-                shards_ok=ok,
+                shards_ok=len(ok_ids),
                 attempts=_attempt + 1,
                 gathered=len(entries),
             )
             if failed:
                 scatter.annotate(shards_failed=[f["shard"] for f in failed])
+            if recovered:
+                scatter.annotate(shards_recovered=recovered)
             scatter.end()
         with _span("cluster.merge", gathered=len(entries)) as merge_span:
-            answer = self._merge(query, entries, trees, limit, ok, failed)
+            answer = self._merge(
+                query, entries, trees, limit, len(ok_ids), failed, recovered
+            )
             merge_span.annotate(returned=len(answer.matches))
         return answer
 
@@ -652,16 +948,15 @@ class ClusterCoordinator:
             per_query: list[list[IndexEntry]] = [[] for _ in range(n_queries)]
             trees: dict[str, SceneTree] = {}
             failed: list[dict[str, Any]] = []
-            ok = 0
+            ok_ids: set[int] = set()
 
             def consume(shard: Shard, get: Callable[[], Any]) -> None:
-                nonlocal ok
                 try:
                     shard_matches, shard_trees = get()
                     for bucket, matches in zip(per_query, shard_matches):
                         bucket.extend(matches)
                     trees.update(shard_trees)
-                    ok += 1
+                    ok_ids.add(shard.shard_id)
                 except (FutureTimeout, ServiceTimeout):
                     failed.append(
                         {
@@ -716,19 +1011,39 @@ class ClusterCoordinator:
                 break
             if deadline is not None and deadline.remaining() <= 0:
                 break  # out of budget; the partial/merged answers stand
+
+        def absorb(result: Any) -> None:
+            shard_matches, shard_trees = result
+            for bucket, matches in zip(per_query, shard_matches):
+                bucket.extend(matches)
+            trees.update(shard_trees)
+
+        failed, recovered = self._recover_failures(
+            failed, ok_ids, one, absorb, deadline
+        )
         if scatter is not None:
             scatter.annotate(
                 fan_out=len(shards),
-                shards_ok=ok,
+                shards_ok=len(ok_ids),
                 attempts=_attempt + 1,
                 gathered=sum(len(bucket) for bucket in per_query),
             )
             if failed:
                 scatter.annotate(shards_failed=[f["shard"] for f in failed])
+            if recovered:
+                scatter.annotate(shards_recovered=recovered)
             scatter.end()
         with _span("cluster.merge", n_queries=n_queries) as merge_span:
             merged = [
-                self._merge(query, entries, trees, limit, ok, list(failed))
+                self._merge(
+                    query,
+                    entries,
+                    trees,
+                    limit,
+                    len(ok_ids),
+                    list(failed),
+                    list(recovered),
+                )
                 for query, entries in zip(queries, per_query)
             ]
             merge_span.annotate(
@@ -744,6 +1059,7 @@ class ClusterCoordinator:
         limit: int | None,
         ok: int,
         failed: list[dict[str, Any]],
+        recovered: list[str] | None = None,
     ) -> ClusterAnswer:
         """Dedup, rank, and cap the gathered answers, then route the
         winners into their scene trees (exactly what a single database
@@ -753,7 +1069,7 @@ class ClusterCoordinator:
         for entry in entries:
             key = (entry.video_id, entry.shot_number)
             if key in seen:
-                continue  # mid-rebalance: the video briefly lives twice
+                continue  # replicas (and mid-rebalance copies) answer twice
             seen.add(key)
             unique.append(entry)
         unique.sort(key=query.rank_key)
@@ -764,6 +1080,7 @@ class ClusterCoordinator:
             routes=route_to_scene_nodes(unique, trees),
             shards_queried=ok,
             shards_failed=failed,
+            shards_recovered=list(recovered or []),
         )
 
     def query_by_shot(
@@ -842,6 +1159,9 @@ class ClusterCoordinator:
             "n_shards": self.n_shards,
             "root": str(self.root) if self.root is not None else None,
             "router": self.router.to_dict(),
+            "replication": self.replication,
+            "effective_replication": self.effective_replication,
+            "failovers": self.failovers,
             "videos": self.catalog_size(),
             "indexed_shots": self.index_size(),
             "shards_up": sum(1 for s in shard_status if s["up"]),

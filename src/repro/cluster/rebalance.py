@@ -35,6 +35,7 @@ from ..config import PipelineConfig
 from ..errors import CatalogError, ClusterError, ShardUnavailableError
 from ..vdbms.database import VideoDatabase
 from .coordinator import ClusterCoordinator, _shard_dirname
+from .replication import copy_video
 from .router import ConsistentHashRouter
 from .shard import Shard
 
@@ -43,11 +44,20 @@ __all__ = ["RebalanceMove", "RebalanceReport", "Rebalancer"]
 
 @dataclass(frozen=True, slots=True)
 class RebalanceMove:
-    """One planned video relocation."""
+    """One planned placement action.
+
+    ``kind`` is ``"move"`` (copy then delete — the classic single-copy
+    relocation), ``"copy"`` (add a replica on ``dest``, source kept),
+    or ``"drop"`` (delete the copy on ``source``; ``dest`` mirrors
+    ``source``).  Replicated clusters plan their reconciliations as
+    explicit copy/drop pairs so every intermediate state has at least
+    as many live copies as before.
+    """
 
     video_id: str
     source: int
     dest: int
+    kind: str = "move"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible form for the CLI's ``--json`` output."""
@@ -55,6 +65,7 @@ class RebalanceMove:
             "video_id": self.video_id,
             "source": _shard_dirname(self.source),
             "dest": _shard_dirname(self.dest),
+            "kind": self.kind,
         }
 
 
@@ -92,18 +103,52 @@ class Rebalancer:
     def plan(
         self, router: ConsistentHashRouter | None = None
     ) -> list[RebalanceMove]:
-        """Every video whose current shard is not its (target) home.
+        """Every action needed to match the (target) placement contract.
 
         With no argument, plans against the cluster's own ring — a
         healthy, fully-settled cluster plans zero moves.  Pass a new
         router to plan a reshard.
+
+        A single-copy relocation plans as one ``"move"`` (copy+delete,
+        the pre-replication behavior).  Everything else decomposes into
+        ``"copy"`` actions (fill a missing expected holder from a live
+        one) followed by ``"drop"`` actions (shed copies outside the
+        expected set) — copies always ordered before drops so no plan
+        prefix ever reduces the number of live copies.
         """
-        target = router or self.cluster.router
-        moves = []
-        for video_id, current in sorted(self.cluster.placement_snapshot().items()):
-            home = target.shard_for(video_id)
-            if home != current:
-                moves.append(RebalanceMove(video_id, source=current, dest=home))
+        cluster = self.cluster
+        target = router or cluster.router
+        replication = cluster.replication
+        moves: list[RebalanceMove] = []
+        for video_id, held in sorted(cluster.holders_snapshot().items()):
+            holders = set(held)
+            expected = target.shards_for(video_id, replication)
+            expected_set = set(expected)
+            if holders == expected_set:
+                continue
+            missing = [s for s in expected if s not in holders]
+            strays = sorted(holders - expected_set)
+            if len(holders) == 1 and len(missing) == 1 and strays:
+                # Classic single-copy relocation: one atomic-ish move.
+                moves.append(
+                    RebalanceMove(video_id, source=strays[0], dest=missing[0])
+                )
+                continue
+            settled = sorted(holders & expected_set)
+            source_pool = settled or strays
+            for dest in missing:
+                moves.append(
+                    RebalanceMove(
+                        video_id, source=source_pool[0], dest=dest, kind="copy"
+                    )
+                )
+            if settled or missing:
+                for stray in strays:
+                    moves.append(
+                        RebalanceMove(
+                            video_id, source=stray, dest=stray, kind="drop"
+                        )
+                    )
         return moves
 
     # ------------------------------------------------------------------
@@ -130,7 +175,7 @@ class Rebalancer:
             moves = moves[:max_moves]
         for move in moves:
             try:
-                self._move(move)
+                self._apply(move)
                 report.moved += 1
             except (ClusterError, CatalogError, OSError) as exc:
                 report.skipped += 1
@@ -138,6 +183,41 @@ class Rebalancer:
                     {"video_id": move.video_id, "error": f"{type(exc).__name__}: {exc}"}
                 )
         return report
+
+    def _apply(self, move: RebalanceMove) -> None:
+        if move.kind == "copy":
+            self._copy(move)
+        elif move.kind == "drop":
+            self._drop(move)
+        else:
+            self._move(move)
+
+    def _copy(self, move: RebalanceMove) -> None:
+        """Add a replica on ``dest`` from a live holder (source kept)."""
+        cluster = self.cluster
+        source = cluster.shard(move.source)
+        dest = cluster.shard(move.dest)
+        source.check_up("rebalance copy source")
+        dest.check_up("rebalance copy dest")
+        # A vanished video (removed since planning) is convergence, not
+        # an error — copy_video returns False and we move on.
+        copy_video(cluster, move.video_id, source, dest)
+
+    def _drop(self, move: RebalanceMove) -> None:
+        """Shed one copy, refusing ever to delete the last one."""
+        cluster = self.cluster
+        shard = cluster.shard(move.source)
+        shard.check_up("rebalance drop")
+        holders = set(cluster.holders_of(move.video_id))
+        if holders <= {move.source}:
+            raise ClusterError(
+                f"refusing to drop the only copy of {move.video_id!r} "
+                f"(on {shard.name})"
+            )
+        with shard.lock.write_locked():
+            if move.video_id in shard.db.catalog:
+                shard.db.remove(move.video_id)
+        cluster.note_drop(move.video_id, move.source)
 
     def _move(self, move: RebalanceMove) -> None:
         cluster = self.cluster
@@ -164,6 +244,7 @@ class Rebalancer:
         cluster.note_move_visible()
         with source.lock.write_locked():
             source.db.remove(move.video_id)
+        cluster.note_drop(move.video_id, move.source)
 
     def _clean_conflicts(self, report: RebalanceReport) -> None:
         """Delete stray copies recorded by the coordinator on open."""
@@ -232,7 +313,7 @@ class Rebalancer:
             # draining shards until every video has left them.
             for move in moves:
                 try:
-                    self._move(move)
+                    self._apply(move)
                     report.moved += 1
                 except (ClusterError, CatalogError, OSError) as exc:
                     report.skipped += 1
@@ -269,7 +350,9 @@ class Rebalancer:
         # reopens with the new ring, finds the videos wherever they
         # are (placement is derived from catalogs), and plans the rest.
         if cluster.root is not None:
-            ClusterCoordinator._write_manifest(cluster.root, new_router)
+            ClusterCoordinator._write_manifest(
+                cluster.root, new_router, cluster.replication
+            )
         cluster.shards.extend(new_shards)
         cluster.router = new_router
 
@@ -284,6 +367,8 @@ class Rebalancer:
         # Publish the manifest *after* draining: shards leave the
         # cluster only once provably empty.
         if cluster.root is not None:
-            ClusterCoordinator._write_manifest(cluster.root, new_router)
+            ClusterCoordinator._write_manifest(
+                cluster.root, new_router, cluster.replication
+            )
         cluster.shards = cluster.shards[: new_router.n_shards]
         cluster.router = new_router

@@ -1,0 +1,194 @@
+"""Replica copy primitives and the breaker-style shard supervisor.
+
+Replication is deliberately simple: a video's derived state (catalog
+row, index rows, scene tree) is a self-contained
+:class:`~repro.vdbms.database.VideoRecord`, so a replica copy is just
+``export_video`` on a healthy holder followed by ``adopt`` on the
+target — both through the checksummed staged-publish protocol, so a
+replica is exactly as durable (and exactly as verifiable) as a
+primary.  :func:`copy_video` packages that under the right locks; the
+coordinator's write fan-out, the anti-entropy repairer, and the
+integrity scrubber all go through it.
+
+:class:`ShardSupervisor` is the service-side health loop: it watches
+scatter outcomes, benches a shard after ``threshold`` *consecutive*
+failures (breaker-style — one slow query does not bench anyone), and
+re-admits it after a cool-down probe proves it serves reads again.  A
+benched shard is marked down, so scatters skip it immediately instead
+of burning deadline budget on it; with replication >= 2 its corpus
+keeps being served by the replicas, so answers stay complete.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from ..errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coordinator import ClusterAnswer, ClusterCoordinator
+    from .shard import Shard
+
+__all__ = ["ShardSupervisor", "copy_video"]
+
+#: Lock-acquisition budget for repair copies: long enough to outwait a
+#: publish, short enough that repair never wedges behind a stuck shard.
+_COPY_LOCK_TIMEOUT_S = 30.0
+
+
+def copy_video(
+    cluster: "ClusterCoordinator",
+    video_id: str,
+    source: "Shard",
+    dest: "Shard",
+    *,
+    replace: bool = False,
+) -> bool:
+    """Copy one video's committed state from ``source`` onto ``dest``.
+
+    Exports under the source's read lock, adopts under the destination's
+    write lock (a full durable publish on durable shards), and records
+    the new copy in the coordinator's holder map.  With ``replace=True``
+    an existing copy on ``dest`` is dropped first — the divergence
+    repair path.  Returns False when the video vanished from the source
+    meanwhile (already-removed videos are not an error for repair).
+    """
+    try:
+        with source.lock.read_locked(_COPY_LOCK_TIMEOUT_S):
+            record = source.db.export_video(video_id)
+    except CatalogError:
+        return False
+    with dest.lock.write_locked(_COPY_LOCK_TIMEOUT_S):
+        if replace and video_id in dest.db.catalog:
+            dest.db.remove(video_id)
+        try:
+            dest.db.adopt(record)
+        except CatalogError:
+            return True  # raced with another repairer: copy already there
+    cluster.note_copy(video_id, dest.shard_id)
+    dest.repairs += 1
+    return True
+
+
+class ShardSupervisor:
+    """Consecutive-failure tracking with cool-down re-admission.
+
+    ``observe`` is fed every :class:`ClusterAnswer`; shards failing
+    ``threshold`` scatters *in a row* (reason ``error`` or ``deadline``
+    — a shard someone already marked down is not double-counted) are
+    benched via ``mark_down``.  ``probe`` re-admits benched shards
+    after ``retry_after_s`` once a trivial read succeeds, and is called
+    from the service watchdog; ``readmit`` is the explicit post-repair
+    hook.  Only shards *this supervisor benched* are ever re-admitted —
+    an operator's manual ``mark_down`` is respected.
+    """
+
+    def __init__(
+        self,
+        cluster: "ClusterCoordinator",
+        *,
+        threshold: int = 3,
+        retry_after_s: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.cluster = cluster
+        self.threshold = threshold
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive: dict[str, int] = {}
+        self._benched: dict[str, float] = {}
+        #: Monotonic counters for /metrics.
+        self.trips = 0
+        self.readmissions = 0
+
+    def _shard_named(self, name: str) -> "Shard | None":
+        for shard in self.cluster.shards:
+            if shard.name == name:
+                return shard
+        return None
+
+    def observe(self, answer: "ClusterAnswer") -> list[str]:
+        """Fold one scatter outcome in; returns shards benched by it."""
+        transient = {
+            failure["shard"]
+            for failure in answer.shards_failed
+            if failure["reason"] in ("error", "deadline")
+        }
+        benched: list[str] = []
+        with self._lock:
+            for shard in self.cluster.shards:
+                name = shard.name
+                if name in transient:
+                    count = self._consecutive.get(name, 0) + 1
+                    self._consecutive[name] = count
+                    if count >= self.threshold and not shard.down:
+                        shard.mark_down(
+                            f"supervisor: {count} consecutive scatter failures"
+                        )
+                        self._benched[name] = self._clock()
+                        self.trips += 1
+                        benched.append(name)
+                elif not shard.down:
+                    self._consecutive[name] = 0
+        return benched
+
+    def probe(self) -> list[str]:
+        """Half-open check: re-admit cooled-down shards that serve reads."""
+        now = self._clock()
+        with self._lock:
+            due = [
+                name
+                for name, benched_at in self._benched.items()
+                if now - benched_at >= self.retry_after_s
+            ]
+        readmitted: list[str] = []
+        for name in due:
+            shard = self._shard_named(name)
+            if shard is None:  # pragma: no cover - reshard while benched
+                with self._lock:
+                    self._benched.pop(name, None)
+                continue
+            try:
+                with shard.lock.read_locked(1.0):
+                    len(shard.db.catalog)  # proves the shard answers reads
+            except Exception:
+                with self._lock:
+                    self._benched[name] = now  # still sick: restart cool-down
+                continue
+            self.readmit(name)
+            readmitted.append(name)
+        return readmitted
+
+    def readmit(self, name: str) -> bool:
+        """Return a benched shard to rotation (post-repair hook)."""
+        with self._lock:
+            if name not in self._benched:
+                return False
+            self._benched.pop(name)
+            self._consecutive[name] = 0
+        shard = self._shard_named(name)
+        if shard is not None:
+            shard.mark_up()
+        self.readmissions += 1
+        return True
+
+    def status(self) -> dict[str, Any]:
+        """JSON-compatible supervisor state for ``/health``."""
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "retry_after_s": self.retry_after_s,
+                "trips": self.trips,
+                "readmissions": self.readmissions,
+                "benched": sorted(self._benched),
+                "consecutive_failures": {
+                    name: count
+                    for name, count in sorted(self._consecutive.items())
+                    if count
+                },
+            }

@@ -70,6 +70,31 @@ class ConsistentHashRouter:
             k = 0  # wrap around the circle
         return self._ring[k][1]
 
+    def shards_for(self, video_id: str, n_copies: int) -> list[int]:
+        """The ``n_copies`` distinct shards holding ``video_id``.
+
+        Walks the ring clockwise from the video's own point, collecting
+        the first ``n_copies`` *distinct* shard ids encountered.  The
+        first entry is always :meth:`shard_for` (the primary); the rest
+        are the replica homes.  Capped at ``n_shards`` — a 2-shard
+        cluster can hold at most 2 copies.
+        """
+        if n_copies < 1:
+            raise ClusterError(f"n_copies must be >= 1, got {n_copies}")
+        want = min(n_copies, self.n_shards)
+        point = _point(f"video:{video_id}")
+        k = bisect.bisect_right(self._points, point)
+        chosen: list[int] = []
+        seen: set[int] = set()
+        for step in range(len(self._ring)):
+            shard = self._ring[(k + step) % len(self._ring)][1]
+            if shard not in seen:
+                seen.add(shard)
+                chosen.append(shard)
+                if len(chosen) == want:
+                    break
+        return chosen
+
     def assignment(self, video_ids: list[str]) -> dict[int, list[str]]:
         """Group ``video_ids`` by home shard (missing shards -> [])."""
         groups: dict[int, list[str]] = {shard: [] for shard in range(self.n_shards)}

@@ -47,6 +47,10 @@ class Shard:
         self.ingests = 0
         self.queries = 0
         self.errors = 0
+        #: Replica copies adopted onto this shard (write-path fan-out).
+        self.replications = 0
+        #: Copies restored onto this shard by anti-entropy or the scrubber.
+        self.repairs = 0
 
     @property
     def name(self) -> str:
@@ -111,6 +115,8 @@ class Shard:
             "ingests": self.ingests,
             "queries": self.queries,
             "errors": self.errors,
+            "replications": self.replications,
+            "repairs": self.repairs,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

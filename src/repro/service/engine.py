@@ -423,6 +423,13 @@ class ServiceEngine:
         slow_query_ms: traces at least this many milliseconds long are
             additionally retained in the slow-query log and counted in
             the ``slow_queries`` metric (None disables the log).
+        supervisor_threshold: cluster mode only — consecutive scatter
+            failures before the shard supervisor benches a shard.
+        supervisor_retry_s: cluster mode only — cool-down before a
+            benched shard gets a half-open re-admission probe.
+        scrub_interval_s: cluster mode only — pacing interval of the
+            background integrity scrubber (None, the default, disables
+            it; ``repro cluster scrub`` covers offline scrubbing).
     """
 
     def __init__(
@@ -446,6 +453,9 @@ class ServiceEngine:
         stall_timeout: float = 300.0,
         trace_capacity: int = 64,
         slow_query_ms: float | None = None,
+        supervisor_threshold: int = 3,
+        supervisor_retry_s: float = 5.0,
+        scrub_interval_s: float | None = None,
     ) -> None:
         from .cache import QueryResultCache
         from .metrics import MetricsRegistry
@@ -531,6 +541,35 @@ class ServiceEngine:
                 self._workers.append(
                     self._spawn_worker_locked(k % self.n_queues)
                 )
+        # Cluster-mode health loop: the supervisor benches shards that
+        # fail scatters repeatedly (watchdog sweeps run its re-admission
+        # probes); the scrubber re-verifies committed bytes on a pace.
+        self.supervisor = None
+        self.scrubber = None
+        if self.cluster is not None:
+            from ..cluster.repair import IntegrityScrubber
+            from ..cluster.replication import ShardSupervisor
+
+            self.supervisor = ShardSupervisor(
+                self.cluster,
+                threshold=supervisor_threshold,
+                retry_after_s=supervisor_retry_s,
+                clock=self._clock,
+            )
+            if scrub_interval_s is not None:
+                if scrub_interval_s <= 0:
+                    raise ValueError(
+                        f"scrub_interval_s must be > 0 (or None), "
+                        f"got {scrub_interval_s}"
+                    )
+                self.scrubber = IntegrityScrubber(
+                    self.cluster,
+                    interval_s=scrub_interval_s,
+                    metrics=self.metrics,
+                )
+                self.scrubber.start()
+        elif scrub_interval_s is not None:
+            raise ValueError("scrub_interval_s requires a cluster database")
         self._watchdog: threading.Thread | None = None
         if watchdog_interval > 0:
             self._watchdog = threading.Thread(
@@ -948,12 +987,22 @@ class ServiceEngine:
             payload = self._answer_payload(answer)
             payload["shards_queried"] = answer.shards_queried
             payload["shards_failed"] = answer.shards_failed
+            payload["shards_recovered"] = answer.shards_recovered
             payload["partial"] = answer.partial
+            if self.supervisor is not None:
+                self.supervisor.observe(answer)
             if answer.partial:
                 # A partial answer reflects a transient outage, not the
                 # corpus; caching it would keep serving holes after the
                 # shard recovers.
                 self.metrics.increment("cluster_partial_answers")
+                return payload, False
+            if answer.shards_failed:
+                # A shard failed but every one of its videos was covered
+                # by a replica: the answer is complete despite the
+                # outage.  Still uncached — the recovery path is slower
+                # and the shard set will change as shards heal.
+                self.metrics.increment("cluster_failover_answers")
                 return payload, False
             self.cache.put(key, payload, generation=generation)
             return payload, False
@@ -1029,16 +1078,27 @@ class ServiceEngine:
                 deadline=deadline,
             )
             results = []
-            partial = False
+            partial = failover = False
             for answer in answers:
                 payload = self._answer_payload(answer)
                 payload["shards_queried"] = answer.shards_queried
                 payload["shards_failed"] = answer.shards_failed
+                payload["shards_recovered"] = answer.shards_recovered
                 payload["partial"] = answer.partial
                 partial = partial or answer.partial
+                failover = failover or bool(
+                    answer.shards_failed and not answer.partial
+                )
                 results.append(payload)
+            if self.supervisor is not None and answers:
+                # One scatter round answered the whole batch, so one
+                # observation — per-answer observes would let a single
+                # sick scatter count as len(batch) consecutive failures.
+                self.supervisor.observe(answers[0])
             if partial:
                 self.metrics.increment("cluster_partial_answers")
+            elif failover:
+                self.metrics.increment("cluster_failover_answers")
             return {"count": len(results), "results": results}
         with self._traced_read_lock(self._read_timeout(deadline)):
             answers = self.db.query_batch(
@@ -1159,12 +1219,26 @@ class ServiceEngine:
             shard_status = [shard.status() for shard in self.cluster.shards]
             payload["cluster"] = {
                 "n_shards": self.cluster.n_shards,
+                "replication": self.cluster.replication,
+                "effective_replication": self.cluster.effective_replication,
                 "shards_up": sum(1 for s in shard_status if s["up"]),
                 "shards": [
-                    {"shard": s["shard"], "up": s["up"], "videos": s["videos"]}
+                    {
+                        "shard": s["shard"],
+                        "up": s["up"],
+                        "down_reason": s["down_reason"],
+                        "videos": s["videos"],
+                        "replications": s["replications"],
+                        "repairs": s["repairs"],
+                    }
                     for s in shard_status
                 ],
             }
+            if self.supervisor is not None:
+                payload["cluster"]["supervisor"] = self.supervisor.status()
+            payload["cluster"]["scrubber_running"] = (
+                self.scrubber is not None and self.scrubber.running
+            )
         return payload
 
     def ready_payload(self) -> dict[str, Any]:
@@ -1203,17 +1277,64 @@ class ServiceEngine:
         from ..signature.extract import SignatureExtractor
 
         self._observe_queue_depth()
+        if self.scrubber is not None:
+            # Mirror the scrub thread's progress into gauges so scrapes
+            # see it even between scrub_* counter bumps.
+            self.metrics.set_gauges(self.scrubber.stats_snapshot(), prefix="scrub_")
         payload = self.metrics.snapshot()
         payload["query_cache"] = self.cache.stats()
         payload["extractor_cache"] = SignatureExtractor.cache_stats()
         payload["fused_operator_cache"] = operator_cache_stats()
         payload["overload"] = self.overload_payload()
         if self.cluster is not None:
-            payload["cluster"] = self.cluster.status()
+            cluster_status = self.cluster.status()
+            if self.supervisor is not None:
+                cluster_status["supervisor"] = self.supervisor.status()
+            if self.scrubber is not None:
+                cluster_status["scrubber"] = self.scrubber.stats_snapshot()
+            payload["cluster"] = cluster_status
         if self.traces is not None:
             payload["tracing"] = self.traces.stats()
         payload["uptime_s"] = round(self._clock() - self._started_mono, 3)
         return payload
+
+    # ------------------------------------------------------------------
+    # cluster administration
+    # ------------------------------------------------------------------
+
+    def _admin_shard(self, shard_id: int) -> Any:
+        if self.cluster is None:
+            raise QueryError("shard administration requires cluster mode")
+        if not 0 <= shard_id < self.cluster.n_shards:
+            raise QueryError(
+                f"shard id {shard_id} out of range "
+                f"(cluster has {self.cluster.n_shards} shards)"
+            )
+        return self.cluster.shards[shard_id]
+
+    def kill_shard(
+        self, shard_id: int, reason: str = "killed via admin endpoint"
+    ) -> dict[str, Any]:
+        """Take one shard out of rotation — the fault-injection half of
+        the admin API (``POST /admin/shards/{id}/kill``), driven by the
+        loadgen's mid-run outage scenario and by chaos tests."""
+        shard = self._admin_shard(shard_id)
+        shard.mark_down(reason)
+        self.metrics.increment("admin_shard_kills")
+        return shard.status()
+
+    def revive_shard(self, shard_id: int) -> dict[str, Any]:
+        """Return one shard to rotation (``POST /admin/shards/{id}/revive``).
+
+        Goes through the supervisor when it was the one that benched the
+        shard, so its cool-down bookkeeping stays consistent; otherwise
+        a plain ``mark_up``.
+        """
+        shard = self._admin_shard(shard_id)
+        if self.supervisor is None or not self.supervisor.readmit(shard.name):
+            shard.mark_up()
+        self.metrics.increment("admin_shard_revivals")
+        return shard.status()
 
     # ------------------------------------------------------------------
     # request tracing
@@ -1319,6 +1440,13 @@ class ServiceEngine:
             self.metrics.increment("workers_replaced", replaced)
         if supplemented:
             self.metrics.increment("workers_supplemented", supplemented)
+        if self.supervisor is not None:
+            # The same sweep runs the shard supervisor's half-open
+            # probes, so benched shards re-enter rotation without a
+            # second background thread.
+            readmitted = self.supervisor.probe()
+            if readmitted:
+                self.metrics.increment("shards_readmitted", len(readmitted))
         return {"replaced": replaced, "supplemented": supplemented}
 
     def _watchdog_loop(self) -> None:
@@ -1341,6 +1469,10 @@ class ServiceEngine:
         if drain:
             self._idle.wait(timeout)
         self._stopping = True
+        if self.scrubber is not None:
+            # Stop scrubbing before the final save: a repair publishing
+            # mid-shutdown would race the closing manifests.
+            self.scrubber.stop()
         with self._workers_lock:
             workers = list(self._workers)
         for worker in workers:

@@ -51,6 +51,12 @@ class LoadgenConfig:
         deadline_ms: when set, every request carries an
             ``X-Deadline-Ms`` header with this budget (the server
             answers 503 ``deadline_exceeded`` past it).
+        kill_shard: when set, POST ``/admin/shards/{N}/kill`` mid-run —
+            the replication failover drill.  The report then separates
+            shed vs. failed vs. *failover* answers (complete answers
+            served around the dead shard), and the shard is revived
+            when the run ends.
+        kill_at_s: seconds after the run starts to kill the shard.
     """
 
     base_url: str
@@ -64,6 +70,8 @@ class LoadgenConfig:
     timeout: float = 30.0
     job_timeout: float = 120.0
     deadline_ms: float | None = None
+    kill_shard: int | None = None
+    kill_at_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.n_requests < 1 or self.workers < 1:
@@ -72,6 +80,10 @@ class LoadgenConfig:
             raise ValueError("query_pool must be >= 1 and browse_every >= 2")
         if self.batch < 0:
             raise ValueError("batch must be >= 0")
+        if self.kill_shard is not None and self.kill_shard < 0:
+            raise ValueError(f"kill_shard must be >= 0, got {self.kill_shard}")
+        if self.kill_at_s < 0:
+            raise ValueError(f"kill_at_s must be >= 0, got {self.kill_at_s}")
 
 
 def _percentile(sorted_values: list[float], p: float) -> float:
@@ -98,6 +110,26 @@ class _Client:
         self.deadline_ms = deadline_ms
         self._lock = threading.Lock()
         self.samples: list[tuple[str, float, int]] = []
+        # Cluster degradation accounting (query answers only): partial
+        # answers are missing a shard's data; failover answers are
+        # complete despite a failed shard (replicas covered it).
+        self.partial_answers = 0
+        self.failover_answers = 0
+
+    def note_answer(self, payload: dict[str, Any] | None) -> None:
+        """Fold one query answer's degradation flags into the tallies."""
+        if payload is None:
+            return
+        results = payload.get("results", [payload])
+        partial = any(r.get("partial") for r in results)
+        failover = not partial and any(r.get("shards_failed") for r in results)
+        if not (partial or failover):
+            return
+        with self._lock:
+            if partial:
+                self.partial_answers += 1
+            else:
+                self.failover_answers += 1
 
     def request(
         self, op: str, method: str, path: str, body: dict[str, Any] | None = None
@@ -157,7 +189,7 @@ def _worker(
             )
         elif config.batch > 0:
             batch = [rng.choice(points) for _ in range(config.batch)]
-            client.request(
+            answer = client.request(
                 "query_batch",
                 "POST",
                 "/query/batch",
@@ -169,14 +201,16 @@ def _worker(
                     "limit": 5,
                 },
             )
+            client.note_answer(answer)
         else:
             var_ba, var_oa = rng.choice(points)
-            client.request(
+            answer = client.request(
                 "query",
                 "POST",
                 "/query",
                 {"var_ba": var_ba, "var_oa": var_oa, "limit": 5},
             )
+            client.note_answer(answer)
 
 
 def _drive_ingests(client: _Client, config: LoadgenConfig, failures: list[str]) -> None:
@@ -232,13 +266,47 @@ def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
         args=(client, config, ingest_failures),
         name="loadgen-ingest",
     )
+    outage: dict[str, Any] | None = None
+    done = threading.Event()
+    killer: threading.Thread | None = None
+    if config.kill_shard is not None:
+        outage = {
+            "shard": config.kill_shard,
+            "at_s": config.kill_at_s,
+            "killed": False,
+            "revived": False,
+        }
+
+        def _kill(report: dict[str, Any] = outage) -> None:
+            if done.wait(config.kill_at_s):
+                return  # the run ended before the outage was due
+            answer = client.request(
+                "admin_kill",
+                "POST",
+                f"/admin/shards/{config.kill_shard}/kill",
+            )
+            report["killed"] = answer is not None
+
+        killer = threading.Thread(target=_kill, name="loadgen-killer")
     started = time.perf_counter()
     ingest_thread.start()
+    if killer is not None:
+        killer.start()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
     ingest_thread.join()
+    done.set()
+    if killer is not None:
+        killer.join()
+        if outage is not None and outage["killed"]:
+            answer = client.request(
+                "admin_revive",
+                "POST",
+                f"/admin/shards/{config.kill_shard}/revive",
+            )
+            outage["revived"] = answer is not None
     wall_s = time.perf_counter() - started
 
     by_op: dict[str, list[float]] = {}
@@ -277,16 +345,22 @@ def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
             "batch": config.batch,
             "seed": config.seed,
             "deadline_ms": config.deadline_ms,
+            "kill_shard": config.kill_shard,
+            "kill_at_s": config.kill_at_s,
         },
         "total_requests": total,
         "failed_requests": failed,
         "shed_requests": shed,
+        "partial_answers": client.partial_answers,
+        "failover_answers": client.failover_answers,
         "status_counts": dict(sorted(status_counts.items())),
         "ingest_failures": ingest_failures,
         "wall_s": round(wall_s, 3),
         "throughput_rps": round(total / wall_s, 2) if wall_s > 0 else 0.0,
         "operations": operations,
     }
+    if outage is not None:
+        report["shard_outage"] = outage
     server_metrics = client.request("metrics", "GET", "/metrics")
     if server_metrics is not None:
         report["server_metrics"] = server_metrics

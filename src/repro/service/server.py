@@ -17,6 +17,8 @@ same shape: ``{"error": "<message>"}`` with a 4xx/5xx status.
     GET  /jobs                       every job and its status
     GET  /jobs/<id>                  one job's lifecycle record
     GET  /debug/traces               recent + slow request traces
+    POST /admin/shards/<id>/kill     take one shard out of rotation
+    POST /admin/shards/<id>/revive   return one shard to rotation
 
 Each handled request is timed and recorded against its *route
 pattern* (``GET /videos/{id}/shots``), keeping ``/metrics`` cardinality
@@ -204,7 +206,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except ShardUnavailableError as exc:
             # A single-shard operation (ingest routing, per-video
             # lookup) hit a down shard.  Scatter-gather queries never
-            # raise this — they degrade to a partial answer instead.
+            # raise this — they fail over to replicas (complete answer)
+            # or degrade to a partial one.
             status = 503
             payload = {"error": str(exc), "reason": "shard_down"}
             headers["Retry-After"] = "5"
@@ -309,6 +312,27 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             pattern("GET /jobs")
             jobs = [job.to_dict() for job in engine.jobs()]
             return 200, {"count": len(jobs), "jobs": jobs}
+        if (
+            method == "POST"
+            and len(segments) == 4
+            and segments[0] == "admin"
+            and segments[1] == "shards"
+            and segments[3] in ("kill", "revive")
+        ):
+            # Shard fault injection: deliberate (loadgen outage drills,
+            # chaos tests), so it lives under /admin rather than beside
+            # the data-plane routes.
+            action = segments[3]
+            pattern(f"POST /admin/shards/{{id}}/{action}")
+            try:
+                shard_id = int(segments[2])
+            except ValueError:
+                raise _HTTPProblem(
+                    400, f"shard id must be an integer, got {segments[2]!r}"
+                ) from None
+            if action == "kill":
+                return 200, engine.kill_shard(shard_id)
+            return 200, engine.revive_shard(shard_id)
         if method == "GET" and len(segments) == 2 and head == "jobs":
             pattern("GET /jobs/{id}")
             try:

@@ -17,15 +17,23 @@ for three seeded clips as byte-exact JSON fixtures, and
 without running detection (for property-based persistence tests).
 """
 
-from .chaos import FakeClock, StallingFS, StallingHook, run_overload_burst
+from .chaos import (
+    FakeClock,
+    StallingFS,
+    StallingHook,
+    break_shard_queries,
+    run_overload_burst,
+)
 from .faults import (
     FaultPoint,
     FaultyFS,
     FlakyHook,
     KillPointRun,
     RecordingFS,
+    ShardOutage,
     SimulatedCrash,
     SweepReport,
+    inject_bit_rot,
     sweep_kill_points,
 )
 from .golden import GOLDEN_SPECS, GoldenSpec, build_clip
@@ -40,12 +48,15 @@ __all__ = [
     "GoldenSpec",
     "KillPointRun",
     "RecordingFS",
+    "ShardOutage",
     "SimulatedCrash",
     "StallingFS",
     "StallingHook",
     "SweepReport",
     "add_synth_video",
+    "break_shard_queries",
     "build_clip",
+    "inject_bit_rot",
     "run_overload_burst",
     "sweep_kill_points",
     "synth_database",

@@ -15,7 +15,12 @@ overload-resilience tests need to run *deterministically*:
 * :func:`run_overload_burst` — fires a concurrent burst of ingest
   submissions at a live server and tallies the responses by status
   class, which is how the 2x-saturation acceptance test distinguishes
-  "shed load with 429" from "fell over with 5xx".
+  "shed load with 429" from "fell over with 5xx";
+* :func:`break_shard_queries` — makes one cluster shard's read path
+  raise for a ``with`` block, so scatters record repeated
+  ``reason="error"`` failures against a shard that is *not* marked
+  down — the pattern the shard supervisor's consecutive-failure
+  counter exists to catch.
 
 Everything here is stdlib-only, like the rest of the package.
 """
@@ -26,13 +31,50 @@ import json
 import threading
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Iterator
 
 from ..errors import StorageError
 from ..vdbms.fsio import LocalFS
 
-__all__ = ["FakeClock", "StallingFS", "StallingHook", "run_overload_burst"]
+__all__ = [
+    "FakeClock",
+    "StallingFS",
+    "StallingHook",
+    "break_shard_queries",
+    "run_overload_burst",
+]
+
+
+@contextmanager
+def break_shard_queries(
+    shard: Any,
+    exc_factory: Callable[[], BaseException] = lambda: OSError(
+        "injected shard query fault"
+    ),
+) -> Iterator[Any]:
+    """Make one shard's read path raise for the duration of the block.
+
+    Shadows ``shard.db.query`` and ``query_batch`` with raising stubs
+    (instance attributes, removed on exit), so every scatter touching
+    the shard degrades with ``reason="error"`` while the shard stays
+    nominally up — a flapping replica rather than a clean outage.
+    Unlike :class:`~repro.testing.faults.ShardOutage` this exercises
+    the error-classification path and the supervisor's breaker, not
+    the down-shard skip.
+    """
+
+    def boom(*args: Any, **kwargs: Any) -> Any:
+        raise exc_factory()
+
+    shard.db.query = boom
+    shard.db.query_batch = boom
+    try:
+        yield shard
+    finally:
+        del shard.db.query
+        del shard.db.query_batch
 
 
 class FakeClock:

@@ -14,7 +14,13 @@ module provides the wrappers that exploit that seam:
   state (``pre``/``post``/``detected`` — anything else is a torn state
   and a bug);
 * :class:`FlakyHook` — a callable that raises for its first N calls,
-  for injecting transient faults into the service ingest workers.
+  for injecting transient faults into the service ingest workers;
+* :class:`ShardOutage` — kills one cluster shard for the duration of a
+  ``with`` block (or mid-query, via :meth:`ShardOutage.kill` /
+  :meth:`ShardOutage.revive`), for replication failover tests;
+* :func:`inject_bit_rot` — flips one byte in a committed,
+  manifest-tracked file *without touching the manifest*, modelling the
+  silent disk corruption the integrity scrubber exists to catch.
 
 Fault modes
 ===========
@@ -56,7 +62,9 @@ __all__ = [
     "FlakyHook",
     "KillPointRun",
     "RecordingFS",
+    "ShardOutage",
     "SimulatedCrash",
+    "inject_bit_rot",
     "sweep_kill_points",
 ]
 
@@ -252,6 +260,94 @@ class FlakyHook:
         if self.fail_times is None or self.calls <= self.fail_times:
             self.failures += 1
             raise self.exc(f"injected fault (call {self.calls})")
+
+
+class ShardOutage:
+    """Take one cluster shard out of rotation for a ``with`` block.
+
+    Entering the block kills the shard (``mark_down``); leaving it
+    revives it — unless the shard was already down, in which case the
+    outage is a no-op both ways (someone else's fault is not healed by
+    this one ending).  :meth:`kill` and :meth:`revive` toggle the same
+    shard explicitly for mid-query choreography::
+
+        with ShardOutage(cluster, 1):
+            answer = cluster.query(0.5, 0.5)   # shard-1 is dead here
+        # shard-1 serves again
+
+    Works against a bare :class:`~repro.cluster.ClusterCoordinator` or
+    anything exposing ``.shards``.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        shard_id: int,
+        reason: str = "injected shard outage",
+    ) -> None:
+        self.cluster = cluster
+        self.shard_id = shard_id
+        self.reason = reason
+        self._owns_outage = False
+
+    @property
+    def shard(self) -> Any:
+        return self.cluster.shards[self.shard_id]
+
+    def kill(self) -> None:
+        """Mark the shard down now (idempotent)."""
+        self.shard.mark_down(self.reason)
+
+    def revive(self) -> None:
+        """Return the shard to rotation now (idempotent)."""
+        self.shard.mark_up()
+
+    def __enter__(self) -> "ShardOutage":
+        self._owns_outage = not self.shard.down
+        if self._owns_outage:
+            self.kill()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._owns_outage:
+            self.revive()
+
+
+def inject_bit_rot(
+    root: str | Path,
+    *,
+    logical: str | None = None,
+    offset: int | None = None,
+) -> Path:
+    """Flip one byte inside a committed, manifest-tracked file.
+
+    Models bit rot: the bytes on disk change while the manifest — its
+    digests included — stays exactly as the last publish wrote it, so
+    nothing short of digest re-verification (``fsck``, the cluster's
+    integrity scrubber) can notice.  ``logical`` picks the tracked file
+    to rot (``catalog``, ``index``, ``tree:<id>``; default: first in
+    sorted order); ``offset`` the byte to flip (default: the middle).
+    Returns the path that was corrupted.
+    """
+    from ..vdbms.storage import DatabaseStorage
+
+    storage = DatabaseStorage(root)
+    records = storage.tracked_records()
+    if not records:
+        raise ValueError(f"{root}: no manifest-tracked files to corrupt")
+    if logical is None:
+        logical = sorted(records)[0]
+    record = records.get(logical)
+    if record is None:
+        raise ValueError(f"{root}: manifest tracks no file for {logical!r}")
+    path = Path(root) / record.path
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path}: cannot flip a byte in an empty file")
+    at = (len(data) // 2) if offset is None else offset % len(data)
+    data[at] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return path
 
 
 # ----------------------------------------------------------------------

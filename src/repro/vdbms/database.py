@@ -118,6 +118,16 @@ class VideoDatabase:
         """The bound storage directory (None for an in-memory database)."""
         return self._storage.root if self._storage is not None else None
 
+    @property
+    def storage(self):
+        """The bound :class:`DatabaseStorage` (None when in-memory).
+
+        Read-only integrity surfaces hang off this — ``fsck()``,
+        ``tracked_records()``, ``check_tracked()`` — used by the cluster
+        scrubber and anti-entropy repair.
+        """
+        return self._storage
+
     # ------------------------------------------------------------------
     # ingest
     # ------------------------------------------------------------------
@@ -547,6 +557,11 @@ class VideoDatabase:
         storage = DatabaseStorage(root, fs=fs)
         if storage.exists():
             db = cls.load(root, config=config, recover=recover, fs=fs)
+            # A quarantined video's tree file is still on disk, rotted,
+            # with an intact manifest digest; re-adopting the same
+            # content must rewrite it rather than carry it over.
+            for video_id in db.quarantined:
+                storage.distrust(TREE_PREFIX + video_id)
         else:
             db = cls(config=config)
         db._storage = storage

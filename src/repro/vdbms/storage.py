@@ -164,6 +164,11 @@ class DatabaseStorage:
         self.fs = fs if fs is not None else LocalFS()
         # The manifest this object committed last (publish fast path).
         self._committed: Manifest | None = None
+        # Logical names whose on-disk bytes are known not to match the
+        # manifest digest (bit rot found by a recovering load).  publish
+        # must not carry these forward on a digest match — the digest
+        # describes the intended bytes, not what the disk holds.
+        self._distrusted: set[str] = set()
 
     # ------------------------------------------------------------------
     # layout helpers
@@ -275,6 +280,61 @@ class DatabaseStorage:
             return self._committed
         return self.read_manifest()
 
+    def distrust(self, logical: str) -> None:
+        """Mark a tracked component's on-disk file as not matching its
+        manifest digest (bit rot found by a recovering load).
+
+        The next :meth:`publish` that receives ``logical`` as a payload
+        rewrites the file even when the serialized bytes match the
+        recorded digest — without this, re-ingesting a quarantined
+        video whose content is unchanged would be carried over as a
+        "no-op" and leave the rotted bytes on disk.
+        """
+        self._distrusted.add(logical)
+
+    # ------------------------------------------------------------------
+    # digest enumeration (anti-entropy / scrubber API)
+    # ------------------------------------------------------------------
+
+    def tracked_records(self) -> dict[str, "FileRecord"]:
+        """Logical name -> committed :class:`FileRecord`, from the
+        current manifest.
+
+        This is the digest-enumeration API the cluster repair subsystem
+        builds on: two shards compare a video by comparing the
+        ``blake2s`` each side's manifest records for ``tree:<id>`` —
+        no file reads, no re-hashing.  Empty for legacy/unsaved roots.
+        """
+        manifest = self.current_manifest()
+        if manifest is None:
+            return {}
+        return dict(manifest.files)
+
+    def video_digest(self, video_id: str) -> str | None:
+        """The committed blake2s of one video's scene-tree file, or
+        None when the manifest does not track that video."""
+        record = self.tracked_records().get(TREE_PREFIX + video_id)
+        return record.blake2s if record is not None else None
+
+    def check_tracked(self, logical: str) -> "FileCheck":
+        """Re-verify one tracked file against its manifest digest *now*
+        (the integrity scrubber's primitive).  Never raises: problems
+        come back as the :class:`FileCheck` status, exactly like
+        :meth:`fsck` rows."""
+        manifest = self.current_manifest()
+        record = None if manifest is None else manifest.files.get(logical)
+        if record is None:
+            return FileCheck(
+                logical=logical,
+                path="",
+                status="missing",
+                detail=f"manifest tracks no file for {logical!r}",
+            )
+        status, detail = self._check_record(record)
+        return FileCheck(
+            logical=logical, path=record.path, status=status, detail=detail
+        )
+
     # ------------------------------------------------------------------
     # the publish protocol
     # ------------------------------------------------------------------
@@ -323,6 +383,7 @@ class DatabaseStorage:
             prior = old_files.get(logical)
             if (
                 prior is not None
+                and logical not in self._distrusted
                 and prior.blake2s == digest
                 and prior.n_bytes == len(data)
                 and (self.root / prior.path).exists()
@@ -395,6 +456,12 @@ class DatabaseStorage:
                     pass
             raise StorageError(f"publish failed: {exc}") from exc
         self._committed = manifest
+        # Rewritten (or dropped) components have fresh, trusted files.
+        self._distrusted = {
+            name
+            for name in self._distrusted
+            if name in new_files and name not in to_write
+        }
         self._collect_garbage(manifest, old)
         return manifest
 
